@@ -1,0 +1,73 @@
+"""Ablation benches: the design choices DESIGN.md calls out.
+
+Each test regenerates one ablation table (saved to ``benchmarks/results/``)
+and asserts its headline direction.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+from benchmarks.conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def all_results(bench_scale):
+    return ablations.run(bench_scale)
+
+
+def test_ablation_tables(benchmark, all_results):
+    text = "\n\n".join(result.to_table() for result in all_results.values())
+    save_result("ablations", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(all_results) == {
+        "secondary_index",
+        "merge_phases",
+        "t_list",
+        "split_policy",
+        "buffer_pool",
+        "bulk_loading",
+        "mobility_models",
+    }
+
+
+def test_mobility_model_robustness(all_results):
+    """The paper's premise check: CT wins with dwells, degrades gracefully
+    (stays within 2x of lazy) when movement never settles."""
+    rows = {row["model"]: row for row in all_results["mobility_models"].rows}
+    assert rows["city"]["CT lazy %"] > 50.0
+    adversarial = rows["gauss_markov"]
+    assert adversarial["CT-R-tree I/O"] < 2.0 * adversarial["lazy-R-tree I/O"]
+
+
+def test_secondary_index_buys_cheap_updates(all_results):
+    rows = {row["index"]: row for row in all_results["secondary_index"].rows}
+    assert rows["lazy-R-tree"]["update I/O"] < 0.7 * rows["R-tree"]["update I/O"]
+
+
+def test_merge_phases_reduce_region_count(all_results):
+    phase1, full = all_results["merge_phases"].rows
+    assert full["qs-regions"] < phase1["qs-regions"]
+
+
+def test_t_list_has_bounded_effect(all_results):
+    series = [row["total I/O"] for row in all_results["t_list"].rows]
+    assert max(series) < 1.5 * min(series)
+
+
+def test_split_policies_all_viable(all_results):
+    series = [row["total I/O"] for row in all_results["split_policy"].rows]
+    assert max(series) < 1.5 * min(series)
+
+
+def test_buffer_pool_preserves_ct_advantage_direction(all_results):
+    rows = all_results["buffer_pool"].rows
+    cached = {row["index"]: row for row in rows if row["cache"] == "LRU"}
+    uncached = {row["index"]: row for row in rows if row["cache"] == "none"}
+    for index in cached:
+        assert cached[index]["total I/O"] <= uncached[index]["total I/O"]
+        assert cached[index]["hit rate"] > 0.2
+
+
+def test_bulk_loading_cheaper_than_insertion(all_results):
+    rows = {row["method"]: row for row in all_results["bulk_loading"].rows}
+    assert rows["STR packing"]["build I/O"] < 0.5 * rows["repeated insertion"]["build I/O"]

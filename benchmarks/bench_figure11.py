@@ -1,0 +1,37 @@
+"""Figure 11: scalability -- total I/O vs number of objects.
+
+Shape assertions: both indexes' totals grow with N, and the lazy-R-tree/CT
+gap does not shrink as the population grows (the paper observes it widening:
+denser leaves split more; qs-regions never split)."""
+
+import pytest
+
+from repro.experiments import figure11
+from repro.workload.driver import IndexKind
+from benchmarks.conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def result(bench_scale):
+    return figure11.run(bench_scale)
+
+
+def test_figure11_sweep(benchmark, result):
+    save_result("figure11", result.to_table())
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(result.rows) == 5
+
+
+def test_figure11_totals_grow_with_population(result):
+    for kind in (IndexKind.LAZY, IndexKind.CT):
+        label = IndexKind.LABELS[kind]
+        series = [row[label] for row in result.rows]
+        assert series == sorted(series)
+        assert series[-1] > 2 * series[0]
+
+
+def test_figure11_gap_does_not_shrink(result):
+    gaps = [row["gap (lazy/CT)"] for row in result.rows]
+    # Densification helps CT: the last point's gap must be at least the
+    # first point's (within 10% measurement noise).
+    assert gaps[-1] >= 0.9 * gaps[0]

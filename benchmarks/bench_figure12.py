@@ -1,0 +1,39 @@
+"""Figure 12: CT-R-tree sensitivity to T_rate, T_time, T_dist, T_area.
+
+Shape assertion: flat curves -- total I/O varies by a small factor across a
+16x parameter range ("it is not critical to choose precise parameter values
+for the CT-R-tree to work efficiently").
+"""
+
+import pytest
+
+from repro.experiments import figure12
+from benchmarks.conftest import save_result
+
+PARAMS = ("t_rate", "t_time", "t_dist", "t_area")
+
+
+@pytest.fixture(scope="module")
+def results(bench_scale):
+    return {param: figure12.run_parameter(param, bench_scale) for param in PARAMS}
+
+
+def test_figure12_sweeps(benchmark, results):
+    text = "\n\n".join(results[p].to_table() for p in PARAMS)
+    save_result("figure12", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(len(results[p].rows) == 5 for p in PARAMS)
+
+
+@pytest.mark.parametrize("param", PARAMS)
+def test_figure12_flat_over_wide_range(results, param):
+    series = [row["total I/O"] for row in results[param].rows]
+    assert max(series) < 1.6 * min(series), f"{param} is too sensitive: {series}"
+
+
+def test_figure12_small_t_area_hurts(results):
+    """The paper's caveat: an overly small T_area means "many objects that
+    should be in a qs-region may then not be able to hit one ... leading to
+    poor performance" -- the smallest cap must cost at least the baseline."""
+    rows = results["t_area"].rows
+    assert rows[0]["total I/O"] >= rows[2]["total I/O"]

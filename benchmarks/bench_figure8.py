@@ -1,0 +1,74 @@
+"""Figure 8: total I/O vs update/query ratio, all four indexes.
+
+Shape assertions (the paper's headline claims):
+
+* at the query-heavy end the CT-R-tree is the *worst* of the lazy family
+  (its qs-regions are looser than tight MBRs: about 2x in the paper);
+* at the update-heavy end the traditional R-tree collapses while the hash
+  -indexed structures stay cheap -- the paper reports CT at 1/27th of the
+  R-tree at ratio 1000.
+
+Absolute factors grow with population density (Figure 11); run with
+``REPRO_BENCH_SCALE=small`` or ``medium`` for the EXPERIMENTS.md numbers.
+"""
+
+import pytest
+
+from repro.experiments import figure8
+from repro.workload.driver import IndexKind
+from benchmarks.conftest import save_result
+
+RATIOS = (0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+@pytest.fixture(scope="module")
+def result(bench_scale):
+    return figure8.run(bench_scale, ratios=RATIOS)
+
+
+def test_figure8_sweep(benchmark, result, bench_scale):
+    # The sweep itself ran once (module fixture); benchmark one mid-ratio cell.
+    from repro.experiments.harness import build_workload, ratio_controls, run_index_on
+
+    bundle = build_workload(bench_scale, 0)
+    duration = bundle.update_stream().duration
+    skip, query_rate = ratio_controls(bundle.scale, duration, 100.0)
+
+    def one_cell():
+        return run_index_on(
+            IndexKind.CT, bundle, skip=skip, query_rate=query_rate
+        ).result.total_ios
+
+    total = benchmark.pedantic(one_cell, rounds=1, iterations=1)
+    save_result("figure8", result.to_table())
+    assert total > 0
+
+
+def test_figure8_ct_worst_at_query_heavy_end(result):
+    low = result.rows[0]
+    assert low["ratio"] == 0.1
+    assert low[IndexKind.LABELS[IndexKind.CT]] > low[IndexKind.LABELS[IndexKind.LAZY]]
+
+
+def test_figure8_rtree_collapses_at_update_heavy_end(result, bench_scale):
+    # The CT margin over the R-tree widens with density (Figure 11);
+    # smoke-sized populations only show the direction.
+    ct_bound = 0.75 if bench_scale == "smoke" else 0.6
+    high = result.rows[-1]
+    rtree = high[IndexKind.LABELS[IndexKind.RTREE]]
+    for kind in (IndexKind.LAZY, IndexKind.ALPHA):
+        assert high[IndexKind.LABELS[kind]] < 0.6 * rtree
+    assert high[IndexKind.LABELS[IndexKind.CT]] < ct_bound * rtree
+
+
+def test_figure8_grows_with_update_rate(result):
+    """More updates -> more total I/O, for every index (paper: "all four
+    indexes show an increase in the number of I/Os").  Once full sampling is
+    reached, consecutive points only differ in (cheap) query volume, so a
+    small tolerance is allowed there."""
+    for kind in IndexKind.ALL:
+        label = IndexKind.LABELS[kind]
+        series = [row[label] for row in result.rows]
+        assert series[-1] > 10 * series[0]
+        for previous, current in zip(series, series[1:]):
+            assert current >= 0.9 * previous

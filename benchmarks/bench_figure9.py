@@ -1,0 +1,44 @@
+"""Figure 9: query-I/O ratio (alpha-tree, CT-R-tree vs lazy-R-tree) over
+query size.
+
+Shape assertions: both looser structures pay more query I/O than the
+tight-MBR lazy-R-tree (ratios above 1), with the CT-R-tree above the
+alpha-tree -- the paper's Figure 9 ordering.
+"""
+
+import pytest
+
+from repro.experiments import figure9
+from benchmarks.conftest import save_result
+
+
+@pytest.fixture(scope="module")
+def result(bench_scale):
+    return figure9.run(bench_scale)
+
+
+def test_figure9_sweep(benchmark, result, bench_scale):
+    from repro.experiments.harness import build_workload, run_index_on
+    from repro.workload.driver import IndexKind
+
+    bundle = build_workload(bench_scale, 0)
+
+    def one_cell():
+        return run_index_on(
+            IndexKind.CT, bundle, query_count=60, query_size_fraction=0.001
+        ).result.query_ios
+
+    ios = benchmark.pedantic(one_cell, rounds=1, iterations=1)
+    save_result("figure9", result.to_table())
+    assert ios > 0
+
+
+def test_figure9_loose_structures_pay_on_queries(result):
+    for row in result.rows:
+        assert row["CT/lazy"] > 1.0
+        assert row["alpha/lazy"] > 0.95  # alpha's penalty is mild but present
+
+
+def test_figure9_ct_pays_more_than_alpha(result):
+    above = sum(1 for row in result.rows if row["CT/lazy"] > row["alpha/lazy"])
+    assert above >= len(result.rows) - 1  # allow one noisy point

@@ -1,0 +1,131 @@
+"""Micro-benchmarks: per-operation costs of the four index structures.
+
+These time individual operations (wall clock) and cross-check the I/O costs
+the paper's analysis predicts: the lazy/CT in-MBR update at exactly 3 page
+I/Os, the traditional R-tree update an order of magnitude above it.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.rtree import AlphaTree, LazyRTree, RTree
+from repro.storage.pager import Pager
+
+DOMAIN = Rect((0, 0), (1000, 1000))
+N = 2000
+
+
+def clustered_points(seed=0, n=N):
+    rng = random.Random(seed)
+    centers = [(rng.uniform(50, 950), rng.uniform(50, 950)) for _ in range(40)]
+    points = {}
+    for oid in range(n):
+        cx, cy = centers[oid % len(centers)]
+        points[oid] = (cx + rng.gauss(0, 5), cy + rng.gauss(0, 5))
+    return centers, points
+
+
+def region_rects(centers, side=40.0):
+    return [
+        Rect((cx - side / 2, cy - side / 2), (cx + side / 2, cy + side / 2))
+        for cx, cy in centers
+    ]
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    centers, points = clustered_points()
+    indexes = {}
+    for name, factory in (
+        ("rtree", lambda p: RTree(p)),
+        ("lazy", lambda p: LazyRTree(p)),
+        ("alpha", lambda p: AlphaTree(p)),
+        ("ct", lambda p: CTRTree(p, DOMAIN, region_rects(centers))),
+    ):
+        pager = Pager()
+        index = factory(pager)
+        for oid, point in points.items():
+            index.insert(oid, point)
+        indexes[name] = (index, pager)
+    return indexes, points
+
+
+def _jitter_cycle(points, seed=1):
+    rng = random.Random(seed)
+    cycle = []
+    for oid, (x, y) in points.items():
+        cycle.append((oid, (x, y), (x + rng.uniform(-1, 1), y + rng.uniform(-1, 1))))
+    return itertools.cycle(cycle)
+
+
+@pytest.mark.parametrize("name", ["rtree", "lazy", "alpha", "ct"])
+def test_update_small_move(benchmark, loaded, name):
+    indexes, points = loaded
+    index, _pager = indexes[name]
+    moves = _jitter_cycle(points)
+
+    def op():
+        oid, old, new = next(moves)
+        index.update(oid, old, new)
+        index.update(oid, new, old)  # restore, keeping state stable
+
+    benchmark(op)
+
+
+@pytest.mark.parametrize("name", ["rtree", "lazy", "alpha", "ct"])
+def test_range_query_small(benchmark, loaded, name):
+    indexes, _points = loaded
+    index, _pager = indexes[name]
+    rng = random.Random(2)
+    queries = itertools.cycle(
+        [
+            Rect(
+                (x, y),
+                (x + 31.6, y + 31.6),  # 0.1% of the domain
+            )
+            for x, y in ((rng.uniform(0, 950), rng.uniform(0, 950)) for _ in range(64))
+        ]
+    )
+    benchmark(lambda: index.range_search(next(queries)))
+
+
+def test_lazy_update_costs_exactly_three_ios(loaded):
+    indexes, points = loaded
+    for name in ("lazy", "alpha", "ct"):
+        index, pager = indexes[name]
+        # Find an object whose 0.1-metre move stays in its MBR/qs-region.
+        for oid, (x, y) in points.items():
+            before = (pager.stats.reads(), pager.stats.writes())
+            lazy_before = index.lazy_hits
+            index.update(oid, (x, y), (x + 0.1, y))
+            if index.lazy_hits == lazy_before + 1:
+                reads = pager.stats.reads() - before[0]
+                writes = pager.stats.writes() - before[1]
+                assert (reads, writes) == (2, 1), name
+                index.update(oid, (x + 0.1, y), (x, y))
+                break
+        else:
+            pytest.fail(f"no lazy update found for {name}")
+
+
+def test_insert_throughput(benchmark):
+    pager = Pager()
+    tree = LazyRTree(pager)
+    counter = itertools.count()
+    rng = random.Random(3)
+
+    def op():
+        tree.insert(next(counter), (rng.uniform(0, 1000), rng.uniform(0, 1000)))
+
+    benchmark(op)
+
+
+def test_hash_lookup(benchmark, loaded):
+    indexes, points = loaded
+    index, _pager = indexes["lazy"]
+    oids = itertools.cycle(list(points))
+    benchmark(lambda: index.hash.get(next(oids)))

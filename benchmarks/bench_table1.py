@@ -1,0 +1,16 @@
+"""Table 1: parameters and baseline values.
+
+The "benchmark" here is the cost of constructing and rendering the full
+parameter set; the real deliverable is the rendered table, saved to
+``benchmarks/results/``.
+"""
+
+from repro.experiments import table1
+from benchmarks.conftest import save_result
+
+
+def test_table1(benchmark, bench_scale):
+    text = benchmark(table1.run, "paper")
+    save_result("table1", text)
+    assert "lambda_u" in text
+    assert "22500.0" in text  # T_area baseline

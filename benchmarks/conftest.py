@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures and
+benchmarks its cost.  The scale is selected with the ``REPRO_BENCH_SCALE``
+environment variable (default ``smoke`` so ``pytest benchmarks/`` finishes in
+minutes; use ``small``/``medium`` for the shapes reported in
+EXPERIMENTS.md).  Rendered tables are written to ``benchmarks/results/`` so
+the figures survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered experiment table and echo it (visible with -s)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}_{BENCH_SCALE}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return BENCH_SCALE

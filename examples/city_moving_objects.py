@@ -1,0 +1,86 @@
+"""Moving-object database over a simulated city (the paper's evaluation).
+
+This is a miniature of Section 4: generate a city (71 buildings, road grid,
+a park), simulate thousands of people dwelling and commuting, record their
+location reports, then race the four index structures -- traditional R-tree,
+lazy-R-tree, alpha-tree, CT-R-tree -- on the same update/query mix and
+compare page I/Os.
+
+Run:  python examples/city_moving_objects.py [n_objects]
+"""
+
+import sys
+
+from repro.citysim import City, CitySimulator
+from repro.core.params import SimulationParams
+from repro.storage import Pager
+from repro.workload import (
+    IndexKind,
+    QueryWorkload,
+    SimulationDriver,
+    UpdateStream,
+    make_index,
+)
+
+
+def main(n_objects: int = 1000) -> None:
+    # -- the city and its people -------------------------------------------
+    city = City.generate(seed=42, n_buildings=71)
+    print(city)
+    params = SimulationParams(
+        n_objects=n_objects,
+        update_rate=n_objects / 20.0,  # every object reports every ~20 s
+        n_history=110,
+        n_updates=20,
+        n_warmup_max=60,
+    )
+    simulator = CitySimulator(city, params, seed=43)
+    trace = simulator.run()
+    print(f"recorded {trace}: ground-level fraction {simulator.ground_fraction():.2f}")
+
+    # -- the experiment protocol (Section 4.1) ------------------------------
+    histories = trace.histories(params.n_history)
+    current = trace.current_positions(params.n_history)
+    updates = UpdateStream(trace, params.n_history)
+    print(
+        f"history: {params.n_history - 1} samples/object; "
+        f"online: {len(updates)} updates at {updates.rate:.0f}/s"
+    )
+
+    # Queries at 1% of the update rate (the paper's baseline ratio of 100).
+    query_rate = updates.rate / 100.0
+    print(f"queries: Poisson at {query_rate:.2f}/s, each 0.1% of the city area\n")
+
+    header = f"{'index':<12} {'update I/O':>12} {'query I/O':>10} {'total':>10} {'lazy %':>7}"
+    print(header)
+    print("-" * len(header))
+    for kind in IndexKind.ALL:
+        pager = Pager()
+        index = make_index(
+            kind, pager, city.bounds, histories=histories, query_rate=query_rate
+        )
+        driver = SimulationDriver(index, pager, kind)
+        driver.load(current)
+        queries = QueryWorkload(
+            city.bounds, query_rate, params.query_size_fraction, seed=44
+        ).between(*trace.online_span(params.n_history))
+        result = driver.run(updates, queries)
+        lazy_hits = getattr(index, "lazy_hits", None)
+        lazy_pct = (
+            f"{100 * lazy_hits / max(result.n_updates, 1):.0f}%" if lazy_hits is not None else "-"
+        )
+        print(
+            f"{IndexKind.LABELS[kind]:<12} {result.update_ios:>12,} "
+            f"{result.query_ios:>10,} {result.total_ios:>10,} {lazy_pct:>7}"
+        )
+
+    print(
+        "\nThe hash-indexed structures absorb most reports as 3-I/O lazy "
+        "updates; the traditional R-tree pays a search + delete + re-insert "
+        "for every one.  The CT-R-tree trades a little query performance for "
+        "update tolerance that survives density (see benchmarks/bench_figure11.py)."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1000)

@@ -1,0 +1,56 @@
+"""repro: a full reproduction of "Change Tolerant Indexing for Constantly
+Evolving Data" (Cheng, Xia, Prabhakar, Shah; ICDE 2005 / Purdue TR 04-006).
+
+Public API tour:
+
+* :class:`repro.CTRTree` / :class:`repro.CTRTreeBuilder` -- the paper's
+  contribution: a change-tolerant R-tree built around quasi-static regions
+  mined from update history.
+* :class:`repro.RTree`, :class:`repro.LazyRTree`, :class:`repro.AlphaTree` --
+  the evaluation baselines.
+* :class:`repro.Pager` / :class:`repro.IOStats` -- the paged storage
+  substrate every index runs on; the experiments' metric is its page-I/O
+  counts.
+* :mod:`repro.citysim` -- the City Simulator 2.0 substitute that generates
+  the moving-object workload.
+* :mod:`repro.workload` -- query generation and the update/query driver.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.core import (
+    CTParams,
+    CTRTree,
+    CTRTreeBuilder,
+    Point,
+    QSRegion,
+    Rect,
+    SimulationParams,
+    identify_qs_regions,
+)
+from repro.btree import BPlusTree, LazyBPlusTree
+from repro.hashindex import HashIndex
+from repro.rtree import AlphaTree, LazyRTree, RTree
+from repro.storage import BufferPool, IOCategory, IOStats, Pager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTParams",
+    "CTRTree",
+    "CTRTreeBuilder",
+    "Point",
+    "QSRegion",
+    "Rect",
+    "SimulationParams",
+    "identify_qs_regions",
+    "HashIndex",
+    "AlphaTree",
+    "LazyRTree",
+    "RTree",
+    "BPlusTree",
+    "LazyBPlusTree",
+    "BufferPool",
+    "IOCategory",
+    "IOStats",
+    "Pager",
+]

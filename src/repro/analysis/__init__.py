@@ -1,0 +1,27 @@
+"""Index diagnostics: the structural quantities the paper reasons about.
+
+The CT-R-tree's design arguments are about *structure*: MBR tightness and
+overlap (query cost), page occupancy (space), split counts (update cost),
+how many objects sit in overflow buffers.  This package measures them
+directly on live indexes, for experiment logs and for tests that pin the
+paper's structural claims (e.g. "qs-regions are never split").
+"""
+
+from repro.analysis.stats import (
+    CTRTreeStats,
+    RTreeStats,
+    ct_tree_stats,
+    overlap_factor,
+    rtree_stats,
+)
+from repro.analysis.workload_stats import TrailStats, trail_stats
+
+__all__ = [
+    "CTRTreeStats",
+    "RTreeStats",
+    "ct_tree_stats",
+    "overlap_factor",
+    "rtree_stats",
+    "TrailStats",
+    "trail_stats",
+]

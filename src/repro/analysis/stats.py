@@ -1,0 +1,152 @@
+"""Structural statistics for the R-tree family and the CT-R-tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.core.overflow import NodeBuffer
+from repro.rtree.rtree import RTree
+
+
+@dataclass
+class RTreeStats:
+    """A structural snapshot of one R-tree."""
+
+    height: int
+    node_count: int
+    leaf_count: int
+    object_count: int
+    avg_leaf_fill: float
+    avg_leaf_area: float
+    leaf_overlap_factor: float
+    dead_space_ratio: float
+
+    def as_row(self) -> dict:
+        return {
+            "height": self.height,
+            "nodes": self.node_count,
+            "leaves": self.leaf_count,
+            "objects": self.object_count,
+            "avg fill": self.avg_leaf_fill,
+            "avg leaf area": self.avg_leaf_area,
+            "overlap": self.leaf_overlap_factor,
+            "dead space": self.dead_space_ratio,
+        }
+
+
+def overlap_factor(rects: List[Rect]) -> float:
+    """Average number of *other* rectangles each rectangle intersects.
+
+    The quantity behind "searching an object may involve traversing several
+    paths": higher overlap means more subtrees qualify per query point.
+    Quadratic in the input; intended for diagnostics, not hot paths.
+    """
+    n = len(rects)
+    if n < 2:
+        return 0.0
+    intersections = 0
+    for i, a in enumerate(rects):
+        for b in rects[i + 1 :]:
+            if a.intersects(b):
+                intersections += 1
+    return 2.0 * intersections / n
+
+
+def _dead_space(leaf_rects: List[Rect], leaf_tights: List[Rect]) -> float:
+    """Fraction of the registered leaf area not covered by the tight MBR of
+    the leaf's actual objects -- the alpha-tree's looseness made measurable."""
+    registered = sum(r.area for r in leaf_rects)
+    tight = sum(t.area for t in leaf_tights)
+    if registered <= 0:
+        return 0.0
+    return max(0.0, 1.0 - tight / registered)
+
+
+def rtree_stats(tree: RTree) -> RTreeStats:
+    leaves = list(tree.iter_leaves())
+    leaf_rects = [leaf.mbr for leaf in leaves if leaf.mbr is not None]
+    leaf_tights = [
+        leaf.tight_mbr() for leaf in leaves if leaf.tight_mbr() is not None
+    ]
+    object_count = sum(len(leaf.entries) for leaf in leaves)
+    return RTreeStats(
+        height=tree.height,
+        node_count=tree.node_count(),
+        leaf_count=len(leaves),
+        object_count=object_count,
+        avg_leaf_fill=(object_count / len(leaves) / tree.max_entries) if leaves else 0.0,
+        avg_leaf_area=(
+            sum(r.area for r in leaf_rects) / len(leaf_rects) if leaf_rects else 0.0
+        ),
+        leaf_overlap_factor=overlap_factor(leaf_rects),
+        dead_space_ratio=_dead_space(leaf_rects, leaf_tights),
+    )
+
+
+@dataclass
+class CTRTreeStats:
+    """A structural snapshot of one CT-R-tree."""
+
+    height: int
+    structural_nodes: int
+    region_count: int
+    object_count: int
+    buffered_objects: int
+    chain_pages: int
+    avg_chain_length: float
+    avg_region_area: float
+    region_overlap_factor: float
+    empty_regions: int
+    list_buffers: int
+    tree_buffers: int
+
+    @property
+    def buffered_fraction(self) -> float:
+        return self.buffered_objects / self.object_count if self.object_count else 0.0
+
+    def as_row(self) -> dict:
+        return {
+            "height": self.height,
+            "nodes": self.structural_nodes,
+            "regions": self.region_count,
+            "objects": self.object_count,
+            "buffered": self.buffered_objects,
+            "chain pages": self.chain_pages,
+            "avg chain": self.avg_chain_length,
+            "avg region area": self.avg_region_area,
+            "overlap": self.region_overlap_factor,
+            "empty regions": self.empty_regions,
+        }
+
+
+def ct_tree_stats(tree: CTRTree) -> CTRTreeStats:
+    nodes = list(tree.iter_nodes())
+    qs_entries = [qs for _node, qs in tree.iter_qs_entries()]
+    rects = [qs.rect for qs in qs_entries]
+    chain_pages = sum(len(qs.chain) for qs in qs_entries)
+    chains = [len(qs.chain) for qs in qs_entries if qs.chain]
+    list_buffers = sum(
+        1
+        for node in nodes
+        if node.buffer.kind == NodeBuffer.KIND_LIST and node.buffer.pages
+    )
+    tree_buffers = sum(
+        1 for node in nodes if node.buffer.kind == NodeBuffer.KIND_TREE
+    )
+    return CTRTreeStats(
+        height=tree.height,
+        structural_nodes=len(nodes),
+        region_count=len(qs_entries),
+        object_count=len(tree),
+        buffered_objects=tree.buffered_object_count(),
+        chain_pages=chain_pages,
+        avg_chain_length=(sum(chains) / len(chains)) if chains else 0.0,
+        avg_region_area=(sum(r.area for r in rects) / len(rects)) if rects else 0.0,
+        region_overlap_factor=overlap_factor(rects),
+        empty_regions=sum(1 for qs in qs_entries if not qs.chain),
+        list_buffers=list_buffers,
+        tree_buffers=tree_buffers,
+    )

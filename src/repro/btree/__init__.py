@@ -1,0 +1,25 @@
+"""Change-tolerant indexing beyond R-trees (paper Section 6, future work).
+
+"We observe that the generic idea of change tolerant indexing can be applied
+to other index structures.  Preliminary ideas for extensions to other
+structures were outlined.  In future work, we will study change tolerant
+versions of these other index structures in more detail."
+
+This package carries that out for the classic one-dimensional case:
+
+* :class:`BPlusTree` -- a paged B+-tree over scalar keys (sensor readings),
+  charged through the same pager as everything else; every key change is a
+  delete + re-insert;
+* :class:`LazyBPlusTree` -- the Figure-1 trick transplanted: a hash index on
+  object id makes in-leaf key changes a constant number of I/Os;
+* the **CT variant needs no new code**: :class:`repro.core.ctrtree.CTRTree`
+  is dimension-agnostic, so a CT index over 1-D values is a CTRTree over
+  degenerate one-dimensional rectangles, with Phase 1 mining quasi-static
+  *intervals* from value histories.  See
+  ``benchmarks/bench_extension_btree.py`` for the three-way comparison.
+"""
+
+from repro.btree.bptree import BPlusTree
+from repro.btree.lazy import LazyBPlusTree
+
+__all__ = ["BPlusTree", "LazyBPlusTree"]

@@ -1,0 +1,43 @@
+"""City simulator: the reproduction's substitute for IBM City Simulator 2.0.
+
+The paper's workload comes from "the City Simulator 2.0 developed
+independently at IBM ... a map of a city ... 71 buildings, 48 roads, six road
+intersections and one park.  Each building is three-dimensional and contains
+a number of floors.  The simulator models the movement of objects within the
+building and on the roads and park" (Section 4.1).  That tool is
+closed-source and no longer distributed, so this package re-implements the
+behaviour that matters to the index:
+
+* a generated city map with the same composition (buildings with floors,
+  a road network with intersections, one park);
+* objects that **dwell** inside buildings with small confined jitter --
+  exactly the quasi-static behaviour Section 2 motivates -- and then
+  **travel** along the road network to another destination;
+* a warm-up phase governed by the ``T_start``/``T_fill``/``T_empty``
+  ground-level occupancy thresholds of Table 1;
+* a trace of ``(object, location, timestamp)`` records at the population
+  reporting rate ``lambda_u``, split into history and online-update phases
+  downstream.
+
+The city map is used only to generate movement, never by the index -- same
+as the paper ("the city map is used only by the City Simulator to generate
+realistic movement of objects -- it is not used for the generation of the
+CT-R-tree index structure").
+"""
+
+from repro.citysim.city import Building, City, Road
+from repro.citysim.mobility import MobilityModel, MovingObject, ObjectState
+from repro.citysim.trace import Trace, TraceRecord
+from repro.citysim.simulator import CitySimulator
+
+__all__ = [
+    "Building",
+    "City",
+    "Road",
+    "MobilityModel",
+    "MovingObject",
+    "ObjectState",
+    "Trace",
+    "TraceRecord",
+    "CitySimulator",
+]

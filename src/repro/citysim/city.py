@@ -1,0 +1,282 @@
+"""City map generation: buildings, roads, intersections, a park.
+
+The default composition mirrors the sample map shipped with City Simulator
+2.0 ("a city containing 71 buildings, 48 roads, six road intersections and
+one park").  Intersections form a grid; arterial roads join adjacent
+intersections; every building gets an access road from its entrance to the
+nearest intersection.  Routing runs over that road graph with Dijkstra
+(networkx), so object trails between buildings follow plausible street
+paths rather than straight lines.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.geometry import Point, Rect
+
+
+@dataclass
+class Building:
+    """A building footprint with a floor count and a street entrance."""
+
+    id: int
+    rect: Rect
+    floors: int
+    entrance: Point
+
+    def random_point(self, rng: random.Random) -> Point:
+        return (
+            rng.uniform(self.rect.lo[0], self.rect.hi[0]),
+            rng.uniform(self.rect.lo[1], self.rect.hi[1]),
+        )
+
+
+@dataclass
+class Road:
+    """One road segment between two waypoints."""
+
+    id: int
+    a: Point
+    b: Point
+
+    @property
+    def length(self) -> float:
+        return math.dist(self.a, self.b)
+
+
+@dataclass
+class City:
+    """A generated city map plus its routing graph."""
+
+    bounds: Rect
+    buildings: List[Building]
+    roads: List[Road]
+    intersections: List[Point]
+    park: Rect
+    seed: int = 0
+    _graph: Optional[nx.Graph] = field(default=None, repr=False, compare=False)
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int = 0,
+        n_buildings: int = 71,
+        n_intersections: int = 6,
+        size: float = 1000.0,
+        building_side: Tuple[float, float] = (30.0, 60.0),
+        max_floors: int = 8,
+        park_side: float = 150.0,
+    ) -> "City":
+        """Generate a city with the paper's default composition.
+
+        Buildings are rejection-sampled so footprints do not overlap each
+        other, the park, or the arterial grid.
+        """
+        rng = random.Random(seed)
+        bounds = Rect((0.0, 0.0), (size, size))
+
+        intersections = cls._grid_intersections(n_intersections, size)
+        park = cls._place_park(rng, size, park_side)
+
+        buildings: List[Building] = []
+        attempts = 0
+        while len(buildings) < n_buildings and attempts < n_buildings * 300:
+            attempts += 1
+            side_x = rng.uniform(*building_side)
+            side_y = rng.uniform(*building_side)
+            x0 = rng.uniform(0.0, size - side_x)
+            y0 = rng.uniform(0.0, size - side_y)
+            rect = Rect((x0, y0), (x0 + side_x, y0 + side_y))
+            inflated = rect.inflated(0.3)  # keep a margin between footprints
+            if inflated.intersects(park):
+                continue
+            if any(inflated.intersects(b.rect) for b in buildings):
+                continue
+            entrance = cls._entrance_for(rect, intersections)
+            buildings.append(
+                Building(
+                    id=len(buildings),
+                    rect=rect,
+                    floors=rng.randint(1, max_floors),
+                    entrance=entrance,
+                )
+            )
+
+        roads = cls._build_roads(intersections, buildings)
+        return cls(
+            bounds=bounds,
+            buildings=buildings,
+            roads=roads,
+            intersections=intersections,
+            park=park,
+            seed=seed,
+        )
+
+    @staticmethod
+    def _grid_intersections(n: int, size: float) -> List[Point]:
+        """Lay ``n`` intersections on the most square grid that fits them."""
+        cols = max(1, int(math.ceil(math.sqrt(n))))
+        rows = max(1, int(math.ceil(n / cols)))
+        points: List[Point] = []
+        for r in range(rows):
+            for c in range(cols):
+                if len(points) >= n:
+                    break
+                points.append(
+                    (size * (c + 1) / (cols + 1), size * (r + 1) / (rows + 1))
+                )
+        return points
+
+    @staticmethod
+    def _place_park(rng: random.Random, size: float, park_side: float) -> Rect:
+        x0 = rng.uniform(0.0, size - park_side)
+        y0 = rng.uniform(0.0, size - park_side)
+        return Rect((x0, y0), (x0 + park_side, y0 + park_side))
+
+    @staticmethod
+    def _entrance_for(rect: Rect, intersections: Sequence[Point]) -> Point:
+        """Entrance: midpoint of the facade facing the nearest intersection."""
+        center = rect.center
+        nearest = min(intersections, key=lambda p: math.dist(p, center))
+        dx = nearest[0] - center[0]
+        dy = nearest[1] - center[1]
+        if abs(dx) >= abs(dy):
+            x = rect.hi[0] if dx > 0 else rect.lo[0]
+            return (x, center[1])
+        y = rect.hi[1] if dy > 0 else rect.lo[1]
+        return (center[0], y)
+
+    @staticmethod
+    def _build_roads(
+        intersections: Sequence[Point], buildings: Sequence[Building]
+    ) -> List[Road]:
+        """Arterials between grid-adjacent intersections + one access road
+        from each building entrance to its nearest intersection."""
+        roads: List[Road] = []
+
+        def add(a: Point, b: Point) -> None:
+            roads.append(Road(id=len(roads), a=a, b=b))
+
+        # Arterials: connect each intersection to its nearest neighbours on
+        # the same row/column of the grid.
+        for i, p in enumerate(intersections):
+            for q in intersections[i + 1 :]:
+                same_row = abs(p[1] - q[1]) < 1e-6
+                same_col = abs(p[0] - q[0]) < 1e-6
+                if not (same_row or same_col):
+                    continue
+                # Only adjacent pairs: no third intersection strictly between.
+                blocked = any(
+                    r not in (p, q)
+                    and (
+                        (same_row and abs(r[1] - p[1]) < 1e-6
+                         and min(p[0], q[0]) < r[0] < max(p[0], q[0]))
+                        or (same_col and abs(r[0] - p[0]) < 1e-6
+                            and min(p[1], q[1]) < r[1] < max(p[1], q[1]))
+                    )
+                    for r in intersections
+                )
+                if not blocked:
+                    add(p, q)
+
+        for building in buildings:
+            nearest = min(
+                intersections, key=lambda p: math.dist(p, building.entrance)
+            )
+            add(building.entrance, nearest)
+        return roads
+
+    # -- routing ------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        if self._graph is None:
+            graph = nx.Graph()
+            for road in self.roads:
+                graph.add_edge(road.a, road.b, weight=road.length)
+            self._graph = graph
+        return self._graph
+
+    def route(self, src: Point, dst: Point) -> List[Point]:
+        """Waypoints from ``src`` to ``dst`` via the road network.
+
+        Endpoints hop onto the graph at their nearest road node; if the graph
+        is disconnected between them, fall back to the direct segment.
+        """
+        nodes = list(self.graph.nodes)
+        if not nodes:
+            return [src, dst]
+        enter = min(nodes, key=lambda p: math.dist(p, src))
+        leave = min(nodes, key=lambda p: math.dist(p, dst))
+        try:
+            via = nx.shortest_path(self.graph, enter, leave, weight="weight")
+        except nx.NetworkXNoPath:
+            via = [enter, leave]
+        waypoints: List[Point] = [src]
+        waypoints.extend(p for p in via if p != src)
+        if waypoints[-1] != dst:
+            waypoints.append(dst)
+        return waypoints
+
+    # -- changing traffic patterns (Figure 13) ---------------------------------
+
+    def with_changes(self, remove: int = 5, add: int = 5, seed: int = 1) -> "City":
+        """A new city plan "with five buildings removed and five buildings
+        created" (Appendix A.4): objects can no longer enter the demolished
+        footprints but gain brand-new destinations, invalidating some
+        qs-regions and creating others."""
+        rng = random.Random(seed)
+        survivors = list(self.buildings)
+        rng.shuffle(survivors)
+        survivors = survivors[: max(0, len(survivors) - remove)]
+
+        size = self.bounds.hi[0]
+        new_buildings = list(survivors)
+        attempts = 0
+        target = len(survivors) + add
+        while len(new_buildings) < target and attempts < add * 500:
+            attempts += 1
+            side_x = rng.uniform(30.0, 60.0)
+            side_y = rng.uniform(30.0, 60.0)
+            x0 = rng.uniform(0.0, size - side_x)
+            y0 = rng.uniform(0.0, size - side_y)
+            rect = Rect((x0, y0), (x0 + side_x, y0 + side_y))
+            inflated = rect.inflated(0.3)
+            if inflated.intersects(self.park):
+                continue
+            if any(inflated.intersects(b.rect) for b in new_buildings):
+                continue
+            new_buildings.append(
+                Building(
+                    id=len(new_buildings),
+                    rect=rect,
+                    floors=rng.randint(1, 8),
+                    entrance=self._entrance_for(rect, self.intersections),
+                )
+            )
+        renumbered = [
+            Building(id=i, rect=b.rect, floors=b.floors, entrance=b.entrance)
+            for i, b in enumerate(new_buildings)
+        ]
+        return City(
+            bounds=self.bounds,
+            buildings=renumbered,
+            roads=self._build_roads(self.intersections, renumbered),
+            intersections=self.intersections,
+            park=self.park,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"City(buildings={len(self.buildings)}, roads={len(self.roads)}, "
+            f"intersections={len(self.intersections)}, size={self.bounds.hi[0]:g})"
+        )

@@ -1,0 +1,198 @@
+"""Object mobility: dwell indoors / in the park, travel along roads.
+
+This is the movement model Section 2 of the paper motivates: "for most of
+the time a large fraction of these people are inside a building.  They may
+change their locations but these variations are not big ...  Then,
+sometimes, when they are on the road, the changes in their locations are
+rapid.  However, this happens for relatively shorter periods of time."
+
+States:
+
+* ``INDOORS`` -- confined Gaussian jitter inside the building footprint,
+  occasional floor changes (floor matters only for the warm-up thresholds);
+* ``IN_PARK`` -- the same, with wider wandering, always at ground level;
+* ``TRAVELING`` -- piecewise-linear motion along road-network waypoints at a
+  per-trip speed.
+
+Dwell times are exponential with mean ``dwell_mean`` (well above the paper's
+``T_time`` = 300 s, so dwells register as qs-regions); trips last seconds to
+a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.citysim.city import Building, City
+from repro.core.geometry import Point
+
+
+class ObjectState:
+    INDOORS = "indoors"
+    IN_PARK = "in_park"
+    TRAVELING = "traveling"
+
+
+@dataclass
+class MovingObject:
+    """Mutable state of one simulated person."""
+
+    oid: int
+    state: str
+    position: Point
+    floor: int = 0
+    building: Optional[Building] = None
+    dwell_until: float = 0.0
+    waypoints: List[Point] = field(default_factory=list)
+    leg: int = 0
+    speed: float = 1.5
+
+    @property
+    def at_ground_level(self) -> bool:
+        """Ground-level test for the warm-up thresholds: outdoors or floor 0."""
+        return self.state != ObjectState.INDOORS or self.floor == 0
+
+
+class MobilityModel:
+    """Advances :class:`MovingObject` state; one instance per simulation.
+
+    Args:
+        city: the map (buildings as dwell targets, roads for travel).
+        rng: the simulation's random source.
+        dwell_mean: mean indoor/park dwell, seconds.
+        indoor_sigma: per-report jitter std-dev while dwelling, metres.
+        speed_range: min/max travel speed, metres/second (walk .. drive).
+        park_prob: probability a trip targets the park instead of a building.
+        floor_change_prob: chance a dwelling person switches floors per step.
+    """
+
+    def __init__(
+        self,
+        city: City,
+        rng: random.Random,
+        dwell_mean: float = 900.0,
+        indoor_sigma: float = 2.0,
+        speed_range: tuple = (1.5, 15.0),
+        park_prob: float = 0.1,
+        floor_change_prob: float = 0.05,
+    ) -> None:
+        if not city.buildings:
+            raise ValueError("the city has no buildings to dwell in")
+        self.city = city
+        self.rng = rng
+        self.dwell_mean = dwell_mean
+        self.indoor_sigma = indoor_sigma
+        self.speed_range = speed_range
+        self.park_prob = park_prob
+        self.floor_change_prob = floor_change_prob
+        #: Ground-level steering set by the simulator's occupancy controller:
+        #: +1 pushes floor changes toward the ground, -1 away from it.
+        self.ground_bias = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def spawn(self, oid: int, now: float) -> MovingObject:
+        """A fresh object dwelling in a random building."""
+        building = self.rng.choice(self.city.buildings)
+        obj = MovingObject(
+            oid=oid,
+            state=ObjectState.INDOORS,
+            position=building.random_point(self.rng),
+            floor=self.rng.randrange(building.floors),
+            building=building,
+            dwell_until=now + self.rng.expovariate(1.0 / self.dwell_mean),
+        )
+        return obj
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self, obj: MovingObject, now: float, dt: float) -> None:
+        """Advance ``obj`` by ``dt`` seconds ending at time ``now``."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if obj.state == ObjectState.TRAVELING:
+            self._travel(obj, now, dt)
+        else:
+            self._dwell(obj, now)
+
+    def _dwell(self, obj: MovingObject, now: float) -> None:
+        if now >= obj.dwell_until:
+            self._start_trip(obj, now)
+            return
+        if obj.state == ObjectState.INDOORS:
+            assert obj.building is not None
+            rect = obj.building.rect
+            sigma = self.indoor_sigma
+            self._maybe_change_floor(obj)
+        else:  # IN_PARK: wider wandering, ground level by definition
+            rect = self.city.park
+            sigma = self.indoor_sigma * 3.0
+        x = min(max(obj.position[0] + self.rng.gauss(0.0, sigma), rect.lo[0]), rect.hi[0])
+        y = min(max(obj.position[1] + self.rng.gauss(0.0, sigma), rect.lo[1]), rect.hi[1])
+        obj.position = (x, y)
+
+    def _maybe_change_floor(self, obj: MovingObject) -> None:
+        assert obj.building is not None
+        if obj.building.floors <= 1:
+            obj.floor = 0
+            return
+        if self.rng.random() >= self.floor_change_prob:
+            return
+        if self.ground_bias > 0:
+            obj.floor = 0
+        elif self.ground_bias < 0:
+            obj.floor = self.rng.randrange(1, obj.building.floors)
+        else:
+            obj.floor = self.rng.randrange(obj.building.floors)
+
+    def _start_trip(self, obj: MovingObject, now: float) -> None:
+        if self.rng.random() < self.park_prob:
+            destination = (
+                self.rng.uniform(self.city.park.lo[0], self.city.park.hi[0]),
+                self.rng.uniform(self.city.park.lo[1], self.city.park.hi[1]),
+            )
+            target_building = None
+        else:
+            target_building = self.rng.choice(self.city.buildings)
+            destination = target_building.random_point(self.rng)
+        obj.waypoints = self.city.route(obj.position, destination)
+        obj.leg = 0
+        obj.speed = self.rng.uniform(*self.speed_range)
+        obj.state = ObjectState.TRAVELING
+        obj.building = target_building
+        obj.floor = 0
+
+    def _travel(self, obj: MovingObject, now: float, dt: float) -> None:
+        budget = obj.speed * dt
+        position = obj.position
+        while budget > 0 and obj.leg < len(obj.waypoints) - 1:
+            target = obj.waypoints[obj.leg + 1]
+            dist = math.dist(position, target)
+            if dist <= budget:
+                position = target
+                obj.leg += 1
+                budget -= dist
+            else:
+                frac = budget / dist
+                position = (
+                    position[0] + (target[0] - position[0]) * frac,
+                    position[1] + (target[1] - position[1]) * frac,
+                )
+                budget = 0.0
+        obj.position = position
+        if obj.leg >= len(obj.waypoints) - 1:
+            self._arrive(obj, now)
+
+    def _arrive(self, obj: MovingObject, now: float) -> None:
+        obj.waypoints = []
+        obj.leg = 0
+        obj.dwell_until = now + self.rng.expovariate(1.0 / self.dwell_mean)
+        if obj.building is None:
+            obj.state = ObjectState.IN_PARK
+            obj.floor = 0
+        else:
+            obj.state = ObjectState.INDOORS
+            self._maybe_change_floor(obj)

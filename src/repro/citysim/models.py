@@ -1,0 +1,187 @@
+"""Alternative mobility models: stress-testing the dwell/travel premise.
+
+The paper's claim is conditional: change tolerance pays when data "changes
+slowly but constantly ... for most periods of time, followed by short
+periods of major variation" (Section 2).  The city model produces exactly
+that shape.  These two classics from the mobility literature bracket it:
+
+* :class:`WaypointModel` -- random waypoint *with pause times*: objects walk
+  to a uniformly random point, pause (jittering slightly), and repeat.
+  Dwells exist but are scattered anywhere, not at shared buildings -- per
+  -object qs-regions appear, cross-object merging has little to merge.
+* :class:`GaussianMarkovModel` -- velocity-correlated wandering with **no
+  dwells at all**: the adversarial case where Phase 1 should mine few or no
+  qs-regions and the CT-R-tree should degrade gracefully toward lazy-R-tree
+  behaviour rather than fall off a cliff.
+
+Both expose the :class:`~repro.citysim.mobility.MobilityModel` surface the
+simulator drives (``spawn`` / ``step`` / ``ground_bias``), so they drop into
+:class:`~repro.citysim.simulator.CitySimulator` unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.citysim.city import City
+from repro.citysim.mobility import MovingObject, ObjectState
+from repro.core.geometry import Rect
+
+
+class WaypointModel:
+    """Random waypoint with pause times over the city bounds."""
+
+    def __init__(
+        self,
+        city: City,
+        rng: random.Random,
+        pause_mean: float = 900.0,
+        pause_sigma: float = 1.0,
+        speed_range: tuple = (1.5, 15.0),
+    ) -> None:
+        self.city = city
+        self.rng = rng
+        self.pause_mean = pause_mean
+        self.pause_sigma = pause_sigma
+        self.speed_range = speed_range
+        self.ground_bias = 0  # occupancy control is a no-op: always outdoors
+
+    def _random_point(self):
+        bounds: Rect = self.city.bounds
+        return (
+            self.rng.uniform(bounds.lo[0], bounds.hi[0]),
+            self.rng.uniform(bounds.lo[1], bounds.hi[1]),
+        )
+
+    def spawn(self, oid: int, now: float) -> MovingObject:
+        return MovingObject(
+            oid=oid,
+            state=ObjectState.IN_PARK,  # "paused" state; always ground level
+            position=self._random_point(),
+            floor=0,
+            building=None,
+            dwell_until=now + self.rng.expovariate(1.0 / self.pause_mean),
+        )
+
+    def step(self, obj: MovingObject, now: float, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        if obj.state == ObjectState.TRAVELING:
+            self._travel(obj, now, dt)
+            return
+        if now >= obj.dwell_until:
+            obj.waypoints = [obj.position, self._random_point()]
+            obj.leg = 0
+            obj.speed = self.rng.uniform(*self.speed_range)
+            obj.state = ObjectState.TRAVELING
+            return
+        bounds = self.city.bounds
+        obj.position = (
+            min(max(obj.position[0] + self.rng.gauss(0, self.pause_sigma), bounds.lo[0]), bounds.hi[0]),
+            min(max(obj.position[1] + self.rng.gauss(0, self.pause_sigma), bounds.lo[1]), bounds.hi[1]),
+        )
+
+    def _travel(self, obj: MovingObject, now: float, dt: float) -> None:
+        target = obj.waypoints[-1]
+        dist = math.dist(obj.position, target)
+        budget = obj.speed * dt
+        if dist <= budget:
+            obj.position = target
+            obj.state = ObjectState.IN_PARK
+            obj.waypoints = []
+            obj.dwell_until = now + self.rng.expovariate(1.0 / self.pause_mean)
+            return
+        frac = budget / dist
+        obj.position = (
+            obj.position[0] + (target[0] - obj.position[0]) * frac,
+            obj.position[1] + (target[1] - obj.position[1]) * frac,
+        )
+
+
+class GaussianMarkovModel:
+    """Velocity-correlated wandering: no dwells, the CT-adversarial case.
+
+    Velocity evolves as an AR(1) process::
+
+        v <- memory * v + (1 - memory) * mean_v + noise
+
+    reflected at the city bounds.  Objects never settle, so Phase 1 mines
+    few/no qs-regions and everything lands in overflow buffers.
+    """
+
+    def __init__(
+        self,
+        city: City,
+        rng: random.Random,
+        memory: float = 0.85,
+        mean_speed: float = 3.0,
+        noise_sigma: float = 1.0,
+    ) -> None:
+        if not 0.0 <= memory < 1.0:
+            raise ValueError("memory must be in [0, 1)")
+        self.city = city
+        self.rng = rng
+        self.memory = memory
+        self.mean_speed = mean_speed
+        self.noise_sigma = noise_sigma
+        self.ground_bias = 0
+        self._velocities = {}
+
+    def spawn(self, oid: int, now: float) -> MovingObject:
+        bounds = self.city.bounds
+        angle = self.rng.uniform(0, 2 * math.pi)
+        self._velocities[oid] = (
+            self.mean_speed * math.cos(angle),
+            self.mean_speed * math.sin(angle),
+        )
+        return MovingObject(
+            oid=oid,
+            state=ObjectState.TRAVELING,
+            position=(
+                self.rng.uniform(bounds.lo[0], bounds.hi[0]),
+                self.rng.uniform(bounds.lo[1], bounds.hi[1]),
+            ),
+            floor=0,
+            building=None,
+            dwell_until=math.inf,  # never pauses
+        )
+
+    def step(self, obj: MovingObject, now: float, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        vx, vy = self._velocities.get(obj.oid, (self.mean_speed, 0.0))
+        m = self.memory
+        root = math.sqrt(max(1.0 - m * m, 0.0))
+        vx = m * vx + (1 - m) * self.mean_speed + root * self.rng.gauss(0, self.noise_sigma)
+        vy = m * vy + (1 - m) * 0.0 + root * self.rng.gauss(0, self.noise_sigma)
+        x = obj.position[0] + vx * dt
+        y = obj.position[1] + vy * dt
+        bounds = self.city.bounds
+        x, vx = _reflect(x, vx, bounds.lo[0], bounds.hi[0])
+        y, vy = _reflect(y, vy, bounds.lo[1], bounds.hi[1])
+        obj.position = (x, y)
+        self._velocities[obj.oid] = (vx, vy)
+
+
+def _reflect(coord: float, velocity: float, low: float, high: float):
+    """Bounce off a boundary, flipping the velocity component."""
+    if coord < low:
+        return low + (low - coord), -velocity
+    if coord > high:
+        return high - (coord - high), -velocity
+    return coord, velocity
+
+
+def make_model(name: str, city: City, rng: random.Random, **kwargs):
+    """Factory for the ablation harness: ``city`` (default), ``waypoint``,
+    or ``gauss_markov``."""
+    from repro.citysim.mobility import MobilityModel
+
+    if name == "city":
+        return MobilityModel(city, rng, **kwargs)
+    if name == "waypoint":
+        return WaypointModel(city, rng, **kwargs)
+    if name == "gauss_markov":
+        return GaussianMarkovModel(city, rng, **kwargs)
+    raise ValueError(f"unknown mobility model {name!r}")

@@ -1,0 +1,162 @@
+"""Trace files: the simulator's output and the experiments' input.
+
+"The simulator records the location updates of each object in a trace file,
+which contains the timestamp of the update and the spatial coordinates of
+the object at that time.  The trace file serves as the data source for our
+experiments.  It captures, for each object, a total of N_hist + N_update
+location updates.  We use the first N_hist updates as the history profile."
+(Section 4.1.)
+
+:class:`Trace` keeps per-object sample lists, slices them into
+history/current/online-update phases, and supports the sample-skipping used
+by Figure 8 ("to generate a slower update rate, some location samples are
+skipped").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from repro.core.geometry import Point
+from repro.core.qsregion import TrailSample
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One location update: object ``oid`` was at ``point`` at time ``t``."""
+
+    oid: int
+    point: Point
+    t: float
+
+
+class Trace:
+    """Per-object location histories, ordered by time."""
+
+    def __init__(self) -> None:
+        self._trails: Dict[int, List[TrailSample]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, oid: int, point: Point, t: float) -> None:
+        trail = self._trails.setdefault(oid, [])
+        if trail and t < trail[-1][1]:
+            raise ValueError(
+                f"object {oid}: sample at t={t} older than last t={trail[-1][1]}"
+            )
+        trail.append((tuple(point), float(t)))
+
+    # -- access -------------------------------------------------------------
+
+    @property
+    def object_ids(self) -> List[int]:
+        return sorted(self._trails.keys())
+
+    def trail(self, oid: int) -> List[TrailSample]:
+        return list(self._trails[oid])
+
+    def sample_count(self, oid: int) -> int:
+        return len(self._trails[oid])
+
+    def min_samples(self) -> int:
+        return min((len(t) for t in self._trails.values()), default=0)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._trails.values())
+
+    def duration(self) -> float:
+        start = min((t[0][1] for t in self._trails.values() if t), default=0.0)
+        end = max((t[-1][1] for t in self._trails.values() if t), default=0.0)
+        return end - start
+
+    # -- experiment phases -----------------------------------------------------
+
+    def histories(self, n_history: int) -> Dict[int, List[TrailSample]]:
+        """The first ``n_history - 1`` samples per object: the mining input."""
+        return {
+            oid: trail[: max(0, n_history - 1)] for oid, trail in self._trails.items()
+        }
+
+    def current_positions(self, n_history: int) -> Dict[int, Point]:
+        """The ``n_history``-th sample per object: the initial index load."""
+        positions: Dict[int, Point] = {}
+        for oid, trail in self._trails.items():
+            index = min(n_history, len(trail)) - 1
+            if index >= 0:
+                positions[oid] = trail[index][0]
+        return positions
+
+    def online_updates(self, n_history: int) -> Iterator[TraceRecord]:
+        """Samples after the ``n_history``-th, merged across objects by time."""
+        streams = []
+        for oid, trail in self._trails.items():
+            tail = trail[n_history:]
+            if tail:
+                # A list (not a generator) so ``oid`` is bound eagerly.
+                streams.append([(t, oid, point) for point, t in tail])
+        for t, oid, point in heapq.merge(*streams):
+            yield TraceRecord(oid=oid, point=point, t=t)
+
+    def online_span(self, n_history: int) -> Tuple[float, float]:
+        """(first, last) timestamp of the online phase across all objects."""
+        start = None
+        end = None
+        for trail in self._trails.values():
+            tail = trail[n_history:]
+            if not tail:
+                continue
+            if start is None or tail[0][1] < start:
+                start = tail[0][1]
+            if end is None or tail[-1][1] > end:
+                end = tail[-1][1]
+        if start is None or end is None:
+            return (0.0, 0.0)
+        return (start, end)
+
+    def subsample(self, keep_every: int) -> "Trace":
+        """Keep every ``keep_every``-th sample per object (Figure 8's rate knob)."""
+        if keep_every < 1:
+            raise ValueError("keep_every must be at least 1")
+        thinned = Trace()
+        for oid, trail in self._trails.items():
+            for point, t in trail[::keep_every]:
+                thinned.add(oid, point, t)
+        return thinned
+
+    def restricted_to(self, oids: Sequence[int]) -> "Trace":
+        """A trace containing only the given objects (scalability sweeps)."""
+        subset = Trace()
+        wanted = set(oids)
+        for oid, trail in self._trails.items():
+            if oid in wanted:
+                for point, t in trail:
+                    subset.add(oid, point, t)
+        return subset
+
+    # -- persistence (the paper's "trace file") ------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write as CSV lines ``oid,x,y,t`` ordered by object then time."""
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write("oid,x,y,t\n")
+            for oid in self.object_ids:
+                for point, t in self._trails[oid]:
+                    handle.write(f"{oid},{point[0]!r},{point[1]!r},{t!r}\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        trace = cls()
+        with open(path, "r", encoding="ascii") as handle:
+            header = handle.readline()
+            if header.strip() != "oid,x,y,t":
+                raise ValueError(f"not a trace file: unexpected header {header!r}")
+            for line in handle:
+                oid_s, x_s, y_s, t_s = line.rstrip("\n").split(",")
+                trace.add(int(oid_s), (float(x_s), float(y_s)), float(t_s))
+        return trace
+
+    def __repr__(self) -> str:
+        return f"Trace(objects={len(self._trails)}, samples={len(self)})"

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate``   -- generate a city and record a movement trace to CSV;
+* ``build``      -- mine qs-regions from a trace and report the CT-R-tree;
+* ``experiment`` -- run one of the paper's tables/figures at a chosen scale;
+* ``compare``    -- race the four index structures on a trace;
+* ``params``     -- print Table 1.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.citysim import City, CitySimulator, Trace
+from repro.core.builder import CTRTreeBuilder
+from repro.core.params import CTParams, SimulationParams, format_table1
+from repro.storage import Pager
+from repro.workload import (
+    IndexKind,
+    QueryWorkload,
+    SimulationDriver,
+    UpdateStream,
+    make_index,
+)
+
+EXPERIMENTS = (
+    "table1",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "ablations",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Change Tolerant Indexing for Constantly Evolving Data (ICDE 2005) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a city movement trace")
+    simulate.add_argument("output", help="trace CSV path")
+    simulate.add_argument("--objects", type=int, default=1000)
+    simulate.add_argument("--history", type=int, default=110)
+    simulate.add_argument("--updates", type=int, default=20)
+    simulate.add_argument("--buildings", type=int, default=71)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    build = sub.add_parser("build", help="build a CT-R-tree from a trace")
+    build.add_argument("trace", help="trace CSV path (from `repro simulate`)")
+    build.add_argument("--history", type=int, default=110)
+    build.add_argument("--query-rate", type=float, default=None,
+                       help="anticipated query rate for Eq. 6 (default: update rate / 100)")
+    build.add_argument("--city-size", type=float, default=1000.0)
+    build.add_argument("--save", metavar="SNAPSHOT",
+                       help="write the built index to a JSON snapshot file")
+
+    experiment = sub.add_parser("experiment", help="run a paper table/figure")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    experiment.add_argument("--scale", default="small",
+                            choices=("smoke", "small", "medium", "paper"))
+    experiment.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare", help="race the four indexes on a trace")
+    compare.add_argument("trace", help="trace CSV path")
+    compare.add_argument("--history", type=int, default=110)
+    compare.add_argument("--ratio", type=float, default=100.0,
+                         help="update/query ratio (default: the Table-1 baseline)")
+    compare.add_argument("--city-size", type=float, default=1000.0)
+    compare.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser("report", help="run every experiment, write one markdown report")
+    report.add_argument("-o", "--output", default="report.md")
+    report.add_argument("--scale", default="smoke",
+                        choices=("smoke", "small", "medium", "paper"))
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--sections", nargs="*", default=None,
+                        help="subset of sections (default: all)")
+
+    sub.add_parser("params", help="print Table 1")
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    city = City.generate(seed=args.seed, n_buildings=args.buildings)
+    params = SimulationParams(
+        n_objects=args.objects,
+        update_rate=args.objects / 20.0,
+        n_history=args.history,
+        n_updates=args.updates,
+        n_warmup_max=60,
+    )
+    simulator = CitySimulator(city, params, seed=args.seed + 1)
+    trace = simulator.run()
+    trace.save(args.output)
+    print(f"{city}")
+    print(f"recorded {trace} -> {args.output}")
+    return 0
+
+
+def _domain(size: float):
+    from repro.core.geometry import Rect
+
+    return Rect((0.0, 0.0), (size, size))
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    histories = trace.histories(args.history)
+    current = trace.current_positions(args.history)
+    stream = UpdateStream(trace, args.history)
+    query_rate = (
+        args.query_rate if args.query_rate is not None else max(stream.rate, 1.0) / 100.0
+    )
+    pager = Pager()
+    builder = CTRTreeBuilder(CTParams(), query_rate=query_rate)
+    tree, report = builder.build(pager, _domain(args.city_size), histories, current)
+    print(f"objects:        {report.object_count}")
+    print(f"phase 1 regions:{report.phase1_regions:>8}")
+    print(f"phase 2 regions:{report.phase2_regions:>8}")
+    print(f"phase 3 regions:{report.phase3_regions:>8}")
+    print(f"build I/Os:     {report.build_ios:>8}")
+    print(f"index:          {tree}")
+    if args.save:
+        from repro.storage.snapshot import save_ctrtree
+
+        path = save_ctrtree(tree, args.save)
+        print(f"snapshot:       {path}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "table1":
+        from repro.experiments import table1
+
+        print(table1.run("paper"))
+        return 0
+    if args.name == "ablations":
+        from repro.experiments import ablations
+
+        for result in ablations.run(args.scale, args.seed).values():
+            print(result)
+            print()
+        return 0
+    if args.name == "figure12":
+        from repro.experiments import figure12
+
+        for result in figure12.run(args.scale, args.seed).values():
+            print(result)
+            print()
+        return 0
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    print(module.run(args.scale, args.seed))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    domain = _domain(args.city_size)
+    histories = trace.histories(args.history)
+    current = trace.current_positions(args.history)
+    stream = UpdateStream(trace, args.history)
+    if len(stream) == 0:
+        print("trace has no online samples past the history length", file=sys.stderr)
+        return 1
+    query_rate = stream.rate / args.ratio
+    t_start, t_end = trace.online_span(args.history)
+    queries = QueryWorkload(domain, query_rate, 0.001, seed=args.seed).between(
+        t_start, t_end
+    )
+    print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})\n")
+    header = f"{'index':<12} {'update I/O':>12} {'query I/O':>10} {'total':>10}"
+    print(header)
+    print("-" * len(header))
+    for kind in IndexKind.ALL:
+        pager = Pager()
+        index = make_index(
+            kind, pager, domain, histories=histories, query_rate=query_rate
+        )
+        driver = SimulationDriver(index, pager, kind)
+        driver.load(current)
+        result = driver.run(stream, queries)
+        print(
+            f"{IndexKind.LABELS[kind]:<12} {result.update_ios:>12,} "
+            f"{result.query_ios:>10,} {result.total_ios:>10,}"
+        )
+    return 0
+
+
+def cmd_params(_args: argparse.Namespace) -> int:
+    print(format_table1(SimulationParams(), CTParams()))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ALL_SECTIONS, write_report
+
+    sections = args.sections if args.sections else list(ALL_SECTIONS)
+    path = write_report(args.output, args.scale, args.seed, sections)
+    print(f"wrote {path}")
+    return 0
+
+
+COMMANDS = {
+    "simulate": cmd_simulate,
+    "build": cmd_build,
+    "experiment": cmd_experiment,
+    "compare": cmd_compare,
+    "params": cmd_params,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

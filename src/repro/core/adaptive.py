@@ -1,0 +1,164 @@
+"""Appendix A: adapting the CT-R-tree to changing traffic patterns.
+
+The CT-R-tree's skeleton is mined from history, so a change in movement
+patterns (buildings demolished, new gathering spots) strands objects in the
+overflow buffers.  Two online mechanisms, both implemented here, keep the
+index useful between offline rebuilds:
+
+* **Discovery** (A.1): a leaf of an overflow alpha-R-tree whose MBR behaves
+  like a qs-region -- more than ``T_buf_num`` objects, area under ``T_area``,
+  conditions holding for longer than ``T_buf_time`` -- is *promoted*: its MBR
+  is re-inserted into the structural R-tree as a new (approximate) qs-region
+  and its objects move into the region's page chain.
+* **Retirement** (A.2): "every time an object is removed from a qs-region,
+  the object has violated the supposed stability of the qs-region.  When the
+  removal rate is greater than ``T_remove`` ... the qs-region is not
+  qualified for holding objects".  The region is removed and its residents
+  re-inserted.
+
+Bookkeeping (per-leaf candidate timestamps ``t_i``, per-region removal
+counters) lives in node/page metadata plus this manager's in-memory maps,
+mirroring the ``(t_i, n_i)`` fields the paper stores in the node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.core.geometry import Point
+from repro.core.overflow import DataPage, QSEntry
+from repro.rtree.node import RTreeNode
+from repro.rtree.rtree import RTree
+from repro.storage.page import PageId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ctrtree import CTNode, CTRTree
+
+
+class AdaptationManager:
+    """Implements Appendix A's discovery and retirement for one CT-R-tree."""
+
+    def __init__(self, tree: "CTRTree") -> None:
+        self.tree = tree
+        #: t_i of Appendix A: when a buffer-tree leaf started looking like a
+        #: qs-region ("initially, t_i is infinity" -- here: absent).
+        self._candidate_since: Dict[PageId, float] = {}
+        self.promotions = 0
+        self.retirements = 0
+
+    # -- discovery (A.1) -----------------------------------------------------
+
+    def forget_leaf(self, pid: PageId) -> None:
+        """Drop candidate state for a leaf that was freed or drained."""
+        self._candidate_since.pop(pid, None)
+
+    def after_buffer_insert(
+        self, node: "CTNode", buffer_tree: RTree, leaf_pid: PageId, now: float
+    ) -> Optional[Dict[int, PageId]]:
+        """Check conditions (1)-(3) after an insertion into a buffer-tree leaf.
+
+        Returns the re-homing map when the leaf was promoted (the caller's
+        page id for the just-inserted object is stale in that case), else
+        None.
+        """
+        params = self.tree.params
+        leaf = self.tree.pager.inspect(leaf_pid)
+        if not isinstance(leaf, RTreeNode) or not leaf.is_leaf:
+            return None
+        rect = leaf.mbr if leaf.mbr is not None else leaf.tight_mbr()
+        if rect is None:
+            return None
+        qualifies = len(leaf.entries) > params.t_buf_num and rect.area < params.t_area
+        if not qualifies:
+            # "If any of them are not satisfied, then t_i is reset to
+            # infinity, indicating that the node does not behave like a
+            # qs-region."
+            self._candidate_since.pop(leaf_pid, None)
+            return None
+        since = self._candidate_since.get(leaf_pid)
+        if since is None:
+            self._candidate_since[leaf_pid] = now
+        elif now - since > params.t_buf_time:
+            return self._promote(buffer_tree, leaf, now)
+        return None
+
+    def _promote(
+        self, buffer_tree: RTree, leaf: RTreeNode, now: float
+    ) -> Dict[int, PageId]:
+        """Move a stable buffer-tree leaf into the structural tree as a new
+        (approximate) qs-region: "X_j (and its associated objects) is removed
+        from the alpha-R-tree and re-inserted to the structural R-tree as a
+        new qs-region"."""
+        tree = self.tree
+        self._candidate_since.pop(leaf.pid, None)
+        # The promotion copies the leaf out: one charged read.
+        charged = tree.pager.read(leaf.pid)
+        assert charged is leaf
+        rect = leaf.mbr if leaf.mbr is not None else leaf.tight_mbr()
+        assert rect is not None  # the caller verified the leaf is non-empty
+        objects: List[Tuple[int, Point]] = [(e.child, e.point) for e in leaf.entries]
+
+        # Detach the leaf from the overflow tree.
+        leaf.entries = []
+        buffer_tree._size -= len(objects)
+        buffer_tree._unlink_empty(leaf)
+
+        # Insert the new qs-region and re-home the objects into its chain.
+        qs, node_pid = tree.add_qs_region(rect, created_at=now)
+        owner = tree._inspect(node_pid)
+        rehomed: Dict[int, PageId] = {}
+        for obj_id, point in objects:
+            pid = tree._qs_append(owner, qs, obj_id, point)
+            tree.hash.set(obj_id, pid)
+            rehomed[obj_id] = pid
+        self.promotions += 1
+        return rehomed
+
+    # -- retirement (A.2) -------------------------------------------------------
+
+    def after_region_removal(self, node: "CTNode", qs: QSEntry, now: float) -> None:
+        """Re-evaluate a region's removal rate after an object left it."""
+        params = self.tree.params
+        elapsed = now - qs.window_start
+        if elapsed <= max(params.t_time, 1e-9):
+            return  # too early for a meaningful rate
+        if qs.removals / elapsed > params.t_remove:
+            self._retire(node, qs, now)
+
+    def _retire(self, node: "CTNode", qs: QSEntry, now: float) -> None:
+        """Remove a churning qs-region; "all items in the qs-region are
+        re-inserted to the CT-R-tree"."""
+        tree = self.tree
+        charged = tree.pager.read(node.pid)
+        assert charged is node
+        node.entries.remove(qs)
+        # The node MBR is deliberately not tightened: recorded tolerances of
+        # buffered objects must stay subsets of live MBRs.
+        tree.pager.write(node)
+
+        objects: List[Tuple[int, Point]] = []
+        for pid in qs.chain:
+            page = tree.pager.read(pid)
+            assert isinstance(page, DataPage)
+            objects.extend(page.records.items())
+            tree.pager.free(pid)
+        qs.chain = []
+        qs.fills = []
+
+        tree._size -= len(objects)
+        for obj_id, point in objects:
+            pid = tree._place(obj_id, point, now)
+            tree.hash.set(obj_id, pid)
+        self.retirements += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    @property
+    def candidate_count(self) -> int:
+        return len(self._candidate_since)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptationManager(promotions={self.promotions}, "
+            f"retirements={self.retirements}, candidates={self.candidate_count})"
+        )

@@ -1,0 +1,226 @@
+"""Points and (minimum bounding) rectangles.
+
+The paper develops the CT-R-tree in two dimensions but notes the algorithms
+"are applicable to the general case of any multidimensional data"
+(Section 3.1.1).  :class:`Rect` is therefore dimension-agnostic: a pair of
+coordinate tuples ``lo``/``hi``.  Rectangles are closed (boundary points are
+contained) and immutable; every operation returns a new rectangle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Tuple
+
+#: A point is a tuple of coordinates, e.g. ``(x, y)``.
+Point = Tuple[float, ...]
+
+
+class Rect:
+    """An axis-aligned hyper-rectangle ``[lo[i], hi[i]]`` in each dimension.
+
+    Used for MBRs, qs-regions, and range queries alike.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
+        if len(lo) != len(hi):
+            raise ValueError(f"dimension mismatch: lo={lo!r} hi={hi!r}")
+        if not lo:
+            raise ValueError("rectangles must have at least one dimension")
+        for low, high in zip(lo, hi):
+            if low > high:
+                raise ValueError(f"degenerate bounds: lo={lo!r} hi={hi!r}")
+        self.lo: Point = tuple(float(c) for c in lo)
+        self.hi: Point = tuple(float(c) for c in hi)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "Rect":
+        """The degenerate rectangle containing exactly ``point``."""
+        return cls(point, point)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Sequence[float]]) -> "Rect":
+        """The minimum bounding rectangle of a non-empty point set."""
+        iterator = iter(points)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot bound an empty point set") from None
+        lo = list(first)
+        hi = list(first)
+        for point in iterator:
+            for i, coord in enumerate(point):
+                if coord < lo[i]:
+                    lo[i] = coord
+                elif coord > hi[i]:
+                    hi[i] = coord
+        return cls(lo, hi)
+
+    @classmethod
+    def union_all(cls, rects: Iterable["Rect"]) -> "Rect":
+        """The minimum bounding rectangle of a non-empty set of rectangles."""
+        iterator = iter(rects)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            raise ValueError("cannot bound an empty rectangle set") from None
+        lo = list(first.lo)
+        hi = list(first.hi)
+        for rect in iterator:
+            for i in range(len(lo)):
+                if rect.lo[i] < lo[i]:
+                    lo[i] = rect.lo[i]
+                if rect.hi[i] > hi[i]:
+                    hi[i] = rect.hi[i]
+        return cls(lo, hi)
+
+    # -- scalar measures ----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def sides(self) -> Tuple[float, ...]:
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def area(self) -> float:
+        """Hyper-volume (area in 2-D); zero for degenerate rectangles."""
+        result = 1.0
+        for side in self.sides:
+            result *= side
+        return result
+
+    @property
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree split criterion uses this)."""
+        return sum(self.sides)
+
+    @property
+    def diagonal(self) -> float:
+        """Euclidean diagonal -- the "diameter" ``d_i(j,k)`` of Equation 1."""
+        return math.sqrt(sum(side * side for side in self.sides))
+
+    @property
+    def center(self) -> Point:
+        return tuple((l + h) / 2.0 for l, h in zip(self.lo, self.hi))
+
+    # -- predicates ----------------------------------------------------------
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        return all(l <= c <= h for l, c, h in zip(self.lo, point, self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the closed rectangles share at least a boundary point."""
+        return all(
+            sl <= oh and ol <= sh
+            for sl, oh, ol, sh in zip(self.lo, other.hi, other.lo, self.hi)
+        )
+
+    # -- combination -----------------------------------------------------------
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlap rectangle, or None when disjoint."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l > h for l, h in zip(lo, hi)):
+            return None
+        return Rect(lo, hi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        overlap = self.intersection(other)
+        return overlap.area if overlap is not None else 0.0
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
+            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        )
+
+    def union_point(self, point: Sequence[float]) -> "Rect":
+        """The MBR expanded (if necessary) to include ``point``."""
+        if self.contains_point(point):
+            return self
+        return Rect(
+            tuple(min(l, c) for l, c in zip(self.lo, point)),
+            tuple(max(h, c) for h, c in zip(self.hi, point)),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to cover ``other`` (Guttman's ChooseLeaf)."""
+        return self.union(other).area - self.area
+
+    def enlargement_point(self, point: Sequence[float]) -> float:
+        return self.union_point(point).area - self.area
+
+    def inflated(self, alpha: float) -> "Rect":
+        """Each side scaled by ``1 + alpha`` about the center.
+
+        This is the alpha-tree's "loose MBR" expansion (Section 2.2): when an
+        MBR must grow, grow it by a fraction ``alpha`` beyond the minimum so
+        boundary objects get leeway to move without leaving it.
+        """
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        half = alpha / 2.0
+        return Rect(
+            tuple(l - (h - l) * half for l, h in zip(self.lo, self.hi)),
+            tuple(h + (h - l) * half for l, h in zip(self.lo, self.hi)),
+        )
+
+    def min_distance(self, point: Sequence[float]) -> float:
+        """Euclidean distance from ``point`` to the nearest point of the
+        rectangle (0 when inside).  The lower bound used by best-first
+        nearest-neighbour search."""
+        total = 0.0
+        for low, coord, high in zip(self.lo, point, self.hi):
+            if coord < low:
+                delta = low - coord
+            elif coord > high:
+                delta = coord - high
+            else:
+                continue
+            total += delta * delta
+        return math.sqrt(total)
+
+    def translated(self, offset: Sequence[float]) -> "Rect":
+        return Rect(
+            tuple(l + d for l, d in zip(self.lo, offset)),
+            tuple(h + d for h, d in zip(self.hi, offset)),
+        )
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Rect({list(self.lo)}, {list(self.hi)})"
+
+
+def square_at(center: Sequence[float], side: float) -> Rect:
+    """The axis-aligned square (hyper-cube) of side ``side`` centered at ``center``.
+
+    Range queries in the paper "have the shape of a square, with central point
+    chosen randomly within the city area" (Section 4.1).
+    """
+    if side < 0:
+        raise ValueError(f"side must be non-negative, got {side}")
+    half = side / 2.0
+    return Rect(tuple(c - half for c in center), tuple(c + half for c in center))

@@ -1,0 +1,88 @@
+"""Phase 3: merging qs-regions via update-graph traffic (Equation 6).
+
+Phase 2 only merges rectangles with enough overlap.  Two disjoint regions
+with heavy traffic between them (think: office building and the parking
+garage across the street) still cause an expensive index update on every
+crossing.  Phase 3 weighs that update saving against the query cost of the
+dead space a merge would create:
+
+* merging adds ``M`` units of dead area; with queries arriving at rate
+  ``r_q`` uniformly over a domain of area ``A``, about ``r_q * M / A``
+  queries per unit time will hit the dead space -- the loss;
+* not merging costs ``w`` updates per unit time (the edge weight) -- the
+  saving.
+
+With scaling factors ``C_q``/``C_u``, the pair is merged iff
+
+    C_u * w  >=  C_q * r_q * M / A                        (Equation 6)
+
+Edges are processed heaviest-first and the graph re-examined after every
+merge, since merging changes both rectangles and link weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.params import CTParams
+from repro.core.update_graph import UpdateGraph
+
+
+def dead_space_increase(graph: UpdateGraph, a: int, b: int) -> float:
+    """``M``: area the union adds beyond what the two rectangles cover.
+
+    Overlap is counted once, so adjacent/overlapping pairs contribute only
+    genuinely new dead space.
+    """
+    rect_a = graph.region(a).rect
+    rect_b = graph.region(b).rect
+    union = rect_a.union(rect_b)
+    covered = rect_a.area + rect_b.area - rect_a.overlap_area(rect_b)
+    return max(0.0, union.area - covered)
+
+
+def should_merge(
+    graph: UpdateGraph,
+    a: int,
+    b: int,
+    query_rate: float,
+    domain_area: float,
+    params: CTParams,
+) -> bool:
+    """Evaluate Equation 6 for the edge (a, b)."""
+    weight = graph.edge_weight(a, b)
+    if weight <= 0:
+        return False
+    if domain_area <= 0:
+        raise ValueError("domain_area must be positive")
+    m = dead_space_increase(graph, a, b)
+    return params.c_update * weight >= params.c_query * query_rate * m / domain_area
+
+
+def merge_by_traffic(
+    graph: UpdateGraph,
+    query_rate: float,
+    domain_area: float,
+    params: CTParams,
+    max_merges: Optional[int] = None,
+) -> int:
+    """Apply Equation 6 greedily, heaviest edge first; returns merges done.
+
+    ``max_merges`` bounds the loop for ablation studies; None means run to
+    fixpoint.
+    """
+    merges = 0
+    while max_merges is None or merges < max_merges:
+        best_edge = None
+        best_weight = 0.0
+        for a, b, weight in graph.edges():
+            if weight > best_weight and should_merge(
+                graph, a, b, query_rate, domain_area, params
+            ):
+                best_edge = (a, b)
+                best_weight = weight
+        if best_edge is None:
+            break
+        graph.merge(*best_edge)
+        merges += 1
+    return merges

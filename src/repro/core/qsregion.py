@@ -1,0 +1,154 @@
+"""Phase 1: identifying quasi-static regions from object trail histories.
+
+Implements the algorithm of the paper's Figure 3.  A trail is scanned in
+time order while an MBR grows to enclose successive samples; the MBR stops
+growing -- and is *frozen* as a qs-region if it qualifies -- when both
+
+* its diameter (diagonal) exceeds ``T_dist`` (Equation 1), and
+* its diameter growth rate exceeds ``T_rate`` (Equation 2),
+
+signalling that "the object has started moving faster and thus should not be
+considered as lying in a qs-region".  The frozen MBR qualifies when the
+object dwelled in it longer than ``T_time`` and its area is under ``T_area``;
+otherwise it is discarded (singleton rectangles like 'a'-'d' in Figure 2(a),
+or sprawling ones whose dead space would hurt queries).
+
+One deliberate deviation, documented here and in DESIGN.md: Figure 3's step
+3(B)(a) tests ``A_i(j,k) < T_area`` -- the area *including* the sample that
+broke the growth conditions -- although the rectangle actually frozen is
+``B_i(j,k-1)``.  We test the area of the frozen rectangle itself, which is
+the self-consistent reading (the paper's k-indexed area is, with high
+likelihood, a typo).  We also finalize the rectangle still growing when the
+trail ends; the paper's pseudo-code simply drops it, losing the (frequent)
+final dwell of every object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Point, Rect
+from repro.core.params import CTParams
+
+#: One trail record: a location and its timestamp (``(x_ik, y_ik, t_ik)``).
+TrailSample = Tuple[Point, float]
+
+
+@dataclass
+class QSRegion:
+    """A quasi-static region mined from one object's trail (``B_il``).
+
+    Attributes:
+        rect: the frozen bounding rectangle.
+        dwell_time: total time the object spent inside (``tau_il``).
+        object_id: owner of the trail this region came from (None after
+            cross-object merging).
+        order: position within the owner's qs-region sequence, used to wire
+            the Phase-2 chain graph.
+    """
+
+    rect: Rect
+    dwell_time: float
+    object_id: Optional[int] = None
+    order: int = 0
+    #: Object ids whose trails contributed to this region (grows as regions
+    #: merge in Phases 2-3).
+    sources: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.dwell_time < 0:
+            raise ValueError("dwell_time must be non-negative")
+        if not self.sources and self.object_id is not None:
+            self.sources = [self.object_id]
+
+    @property
+    def area(self) -> float:
+        return self.rect.area
+
+    def resident_density(self, epsilon: float = 1e-9) -> float:
+        """Dwell time per unit area (the Phase-2 merge criterion).
+
+        Degenerate rectangles (a perfectly still object) get ``epsilon``
+        area so their density is large but finite.
+        """
+        return self.dwell_time / max(self.rect.area, epsilon)
+
+
+def identify_qs_regions(
+    trail: Sequence[TrailSample],
+    params: CTParams,
+    object_id: Optional[int] = None,
+) -> List[QSRegion]:
+    """Segment one object's trail into qs-regions (Figure 3).
+
+    Args:
+        trail: samples ordered by increasing timestamp.
+        params: the thresholds ``t_dist``/``t_rate``/``t_time``/``t_area``.
+        object_id: attached to the produced regions for Phase 2.
+
+    Returns:
+        The object's qs-regions in time order.
+    """
+    if len(trail) == 0:
+        return []
+    _check_ordered(trail)
+
+    regions: List[QSRegion] = []
+    order = 0
+
+    # Step 1-2: the first MBR contains only the first sample.
+    first_point, first_time = trail[0]
+    rect = Rect.from_point(first_point)
+    window_start_time = first_time  # t_j: timestamp of the oldest sample inside
+    prev_time = first_time
+
+    for point, time in list(trail)[1:]:
+        expanded = rect.union_point(point)  # Step 3(A)
+        dt = time - prev_time
+        growth_rate = (
+            (expanded.diagonal - rect.diagonal) / dt if dt > 0 else float("inf")
+        )
+        if expanded.diagonal > params.t_dist and growth_rate > params.t_rate:
+            # Step 3(B): stop growing; freeze or discard B(j, k-1).
+            dwell = prev_time - window_start_time
+            if dwell > params.t_time and rect.area < params.t_area:
+                regions.append(
+                    QSRegion(
+                        rect=rect,
+                        dwell_time=dwell,
+                        object_id=object_id,
+                        order=order,
+                    )
+                )
+                order += 1
+            # Steps (c)-(d): restart from the sample that broke the growth.
+            rect = Rect.from_point(point)
+            window_start_time = time
+        else:
+            rect = expanded
+        prev_time = time
+
+    # Finalize the rectangle still growing when the history ends.
+    dwell = prev_time - window_start_time
+    if dwell > params.t_time and rect.area < params.t_area:
+        regions.append(
+            QSRegion(rect=rect, dwell_time=dwell, object_id=object_id, order=order)
+        )
+
+    return regions
+
+
+def trail_duration(trail: Sequence[TrailSample]) -> float:
+    """Duration of a trail (``t_i,|Hi| - t_i,1``); 0 for empty/singleton trails."""
+    if len(trail) < 2:
+        return 0.0
+    return trail[-1][1] - trail[0][1]
+
+
+def _check_ordered(trail: Sequence[TrailSample]) -> None:
+    previous = None
+    for _, time in trail:
+        if previous is not None and time < previous:
+            raise ValueError("trail samples must be ordered by non-decreasing time")
+        previous = time

@@ -1,0 +1,96 @@
+"""Appendix A.3: rebuilding a CT-R-tree when the structure drifts too far.
+
+"We still need to rebuild the CT-R-tree if its structure changes too much.
+For example, we may start the rebuilding process if the number of qs-regions
+being deleted or inserted is too high.  New history records that are not
+used for constructing the tree can be used.  The rebuilding process should
+be run in background, with no interference to the current index.  Once the
+rebuilding is completed, the new index is used immediately."
+
+:class:`RebuildPolicy` decides *when* (region churn relative to the original
+region count); :func:`rebuild_ctrtree` performs the rebuild on a **fresh
+pager** -- the live index keeps serving, its pages untouched -- and loads the
+current objects of the old tree into the new one, so swapping is a pointer
+flip for the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+from repro.core.builder import BuildReport, CTRTreeBuilder
+from repro.core.ctrtree import CTRTree
+from repro.core.params import CTParams
+from repro.core.qsregion import TrailSample
+from repro.storage.iostats import IOCategory
+from repro.storage.pager import Pager
+
+
+@dataclass
+class RebuildPolicy:
+    """Decide when accumulated qs-region churn justifies a rebuild.
+
+    Args:
+        churn_threshold: rebuild once (promotions + retirements) exceeds this
+            fraction of the region count the index was built with.
+        min_initial_regions: below this, churn ratios are noise; always allow
+            a rebuild request but never *demand* one.
+    """
+
+    churn_threshold: float = 0.2
+    min_initial_regions: int = 4
+
+    def __post_init__(self) -> None:
+        if self.churn_threshold <= 0:
+            raise ValueError("churn_threshold must be positive")
+
+    def churn_ratio(self, tree: CTRTree, initial_regions: int) -> float:
+        if initial_regions < self.min_initial_regions:
+            return 0.0
+        churn = tree.adaptation.promotions + tree.adaptation.retirements
+        return churn / initial_regions
+
+    def should_rebuild(self, tree: CTRTree, initial_regions: int) -> bool:
+        return self.churn_ratio(tree, initial_regions) > self.churn_threshold
+
+
+def rebuild_ctrtree(
+    old_tree: CTRTree,
+    histories: Mapping[int, Sequence[TrailSample]],
+    *,
+    query_rate: float,
+    ct_params: Optional[CTParams] = None,
+    pager: Optional[Pager] = None,
+    adaptive: Optional[bool] = None,
+) -> Tuple[CTRTree, BuildReport]:
+    """Build a replacement CT-R-tree from fresh history records.
+
+    The new index lives on ``pager`` (a fresh one by default), is mined from
+    ``histories`` (records "not used for constructing the [old] tree"), and
+    is loaded with the old tree's *current* objects, read uncharged from the
+    live index -- the paper's background process would read them from the
+    same buffer-cached pages the index is serving from.
+
+    Returns the new tree; the caller switches over by replacing its
+    reference ("once the rebuilding is completed, the new index is used
+    immediately").
+    """
+    if pager is None:
+        pager = Pager()
+    if ct_params is None:
+        ct_params = old_tree.params
+    if adaptive is None:
+        adaptive = old_tree.adaptive
+
+    builder = CTRTreeBuilder(
+        ct_params,
+        query_rate=query_rate,
+        max_entries=old_tree.max_entries,
+        adaptive=adaptive,
+    )
+    new_tree, report = builder.build(pager, old_tree.domain, histories)
+    with pager.stats.category(IOCategory.BUILD):
+        for obj_id, point in old_tree.iter_objects():
+            new_tree.insert(obj_id, point, now=old_tree._clock)
+    return new_tree, report

@@ -1,0 +1,37 @@
+"""Experiment modules: one per table/figure of the paper's evaluation.
+
+Every module exposes ``run(scale=..., seed=...) -> ExperimentResult`` and a
+``main()`` that prints the paper-style table, runnable as
+``python -m repro.experiments.figure8`` etc.  The ``scale`` presets
+(:mod:`repro.experiments.scales`) select laptop-sized populations; the code
+path is identical at every scale, including the paper's own parameters
+(``scale="paper"``).
+
+| Paper item   | Module                          |
+|--------------|---------------------------------|
+| Table 1      | :mod:`repro.experiments.table1` |
+| Figure 8     | :mod:`repro.experiments.figure8`  (total I/O vs update/query ratio) |
+| Figure 9     | :mod:`repro.experiments.figure9`  (query I/O ratio vs query size)   |
+| Figure 10    | :mod:`repro.experiments.figure10` (total I/O vs query size)         |
+| Figure 11    | :mod:`repro.experiments.figure11` (scalability in object count)     |
+| Figure 12    | :mod:`repro.experiments.figure12` (parameter sensitivity)           |
+| Figure 13    | :mod:`repro.experiments.figure13` (changing traffic patterns)       |
+| (extensions) | :mod:`repro.experiments.ablations`                                  |
+"""
+
+from repro.experiments.scales import SCALES, Scale
+from repro.experiments.harness import (
+    ExperimentResult,
+    WorkloadBundle,
+    build_workload,
+    run_index_on,
+)
+
+__all__ = [
+    "SCALES",
+    "Scale",
+    "ExperimentResult",
+    "WorkloadBundle",
+    "build_workload",
+    "run_index_on",
+]

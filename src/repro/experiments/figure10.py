@@ -1,0 +1,69 @@
+"""Figure 10: total I/O vs query size.
+
+Same sweep as Figure 9 but measuring *overall* performance under the
+baseline update-heavy mix (update/query ratio 100, Table 1's
+``lambda_u / lambda_q``).  Paper shape: although the CT-R-tree loses on
+queries, "its loss in query performance is compensated with a significant
+gain in update performance", making it the overall winner across all query
+sizes (three-fold over the alpha-tree and four-fold over the lazy-R-tree at
+the paper's scale).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    build_workload,
+    ratio_controls,
+    run_index_on,
+)
+from repro.workload.driver import IndexKind
+
+DEFAULT_SIZES_PCT = (0.1, 0.25, 0.5, 1.0, 2.0)
+#: Table 1 baseline: lambda_u / lambda_q = 5000 / 50.
+DEFAULT_RATIO = 100.0
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    sizes_pct: Sequence[float] = DEFAULT_SIZES_PCT,
+    kinds: Sequence[str] = (IndexKind.LAZY, IndexKind.ALPHA, IndexKind.CT),
+    ratio: float = DEFAULT_RATIO,
+) -> ExperimentResult:
+    bundle = build_workload(scale, seed)
+    duration = bundle.update_stream().duration
+    skip, query_rate = ratio_controls(bundle.scale, duration, ratio)
+    result = ExperimentResult(
+        title=f"Figure 10: total I/O vs query size (ratio={ratio:g}, scale={scale})",
+        columns=["query size (%)"] + [IndexKind.LABELS[k] for k in kinds],
+    )
+    for size_pct in sizes_pct:
+        row: dict = {"query size (%)": size_pct}
+        for kind in kinds:
+            run_ = run_index_on(
+                kind,
+                bundle,
+                skip=skip,
+                query_rate=query_rate,
+                query_size_fraction=size_pct / 100.0,
+            )
+            row[IndexKind.LABELS[kind]] = run_.result.total_ios
+        result.add(**row)
+    result.notes.append(
+        "update/query ratio fixed at the Table-1 baseline (100); "
+        "the paper's Figure 10 shows the CT-R-tree winning at every query size"
+    )
+    return result
+
+
+def main(scale: str = "small") -> None:
+    print(run(scale))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

@@ -1,0 +1,75 @@
+"""Figure 9: query-I/O ratio vs query size.
+
+The lazy-R-tree keeps tight MBRs, so it is the query-cost yardstick ("the
+lazy-R-tree and the traditional R-tree have identical query performance").
+This experiment measures the *query* I/O of the alpha-tree and the CT-R-tree
+relative to the lazy-R-tree while the query size sweeps 0.1% - 2% of the
+city area.  Paper shape: both ratios are above 1 (looser rectangles hurt),
+the CT-R-tree above the alpha-tree, and both *converge toward 1* as queries
+grow ("with a large query area, the probability that a given region will be
+covered by a query increases.  Thus the advantage of having a smaller area
+MBR reduces").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.harness import ExperimentResult, build_workload, run_index_on
+from repro.workload.driver import IndexKind
+
+#: Query sizes as percentages of the city area (the paper's x-axis).
+DEFAULT_SIZES_PCT = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+def run(
+    scale: str = "small",
+    seed: int = 0,
+    sizes_pct: Sequence[float] = DEFAULT_SIZES_PCT,
+    query_count: int = 120,
+) -> ExperimentResult:
+    bundle = build_workload(scale, seed)
+    result = ExperimentResult(
+        title=f"Figure 9: query I/O ratio vs query size (scale={scale})",
+        columns=[
+            "query size (%)",
+            "lazy-R-tree q-I/O",
+            "alpha/lazy",
+            "CT/lazy",
+        ],
+    )
+    for size_pct in sizes_pct:
+        fraction = size_pct / 100.0
+        query_ios: Dict[str, int] = {}
+        for kind in (IndexKind.LAZY, IndexKind.ALPHA, IndexKind.CT):
+            run_ = run_index_on(
+                kind,
+                bundle,
+                query_count=query_count,
+                query_size_fraction=fraction,
+            )
+            query_ios[kind] = run_.result.query_ios
+        base = max(query_ios[IndexKind.LAZY], 1)
+        result.add(
+            **{
+                "query size (%)": size_pct,
+                "lazy-R-tree q-I/O": query_ios[IndexKind.LAZY],
+                "alpha/lazy": query_ios[IndexKind.ALPHA] / base,
+                "CT/lazy": query_ios[IndexKind.CT] / base,
+            }
+        )
+    result.notes.append(
+        "ratios above 1 = more query I/O than the tight-MBR lazy-R-tree; "
+        "the paper's Figure 9 shows both curves above 1, converging as queries grow"
+    )
+    return result
+
+
+def main(scale: str = "small") -> None:
+    print(run(scale))
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

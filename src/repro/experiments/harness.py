@@ -1,0 +1,258 @@
+"""Shared experiment harness: workload construction, index runs, tables.
+
+The harness reproduces the paper's measurement protocol (Section 4.1):
+
+1. simulate the city and record ``N_hist + N_update`` samples per object;
+2. mine qs-regions from the first ``N_hist - 1`` samples, load the
+   ``N_hist``-th as the initial index contents;
+3. replay the remaining samples as dynamic updates interleaved (in timestamp
+   order) with Poisson range queries;
+4. report page I/Os, split into update and query I/O.
+
+Workload bundles are memoized per (scale, seed) so a sweep over index kinds
+or parameters reuses one simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.citysim import City, CitySimulator, Trace
+from repro.core.builder import BuildReport
+from repro.core.geometry import Rect
+from repro.core.params import CTParams
+from repro.experiments.scales import Scale, get_scale
+from repro.storage.pager import Pager
+from repro.workload import (
+    QueryWorkload,
+    RangeQuery,
+    SimulationDriver,
+    UpdateStream,
+    make_index,
+)
+from repro.workload.driver import IndexKind, RunResult
+
+
+@dataclass
+class WorkloadBundle:
+    """One simulated workload: city, trace, and the phase slices."""
+
+    scale: Scale
+    city: City
+    trace: Trace
+    seed: int
+
+    @property
+    def domain(self) -> Rect:
+        return self.city.bounds
+
+    def histories(self, object_ids: Optional[Sequence[int]] = None) -> Dict:
+        trace = (
+            self.trace
+            if object_ids is None
+            else self.trace.restricted_to(object_ids)
+        )
+        return trace.histories(self.scale.n_history)
+
+    def current(self, object_ids: Optional[Sequence[int]] = None) -> Dict:
+        trace = (
+            self.trace
+            if object_ids is None
+            else self.trace.restricted_to(object_ids)
+        )
+        return trace.current_positions(self.scale.n_history)
+
+    def update_stream(
+        self, skip: int = 1, object_ids: Optional[Sequence[int]] = None
+    ) -> UpdateStream:
+        return UpdateStream(
+            self.trace, self.scale.n_history, skip=skip, object_ids=object_ids
+        )
+
+
+_BUNDLES: Dict[Tuple[str, int], WorkloadBundle] = {}
+
+
+def build_workload(scale: str = "small", seed: int = 0, fresh: bool = False) -> WorkloadBundle:
+    """Simulate (or fetch the memoized) workload for a scale preset."""
+    key = (scale, seed)
+    if not fresh and key in _BUNDLES:
+        return _BUNDLES[key]
+    preset = get_scale(scale)
+    city = City.generate(seed=seed, n_buildings=preset.n_buildings)
+    simulator = CitySimulator(
+        city,
+        preset.simulation_params(),
+        seed=seed + 1,
+        report_interval=preset.report_interval,
+    )
+    trace = simulator.run()
+    bundle = WorkloadBundle(scale=preset, city=city, trace=trace, seed=seed)
+    if not fresh:
+        _BUNDLES[key] = bundle
+    return bundle
+
+
+def clear_workload_cache() -> None:
+    _BUNDLES.clear()
+
+
+@dataclass
+class IndexRun:
+    """One index driven through one workload, with everything measured."""
+
+    result: RunResult
+    index: object
+    pager: Pager
+    build_report: Optional[BuildReport] = None
+
+    @property
+    def lazy_hits(self) -> Optional[int]:
+        return getattr(self.index, "lazy_hits", None)
+
+
+def run_index_on(
+    kind: str,
+    bundle: WorkloadBundle,
+    *,
+    skip: int = 1,
+    query_rate: Optional[float] = None,
+    query_count: Optional[int] = None,
+    query_size_fraction: float = 0.001,
+    ct_params: Optional[CTParams] = None,
+    adaptive: bool = True,
+    object_ids: Optional[Sequence[int]] = None,
+    query_seed: int = 99,
+    max_entries: int = 20,
+    builder_query_rate: Optional[float] = None,
+) -> IndexRun:
+    """Build ``kind`` over the bundle and replay updates + queries.
+
+    Exactly one of ``query_rate`` / ``query_count`` sets the query volume;
+    queries are Poisson over the online span either way.
+
+    ``builder_query_rate`` is the query rate the CT-R-tree's Equation-6 merge
+    *anticipates* at construction time.  The paper builds one index at the
+    Table-1 baseline (update/query ratio 100) and evaluates it under varying
+    mixes, so this defaults to ``base_update_rate / 100`` rather than the
+    swept per-point rate.
+    """
+    pager = Pager()
+    stream = bundle.update_stream(skip=skip, object_ids=object_ids)
+    histories = bundle.histories(object_ids)
+    current = bundle.current(object_ids)
+
+    full_span = bundle.trace.online_span(bundle.scale.n_history)
+    full_duration = full_span[1] - full_span[0]
+    effective_query_rate = _resolve_query_rate(full_duration, query_rate, query_count)
+    if builder_query_rate is None:
+        builder_query_rate = bundle.scale.base_update_rate / 100.0
+    index = make_index(
+        kind,
+        pager,
+        bundle.domain,
+        max_entries=max_entries,
+        ct_params=ct_params,
+        histories=histories if kind == IndexKind.CT else None,
+        query_rate=builder_query_rate,
+        adaptive=adaptive,
+    )
+    driver = SimulationDriver(index, pager, kind)
+    driver.load(current)
+
+    # Queries span the full online window even when updates are thinned: the
+    # paper keeps the query process fixed while skipping update samples.
+    t_start, t_end = full_span
+    workload = QueryWorkload(
+        bundle.domain, effective_query_rate, query_size_fraction, seed=query_seed
+    )
+    queries: List[RangeQuery] = workload.between(t_start, t_end) if t_end > t_start else []
+    result = driver.run(stream, queries)
+    return IndexRun(result=result, index=index, pager=pager)
+
+
+def _resolve_query_rate(
+    duration: float,
+    query_rate: Optional[float],
+    query_count: Optional[int],
+) -> float:
+    if query_rate is not None and query_count is not None:
+        raise ValueError("pass query_rate or query_count, not both")
+    if query_rate is not None:
+        return query_rate
+    count = query_count if query_count is not None else 0
+    return max(count, 1) / (duration or 1.0)
+
+
+def ratio_controls(
+    scale: Scale, stream_duration: float, ratio: float
+) -> Tuple[int, float]:
+    """(skip, query_rate) realizing an update/query ratio.
+
+    The paper fixes the query generation rate and thins updates by skipping
+    samples (Section 4.2.1); for ratios beyond what full sampling reaches,
+    the query rate is lowered instead.  Returns a sample-skip factor and a
+    query arrival rate such that ``update_rate / query_rate == ratio`` while
+    keeping the query count near ``scale.query_pool``.
+    """
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    duration = max(stream_duration, 1e-9)
+    base_rate = scale.base_update_rate
+    base_query_rate = scale.query_pool / duration
+    skip = base_rate / (ratio * base_query_rate)
+    if skip >= 1.0:
+        skip_int = max(1, round(skip))
+        return skip_int, base_rate / skip_int / ratio
+    return 1, base_rate / ratio
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one experiment, rendered as an aligned text table."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def to_table(self) -> str:
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:,.2f}"
+            if isinstance(value, int):
+                return f"{value:,}"
+            return str(value)
+
+        widths = {
+            c: max(len(c), *(len(fmt(r.get(c, ""))) for r in self.rows))
+            if self.rows
+            else len(c)
+            for c in self.columns
+        }
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(widths[c]) for c in self.columns))
+        lines.append("-+-".join("-" * widths[c] for c in self.columns))
+        for row in self.rows:
+            lines.append(
+                " | ".join(fmt(row.get(c, "")).rjust(widths[c]) for c in self.columns)
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(str(row.get(c, "")) for c in self.columns))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_table()

@@ -1,0 +1,136 @@
+"""Multi-seed replication: run an experiment across seeds, report spread.
+
+The paper reports single runs; for a reproduction it is worth knowing how
+much of each figure is signal.  :func:`replicate` re-runs any experiment
+function (``seed -> ExperimentResult``) over several seeds and aggregates
+every numeric column per row into mean / std / min / max.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.harness import ExperimentResult
+
+
+@dataclass
+class Aggregate:
+    """Summary statistics of one metric across replicated runs."""
+
+    values: List[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for fewer than two runs)."""
+        if self.n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def relative_spread(self) -> float:
+        """(max - min) / mean: a quick stability score for flatness claims."""
+        mu = self.mean
+        return (self.maximum - self.minimum) / mu if mu else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:,.0f} ± {self.std:,.0f}"
+
+
+def replicate(
+    run: Callable[[int], ExperimentResult],
+    seeds: Sequence[int],
+    key_column: str,
+) -> "ReplicatedResult":
+    """Run ``run(seed)`` for every seed and align rows by ``key_column``.
+
+    Every result must produce the same keys (same sweep points); numeric
+    columns are aggregated, non-numeric ones taken from the first run.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    results = [run(seed) for seed in seeds]
+    first = results[0]
+    keys = [row[key_column] for row in first.rows]
+    for result in results[1:]:
+        if [row[key_column] for row in result.rows] != keys:
+            raise ValueError("replicated runs produced different sweep points")
+
+    aggregated: Dict[object, Dict[str, Aggregate]] = {}
+    for key in keys:
+        aggregated[key] = {}
+    for column in first.columns:
+        if column == key_column:
+            continue
+        for i, key in enumerate(keys):
+            samples = []
+            for result in results:
+                value = result.rows[i].get(column)
+                if isinstance(value, (int, float)):
+                    samples.append(float(value))
+            if samples:
+                aggregated[key][column] = Aggregate(samples)
+    return ReplicatedResult(
+        title=f"{first.title} [n={len(seeds)} seeds]",
+        key_column=key_column,
+        keys=keys,
+        columns=[c for c in first.columns if c != key_column],
+        aggregates=aggregated,
+    )
+
+
+@dataclass
+class ReplicatedResult:
+    """Aligned multi-seed aggregates, renderable like an ExperimentResult."""
+
+    title: str
+    key_column: str
+    keys: List[object]
+    columns: List[str]
+    aggregates: Dict[object, Dict[str, Aggregate]]
+
+    def get(self, key: object, column: str) -> Aggregate:
+        return self.aggregates[key][column]
+
+    def to_table(self) -> str:
+        header = [self.key_column] + [
+            c for c in self.columns if any(c in self.aggregates[k] for k in self.keys)
+        ]
+        rows = []
+        for key in self.keys:
+            row = [str(key)]
+            for column in header[1:]:
+                aggregate = self.aggregates[key].get(column)
+                row.append(str(aggregate) if aggregate else "")
+            rows.append(row)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_table()

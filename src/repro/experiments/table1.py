@@ -1,0 +1,29 @@
+"""Table 1: parameters and baseline values.
+
+Renders the simulation-model and CT-R-tree parameters exactly as the paper's
+Table 1, for the requested scale (``paper`` reproduces the published values
+verbatim; smaller scales show what the laptop-sized runs actually use).
+"""
+
+from __future__ import annotations
+
+from repro.core.params import CTParams, format_table1
+from repro.experiments.scales import get_scale
+
+
+def run(scale: str = "paper") -> str:
+    preset = get_scale(scale)
+    sim = preset.simulation_params()
+    ct = CTParams()
+    header = f"Table 1 (scale={preset.name}: N_obj={preset.n_objects:,})"
+    return f"{header}\n{format_table1(sim, ct)}"
+
+
+def main() -> None:
+    print(run("paper"))
+    print()
+    print(run("small"))
+
+
+if __name__ == "__main__":
+    main()

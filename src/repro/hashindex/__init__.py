@@ -1,0 +1,5 @@
+"""Secondary index on object id (paper Section 2.1, Figure 1)."""
+
+from repro.hashindex.hashindex import BucketPage, HashIndex
+
+__all__ = ["BucketPage", "HashIndex"]

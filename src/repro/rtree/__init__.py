@@ -1,0 +1,36 @@
+"""The R-tree family used by the paper's evaluation (Section 4.2).
+
+Four structures are compared:
+
+* :class:`RTree` -- the traditional Guttman R-tree [7]; every location update
+  is a search + delete + re-insert.
+* :class:`LazyRTree` -- the R-tree augmented with the secondary hash index of
+  Figure 1 ("lazy-R-tree", after Kwon et al. [10]); updates that stay inside
+  the object's leaf MBR cost a constant number of I/Os.
+* :class:`AlphaTree` -- the lazy-R-tree with loose MBRs: every MBR expansion
+  overshoots the minimum by a factor alpha (Section 2.2), trading query
+  performance for extra change tolerance.
+* The CT-R-tree itself lives in :mod:`repro.core.ctrtree` and reuses this
+  package's split policies and node machinery for its structural skeleton
+  and its overflow alpha-R-trees.
+"""
+
+from repro.rtree.node import Entry, RTreeNode
+from repro.rtree.splits import SPLIT_POLICIES, linear_split, quadratic_split, rstar_split
+from repro.rtree.rtree import RTree
+from repro.rtree.bulk import str_pack
+from repro.rtree.lazy import LazyRTree
+from repro.rtree.alpha import AlphaTree
+
+__all__ = [
+    "Entry",
+    "RTreeNode",
+    "RTree",
+    "LazyRTree",
+    "AlphaTree",
+    "str_pack",
+    "SPLIT_POLICIES",
+    "linear_split",
+    "quadratic_split",
+    "rstar_split",
+]

@@ -1,0 +1,50 @@
+"""The alpha-tree: a lazy-R-tree with loose MBRs (paper Section 2.2).
+
+"The concept of having slightly larger MBRs than needed ... is explored in
+[10].  We shall call this structure the alpha-tree, which is essentially an
+R-tree with 'loose' MBRs.  The idea is that whenever an MBR needs to be
+expanded, we expand it by alpha% more than its minimum size.  Thus, the
+boundary objects get some leeway to move and stay within the same MBR.
+Naturally, this implies poorer query performance."
+
+The experiments use alpha = 0.1, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hashindex import HashIndex
+from repro.rtree.lazy import LazyRTree
+from repro.storage.pager import Pager
+
+#: The paper's choice: "we used alpha = 0.1 in our experiments".
+DEFAULT_ALPHA = 0.1
+
+
+class AlphaTree(LazyRTree):
+    """Lazy-R-tree whose MBR expansions overshoot the minimum by ``alpha``."""
+
+    def __init__(
+        self,
+        pager: Pager,
+        max_entries: int = 20,
+        min_fill: float = 0.4,
+        split: str = "quadratic",
+        alpha: float = DEFAULT_ALPHA,
+        hash_index: Optional[HashIndex] = None,
+    ) -> None:
+        if alpha <= 0:
+            raise ValueError("AlphaTree requires alpha > 0; use LazyRTree for tight MBRs")
+        super().__init__(
+            pager,
+            max_entries=max_entries,
+            min_fill=min_fill,
+            split=split,
+            alpha=alpha,
+            hash_index=hash_index,
+        )
+
+    @property
+    def alpha(self) -> float:
+        return self.tree.alpha

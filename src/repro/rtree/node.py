@@ -1,0 +1,90 @@
+"""Paged R-tree nodes.
+
+A node occupies one page and holds up to ``N_entry`` entries (Table 1's
+fan-out).  Leaf entries pair a (degenerate) rectangle with an object id;
+branch entries pair a child MBR with the child's page id.
+
+Two fields are *metadata* in the sense of DESIGN.md section 5 -- bookkeeping a
+real system would pin in memory, maintained without I/O charge, symmetrically
+for every index:
+
+* ``parent``: the parent page id, used by pointer-based deletion
+  (Section 2.1: "if the deletion operation directly provides a pointer to the
+  page in which the object is stored, then the cost for searching in the
+  R-tree can be saved");
+* ``mbr``: a mirror of this node's bounding rectangle as registered in its
+  parent, used for the lazy same-MBR test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.geometry import Point, Rect
+from repro.storage.page import NO_PAGE, Page, PageId
+
+
+class Entry:
+    """One slot of a node: a rectangle plus a child pointer or object id."""
+
+    __slots__ = ("rect", "child")
+
+    def __init__(self, rect: Rect, child: int) -> None:
+        self.rect = rect
+        self.child = child
+
+    @classmethod
+    def for_point(cls, point: Point, obj_id: int) -> "Entry":
+        return cls(Rect.from_point(point), obj_id)
+
+    @property
+    def point(self) -> Point:
+        """The stored location of a leaf (point) entry."""
+        return self.rect.lo
+
+    def __repr__(self) -> str:
+        return f"Entry({self.rect!r}, child={self.child})"
+
+
+class RTreeNode(Page):
+    """One R-tree node; ``level == 0`` means leaf."""
+
+    __slots__ = ("level", "entries", "parent", "mbr", "tag")
+
+    def __init__(self, level: int = 0) -> None:
+        super().__init__()
+        self.level = level
+        self.entries: List[Entry] = []
+        self.parent: PageId = NO_PAGE
+        self.mbr: Optional[Rect] = None
+        #: Owner metadata: the CT-R-tree tags overflow alpha-R-tree nodes with
+        #: the structural node that owns the buffer, so a hash pointer landing
+        #: on this page can be resolved back to the right buffer.
+        self.tag: Optional[object] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent == NO_PAGE
+
+    def tight_mbr(self) -> Optional[Rect]:
+        """The minimum bounding rectangle of the current entries."""
+        if not self.entries:
+            return None
+        return Rect.union_all(e.rect for e in self.entries)
+
+    def find_entry(self, child: int) -> Optional[int]:
+        """Index of the entry whose child/object id equals ``child``."""
+        for i, entry in enumerate(self.entries):
+            if entry.child == child:
+                return i
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"RTreeNode(pid={self.pid}, level={self.level}, "
+            f"entries={len(self.entries)})"
+        )

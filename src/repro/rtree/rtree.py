@@ -1,0 +1,622 @@
+"""A paged Guttman R-tree with pluggable split policy and loose-MBR support.
+
+This is the traditional R-tree of the paper's evaluation [7]: objects are
+points in leaf pages, every node occupies one page with at most
+``max_entries`` slots, and a location update is processed as a search +
+delete + re-insert.  Two behavioural knobs turn it into the other family
+members:
+
+* ``alpha > 0``: every MBR expansion overshoots the minimum by ``alpha``
+  (Section 2.2's loose MBRs) -- used by :class:`~repro.rtree.alpha.AlphaTree`
+  and by the CT-R-tree's overflow buffers;
+* ``shrink_on_delete=False`` + :meth:`RTree.delete_at`: pointer-based lazy
+  deletion that never tightens ancestor MBRs -- used by
+  :class:`~repro.rtree.lazy.LazyRTree`.
+
+I/O charging: every node visited is one page read; every node mutated is one
+page write; allocating a node is one write; freeing is not charged.  Parent
+pointers and the ``mbr`` mirror are uncharged metadata (DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.geometry import Point, Rect
+from repro.rtree.node import Entry, RTreeNode
+from repro.rtree.splits import SPLIT_POLICIES
+from repro.storage.page import NO_PAGE, PageId
+from repro.storage.pager import Pager
+
+#: Callback fired when leaf entries move to a different page (splits,
+#: condense-reinsertion), so owners of secondary indexes can repoint them.
+MovedCallback = Callable[[List[Tuple[int, PageId]]], None]
+
+
+class RTree:
+    """Disk-based R-tree over point objects.
+
+    Args:
+        pager: page store (shared with other structures in an experiment).
+        max_entries: fan-out ``N_entry`` (Table 1 default 20).
+        min_fill: minimum fill factor for splits/condensation (Guttman's m).
+        split: one of ``linear``, ``quadratic``, ``rstar``.
+        alpha: loose-MBR expansion factor; 0 keeps MBRs minimal.
+        shrink_on_delete: tighten ancestor MBRs during deletion (traditional
+            behaviour); lazy variants disable it.
+        on_entries_moved: see :data:`MovedCallback`.
+    """
+
+    def __init__(
+        self,
+        pager: Pager,
+        max_entries: int = 20,
+        min_fill: float = 0.4,
+        split: str = "quadratic",
+        alpha: float = 0.0,
+        shrink_on_delete: bool = True,
+        on_entries_moved: Optional[MovedCallback] = None,
+        forced_reinsert: float = 0.0,
+    ) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        if split not in SPLIT_POLICIES:
+            raise ValueError(f"unknown split policy {split!r}; choose from {sorted(SPLIT_POLICIES)}")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if not 0.0 <= forced_reinsert < 0.5:
+            raise ValueError("forced_reinsert must be in [0, 0.5)")
+        self._pager = pager
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(math.ceil(max_entries * min_fill)))
+        self.split_policy = split
+        self._split_fn = SPLIT_POLICIES[split]
+        self.alpha = alpha
+        self.shrink_on_delete = shrink_on_delete
+        self.on_entries_moved = on_entries_moved
+        #: R*-style forced reinsertion: on the first overflow of a level per
+        #: operation, evict this fraction of the node's outermost entries and
+        #: re-insert them instead of splitting (Beckmann et al.'s p = 30%).
+        self.forced_reinsert = forced_reinsert
+        self._reinserted_levels: set = set()
+        self._size = 0
+
+        root = RTreeNode(level=0)
+        pager.allocate(root)
+        self._root_pid = root.pid
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def pager(self) -> Pager:
+        return self._pager
+
+    @property
+    def root_pid(self) -> PageId:
+        return self._root_pid
+
+    @property
+    def height(self) -> int:
+        """Number of node levels (1 for a lone leaf root)."""
+        return self._pager.inspect(self._root_pid).level + 1  # type: ignore[union-attr]
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- charged node access --------------------------------------------------
+
+    def _read(self, pid: PageId) -> RTreeNode:
+        node = self._pager.read(pid)
+        assert isinstance(node, RTreeNode)
+        return node
+
+    def _inspect(self, pid: PageId) -> RTreeNode:
+        node = self._pager.inspect(pid)
+        assert isinstance(node, RTreeNode)
+        return node
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(
+        self, obj_id: int, point: Sequence[float], now: Optional[float] = None
+    ) -> PageId:
+        """Insert a point object; returns the leaf page id holding it.
+
+        ``now`` is ignored (interface parity with the CT-R-tree).
+        """
+        del now
+        self._reinserted_levels.clear()
+        entry = Entry.for_point(tuple(point), obj_id)
+        pid = self._insert_entry(entry, level=0)
+        self._size += 1
+        return pid
+
+    def _insert_entry(self, entry: Entry, level: int) -> PageId:
+        path = self._choose_path(entry.rect, level)
+        node = path[-1]
+        node.entries.append(entry)
+        if len(node.entries) > self.max_entries:
+            if (
+                self.forced_reinsert > 0
+                and not node.is_root
+                and node.level not in self._reinserted_levels
+            ):
+                return self._forced_reinsert(path, entry)
+            return self._split_and_place(path, entry)
+        self._pager.write(node)
+        self._grow_mbrs(path, entry.rect)
+        return node.pid
+
+    def _forced_reinsert(self, path: List[RTreeNode], placed: Entry) -> PageId:
+        """R*-style overflow treatment: evict the entries farthest from the
+        node's center and re-insert them, deferring the split.  Applied at
+        most once per level per operation."""
+        node = path[-1]
+        self._reinserted_levels.add(node.level)
+        tight = node.tight_mbr()
+        assert tight is not None
+        center = tight.center
+        ranked = sorted(
+            node.entries,
+            key=lambda e: sum((a - b) ** 2 for a, b in zip(e.rect.center, center)),
+            reverse=True,
+        )
+        evict_count = max(1, int(self.forced_reinsert * len(node.entries)))
+        evicted = ranked[:evict_count]
+        node.entries = ranked[evict_count:]
+        node.mbr = node.tight_mbr()
+        self._pager.write(node)
+        parent = path[-2]
+        idx = parent.find_entry(node.pid)
+        assert idx is not None
+        parent.entries[idx].rect = node.mbr
+        self._pager.write(parent)
+
+        level = node.level
+        for entry in evicted:
+            pid = self._insert_entry(entry, level)
+            if level > 0:
+                self._inspect(entry.child).parent = pid
+            elif pid != node.pid and self.on_entries_moved is not None:
+                # Report each relocation immediately: a later reinsertion may
+                # split the page this one landed on, and that split's own
+                # report must come after (not be clobbered by) this one.
+                self.on_entries_moved([(entry.child, pid)])
+        # Any reinsertion after ``placed`` settled may have split its node and
+        # moved it again, so resolve the final location by identity.
+        placed_pid = self._find_entry_page(placed, level)
+        assert placed_pid != NO_PAGE
+        return placed_pid
+
+    def _find_entry_page(self, entry: Entry, level: int) -> PageId:
+        """Locate (uncharged) the node at ``level`` holding ``entry`` by
+        identity -- operation-internal bookkeeping, like parent pointers."""
+        stack = [self._root_pid]
+        while stack:
+            node = self._inspect(stack.pop())
+            if node.level == level:
+                if any(e is entry for e in node.entries):
+                    return node.pid
+            elif node.level > level:
+                stack.extend(e.child for e in node.entries)
+        return NO_PAGE
+
+    def _choose_path(self, rect: Rect, level: int) -> List[RTreeNode]:
+        """Read the root-to-target path, choosing least-enlargement children."""
+        node = self._read(self._root_pid)
+        path = [node]
+        while node.level > level:
+            best: Optional[Entry] = None
+            best_key = (float("inf"), float("inf"))
+            for child_entry in node.entries:
+                key = (child_entry.rect.enlargement(rect), child_entry.rect.area)
+                if key < best_key:
+                    best_key = key
+                    best = child_entry
+            if best is None:
+                raise RuntimeError("internal node without entries on insert path")
+            node = self._read(best.child)
+            path.append(node)
+        return path
+
+    def _expanded(
+        self, current: Optional[Rect], addition: Rect, inflate: bool
+    ) -> Tuple[Rect, bool]:
+        """Grow ``current`` to cover ``addition``; loose by ``alpha`` when
+        ``inflate`` is set and growth actually happened."""
+        if current is None:
+            return addition, True
+        if current.contains_rect(addition):
+            return current, False
+        minimal = current.union(addition)
+        if inflate and self.alpha > 0:
+            minimal = minimal.inflated(self.alpha)
+        return minimal, True
+
+    def _grow_mbrs(self, path: List[RTreeNode], rect: Rect) -> None:
+        """Propagate an MBR expansion from ``path[-1]`` toward the root.
+
+        The target node itself was already written by the caller; each
+        ancestor whose entry rectangle changes costs one write.  Loose-MBR
+        inflation applies to *leaf* MBRs only -- the alpha-tree's leeway is
+        for boundary objects (Section 2.2); inflating every level would
+        compound overlap and needlessly multiply query paths.
+        """
+        node = path[-1]
+        node.mbr, changed = self._expanded(node.mbr, rect, inflate=node.is_leaf)
+        if not changed:
+            return
+        for parent in reversed(path[:-1]):
+            idx = parent.find_entry(node.pid)
+            assert idx is not None, "child missing from parent during MBR adjustment"
+            parent.entries[idx].rect = node.mbr
+            self._pager.write(parent)
+            parent.mbr, changed = self._expanded(parent.mbr, node.mbr, inflate=False)
+            if not changed:
+                break
+            node = parent
+
+    def _split_and_place(self, path: List[RTreeNode], placed: Entry) -> PageId:
+        """Split the overfull ``path[-1]``, propagating upward; returns the
+        page id that ended up holding ``placed``."""
+        placed_pid = NO_PAGE
+        while path:
+            node = path.pop()
+            group_keep, group_move = self._split_fn(node.entries, self.min_entries)
+            node.entries = list(group_keep)
+            node.mbr = node.tight_mbr()
+            sibling = RTreeNode(level=node.level)
+            sibling.entries = list(group_move)
+            sibling.mbr = sibling.tight_mbr()
+            sibling.tag = node.tag
+            self._pager.allocate(sibling)
+            self._pager.write(node)
+
+            if node.level > 0:
+                for child_entry in sibling.entries:
+                    self._inspect(child_entry.child).parent = sibling.pid
+            elif self.on_entries_moved is not None:
+                moved = [(e.child, sibling.pid) for e in sibling.entries]
+                if moved:
+                    self.on_entries_moved(moved)
+
+            if placed_pid == NO_PAGE:
+                if any(e is placed for e in sibling.entries):
+                    placed_pid = sibling.pid
+                elif any(e is placed for e in node.entries):
+                    placed_pid = node.pid
+
+            if path:
+                parent = path[-1]
+                idx = parent.find_entry(node.pid)
+                assert idx is not None
+                parent.entries[idx].rect = node.mbr
+                parent.entries.append(Entry(sibling.mbr, sibling.pid))
+                sibling.parent = parent.pid
+                if len(parent.entries) <= self.max_entries:
+                    self._pager.write(parent)
+                    break
+                # else: loop continues and splits the parent
+            else:
+                new_root = RTreeNode(level=node.level + 1)
+                new_root.tag = node.tag
+                new_root.entries = [
+                    Entry(node.mbr, node.pid),
+                    Entry(sibling.mbr, sibling.pid),
+                ]
+                new_root.mbr = node.mbr.union(sibling.mbr)
+                self._pager.allocate(new_root)
+                node.parent = new_root.pid
+                sibling.parent = new_root.pid
+                self._root_pid = new_root.pid
+                return placed_pid
+
+        # Split absorbed mid-path: the ancestors above the last split must
+        # still grow to cover the newly inserted rectangle.
+        if path:
+            self._grow_mbrs(path, placed.rect)
+        return placed_pid
+
+    # -- deletion ---------------------------------------------------------
+
+    def delete(self, obj_id: int, point: Sequence[float]) -> bool:
+        """Traditional deletion: locate by spatial search, then condense."""
+        self._reinserted_levels.clear()
+        found = self._find_leaf(tuple(point), obj_id)
+        if found is None:
+            return False
+        path, entry_index = found
+        leaf = path[-1]
+        leaf.entries.pop(entry_index)
+        self._size -= 1
+        self._condense(path)
+        return True
+
+    def _find_leaf(
+        self, point: Point, obj_id: int
+    ) -> Optional[Tuple[List[RTreeNode], int]]:
+        """DFS for the leaf holding ``obj_id`` at ``point``; charged reads."""
+        root = self._read(self._root_pid)
+        stack: List[List[RTreeNode]] = [[root]]
+        while stack:
+            path = stack.pop()
+            node = path[-1]
+            if node.is_leaf:
+                for i, entry in enumerate(node.entries):
+                    if entry.child == obj_id and entry.point == point:
+                        return path, i
+                continue
+            for child_entry in node.entries:
+                if child_entry.rect.contains_point(point):
+                    child = self._read(child_entry.child)
+                    stack.append(path + [child])
+        return None
+
+    def _condense(self, path: List[RTreeNode]) -> None:
+        """Guttman CondenseTree over an already-read root-to-leaf path."""
+        orphans: List[Tuple[List[Entry], int]] = []
+        modified = [False] * len(path)
+        modified[-1] = True  # the leaf lost an entry
+
+        for i in range(len(path) - 1, 0, -1):
+            node, parent = path[i], path[i - 1]
+            idx = parent.find_entry(node.pid)
+            assert idx is not None
+            if len(node.entries) < self.min_entries:
+                parent.entries.pop(idx)
+                modified[i - 1] = True
+                if node.entries:
+                    orphans.append((list(node.entries), node.level))
+                self._pager.free(node.pid)
+                modified[i] = False
+            else:
+                if self.shrink_on_delete:
+                    tight = node.tight_mbr()
+                    if tight is not None and tight != node.mbr:
+                        node.mbr = tight
+                        parent.entries[idx].rect = tight
+                        modified[i - 1] = True
+                if modified[i]:
+                    self._pager.write(node)
+
+        root = path[0]
+        if modified[0]:
+            self._pager.write(root)
+        if self.shrink_on_delete:
+            root.mbr = root.tight_mbr()
+
+        # Re-insert orphaned entries at their original level.
+        for entries, level in orphans:
+            for entry in entries:
+                pid = self._insert_entry(entry, level)
+                if level > 0:
+                    self._inspect(entry.child).parent = pid
+                elif self.on_entries_moved is not None:
+                    self.on_entries_moved([(entry.child, pid)])
+
+        self._collapse_root()
+
+    def _collapse_root(self) -> None:
+        root = self._inspect(self._root_pid)
+        while not root.is_leaf and len(root.entries) == 1:
+            child_pid = root.entries[0].child
+            child = self._read(child_pid)
+            child.parent = NO_PAGE
+            self._pager.free(root.pid)
+            self._root_pid = child_pid
+            root = child
+        if not root.is_leaf and not root.entries:
+            root.level = 0
+            self._pager.write(root)
+
+    def delete_at(self, obj_id: int, leaf_pid: PageId) -> Optional[Point]:
+        """Pointer-based deletion (Section 2.1): no spatial search, no MBR
+        shrinking; an emptied leaf is unlinked from its parent chain.
+
+        Returns the deleted point, or None when the page did not hold the
+        object (the caller's pointer was stale).
+        """
+        if not self._pager.contains(leaf_pid):
+            return None
+        node = self._read(leaf_pid)
+        if not node.is_leaf:
+            return None
+        idx = node.find_entry(obj_id)
+        if idx is None:
+            return None
+        return self.delete_from_node(node, idx)
+
+    def delete_from_node(self, node: RTreeNode, idx: int) -> Point:
+        """Remove entry ``idx`` from an already-read (pinned) leaf.
+
+        Splitting this out of :meth:`delete_at` lets the lazy update path --
+        which has just read the leaf for the same-MBR test -- avoid paying a
+        second read for the same page.
+        """
+        point = node.entries[idx].point
+        node.entries.pop(idx)
+        self._size -= 1
+        if node.entries or node.is_root:
+            self._pager.write(node)
+        else:
+            self._unlink_empty(node)
+        return point
+
+    def _unlink_empty(self, node: RTreeNode) -> None:
+        """Free an emptied node and detach it from its parent, recursively."""
+        while not node.is_root and not node.entries:
+            parent = self._read(node.parent)
+            idx = parent.find_entry(node.pid)
+            assert idx is not None
+            parent.entries.pop(idx)
+            self._pager.free(node.pid)
+            node = parent
+        if node.entries or node.is_root:
+            self._pager.write(node)
+        if node.is_root and not node.entries and not node.is_leaf:
+            node.level = 0
+
+    # -- update -------------------------------------------------------------
+
+    def update(
+        self,
+        obj_id: int,
+        old_point: Sequence[float],
+        new_point: Sequence[float],
+        now: Optional[float] = None,
+    ) -> PageId:
+        """Traditional update: delete at the old location, re-insert at the new.
+
+        Paper Section 2.1: "object with id i moves from its current location
+        (x1,y1) to new location (x2,y2).  This can be handled in an R-tree by
+        first deleting this object from its current location and then
+        re-inserting it in the new location."
+
+        ``now`` is accepted for interface parity with the CT-R-tree (whose
+        adaptation is time-driven) and ignored.
+        """
+        del now
+        if not self.delete(obj_id, old_point):
+            raise KeyError(f"object {obj_id} not found at {tuple(old_point)}")
+        return self.insert(obj_id, new_point)
+
+    # -- queries ------------------------------------------------------------
+
+    def range_search(self, rect: Rect) -> List[Tuple[int, Point]]:
+        """All (obj_id, point) pairs inside the closed rectangle ``rect``."""
+        results: List[Tuple[int, Point]] = []
+        stack = [self._root_pid]
+        while stack:
+            node = self._read(stack.pop())
+            if node.is_leaf:
+                for entry in node.entries:
+                    if rect.contains_point(entry.point):
+                        results.append((entry.child, entry.point))
+            else:
+                for entry in node.entries:
+                    if entry.rect.intersects(rect):
+                        stack.append(entry.child)
+        return results
+
+    def search_point(self, point: Sequence[float]) -> List[int]:
+        """Object ids stored exactly at ``point``."""
+        rect = Rect.from_point(tuple(point))
+        return [obj_id for obj_id, _ in self.range_search(rect)]
+
+    def nearest(self, point: Sequence[float], k: int = 1) -> List[Tuple[float, int, Point]]:
+        """The ``k`` nearest objects to ``point`` as (distance, id, point),
+        nearest first.
+
+        Best-first search (Hjaltason & Samet): a priority queue ordered by
+        lower-bound distance holds both unexplored nodes and concrete
+        objects; nodes are read (charged) only when their bound is still
+        competitive.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        target = tuple(point)
+        heap: List[Tuple[float, int, int, Optional[Point]]] = []
+        counter = 0
+
+        def push_node(pid: PageId, bound: float) -> None:
+            nonlocal counter
+            heapq.heappush(heap, (bound, counter, pid, None))
+            counter += 1
+
+        def push_object(obj_id: int, obj_point: Point) -> None:
+            nonlocal counter
+            heapq.heappush(
+                heap, (math.dist(target, obj_point), counter, obj_id, obj_point)
+            )
+            counter += 1
+
+        push_node(self._root_pid, 0.0)
+        results: List[Tuple[float, int, Point]] = []
+        while heap and len(results) < k:
+            distance, _tie, ident, payload = heapq.heappop(heap)
+            if payload is not None:
+                results.append((distance, ident, payload))
+                continue
+            node = self._read(ident)
+            if node.is_leaf:
+                for entry in node.entries:
+                    push_object(entry.child, entry.point)
+            else:
+                for entry in node.entries:
+                    push_node(entry.child, entry.rect.min_distance(target))
+        return results
+
+    # -- uncharged introspection ----------------------------------------------
+
+    def iter_leaves(self) -> Iterator[RTreeNode]:
+        stack = [self._root_pid]
+        while stack:
+            node = self._inspect(stack.pop())
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(e.child for e in node.entries)
+
+    def iter_objects(self) -> Iterator[Tuple[int, Point]]:
+        for leaf in self.iter_leaves():
+            for entry in leaf.entries:
+                yield entry.child, entry.point
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root_pid]
+        while stack:
+            node = self._inspect(stack.pop())
+            count += 1
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)
+        return count
+
+    def validate(self) -> List[str]:
+        """Structural invariant check (tests); returns violation messages."""
+        problems: List[str] = []
+        root = self._inspect(self._root_pid)
+        if root.parent != NO_PAGE:
+            problems.append("root has a parent pointer")
+        counted = 0
+        stack: List[Tuple[PageId, Optional[Rect], int]] = [(self._root_pid, None, root.level)]
+        while stack:
+            pid, covering, expected_level = stack.pop()
+            node = self._inspect(pid)
+            if node.level != expected_level:
+                problems.append(f"node {pid}: level {node.level} != expected {expected_level}")
+            if pid != self._root_pid and not (
+                self.min_entries <= len(node.entries) <= self.max_entries
+            ):
+                if self.shrink_on_delete:
+                    problems.append(
+                        f"node {pid}: fill {len(node.entries)} outside "
+                        f"[{self.min_entries}, {self.max_entries}]"
+                    )
+                elif len(node.entries) == 0 or len(node.entries) > self.max_entries:
+                    problems.append(f"node {pid}: fill {len(node.entries)} invalid for lazy tree")
+            for entry in node.entries:
+                if covering is not None and not covering.contains_rect(entry.rect):
+                    problems.append(f"node {pid}: entry {entry!r} escapes parent rect")
+                if node.is_leaf:
+                    counted += 1
+                else:
+                    child = self._inspect(entry.child)
+                    if child.parent != pid:
+                        problems.append(
+                            f"node {entry.child}: parent pointer {child.parent} != {pid}"
+                        )
+                    stack.append((entry.child, entry.rect, node.level - 1))
+        if counted != self._size:
+            problems.append(f"size counter {self._size} != stored objects {counted}")
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"RTree(size={self._size}, height={self.height}, "
+            f"split={self.split_policy!r}, alpha={self.alpha})"
+        )

@@ -1,0 +1,207 @@
+"""Node split policies.
+
+Guttman's linear and quadratic splits [7] and the R*-style split [paper's
+"Other structures such as R*-trees use a slightly more complicated decision
+process to determine the split", Section 2.2].  Each policy is a pure
+function over a list of entries (anything with a ``rect`` attribute),
+returning two groups that both respect the minimum fill; the caller wires the
+groups back into pages.
+
+The CT-R-tree reuses these for its structural skeleton, so the policies are
+deliberately agnostic about what an entry's ``child`` means.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+from repro.core.geometry import Rect
+
+E = TypeVar("E")  # any object with a .rect attribute
+
+SplitResult = Tuple[List[E], List[E]]
+SplitFn = Callable[[Sequence[E], int], SplitResult]
+
+
+def _validate(entries: Sequence[E], min_entries: int) -> None:
+    if len(entries) < 2:
+        raise ValueError("cannot split fewer than two entries")
+    if min_entries < 1:
+        raise ValueError("min_entries must be at least 1")
+    if len(entries) < 2 * min_entries:
+        raise ValueError(
+            f"{len(entries)} entries cannot satisfy min fill {min_entries} on both sides"
+        )
+
+
+def quadratic_split(entries: Sequence[E], min_entries: int) -> SplitResult:
+    """Guttman's quadratic split: seed with the most wasteful pair, then
+    repeatedly assign the entry with the largest preference difference."""
+    _validate(entries, min_entries)
+    remaining = list(entries)
+
+    # PickSeeds: the pair whose combined rectangle wastes the most area.
+    worst = -1.0
+    seed_a = seed_b = 0
+    for i in range(len(remaining)):
+        rect_i = remaining[i].rect
+        for j in range(i + 1, len(remaining)):
+            rect_j = remaining[j].rect
+            waste = rect_i.union(rect_j).area - rect_i.area - rect_j.area
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+
+    group_a = [remaining[seed_a]]
+    group_b = [remaining[seed_b]]
+    for index in sorted((seed_a, seed_b), reverse=True):
+        remaining.pop(index)
+    mbr_a = group_a[0].rect
+    mbr_b = group_b[0].rect
+
+    while remaining:
+        # If one group must take everything left to reach the minimum, do so.
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+
+        # PickNext: entry with the greatest enlargement difference.
+        best_index = 0
+        best_diff = -1.0
+        for i, entry in enumerate(remaining):
+            d_a = mbr_a.union(entry.rect).area - mbr_a.area
+            d_b = mbr_b.union(entry.rect).area - mbr_b.area
+            diff = abs(d_a - d_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_index = i
+        entry = remaining.pop(best_index)
+        d_a = mbr_a.union(entry.rect).area - mbr_a.area
+        d_b = mbr_b.union(entry.rect).area - mbr_b.area
+        # Resolve ties by smaller area, then smaller group.
+        if d_a < d_b or (
+            d_a == d_b
+            and (mbr_a.area, len(group_a)) <= (mbr_b.area, len(group_b))
+        ):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+
+    return group_a, group_b
+
+
+def linear_split(entries: Sequence[E], min_entries: int) -> SplitResult:
+    """Guttman's linear split: seeds are the pair with the greatest normalized
+    separation along any dimension; the rest are assigned by least enlargement."""
+    _validate(entries, min_entries)
+    remaining = list(entries)
+    dim = remaining[0].rect.dim
+
+    best_separation = -1.0
+    seed_a = 0
+    seed_b = 1 if len(remaining) > 1 else 0
+    for axis in range(dim):
+        highest_lo = max(range(len(remaining)), key=lambda i: remaining[i].rect.lo[axis])
+        lowest_hi = min(range(len(remaining)), key=lambda i: remaining[i].rect.hi[axis])
+        if highest_lo == lowest_hi:
+            continue
+        width = (
+            max(e.rect.hi[axis] for e in remaining)
+            - min(e.rect.lo[axis] for e in remaining)
+        )
+        if width <= 0:
+            continue
+        separation = (
+            remaining[highest_lo].rect.lo[axis] - remaining[lowest_hi].rect.hi[axis]
+        ) / width
+        if separation > best_separation:
+            best_separation = separation
+            seed_a, seed_b = lowest_hi, highest_lo
+
+    if seed_a == seed_b:  # fully overlapping input; any two distinct seeds do
+        seed_a, seed_b = 0, 1
+
+    group_a = [remaining[seed_a]]
+    group_b = [remaining[seed_b]]
+    for index in sorted((seed_a, seed_b), reverse=True):
+        remaining.pop(index)
+    mbr_a = group_a[0].rect
+    mbr_b = group_b[0].rect
+
+    for index, entry in enumerate(remaining):
+        left = len(remaining) - index
+        # Force-fill a group that needs every remaining entry to reach the
+        # minimum; otherwise assign by least enlargement.
+        if len(group_a) + left == min_entries:
+            group_a.extend(remaining[index:])
+            return group_a, group_b
+        if len(group_b) + left == min_entries:
+            group_b.extend(remaining[index:])
+            return group_a, group_b
+        d_a = mbr_a.union(entry.rect).area - mbr_a.area
+        d_b = mbr_b.union(entry.rect).area - mbr_b.area
+        choose_a = d_a < d_b or (d_a == d_b and len(group_a) <= len(group_b))
+        if choose_a:
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.rect)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.rect)
+
+    return group_a, group_b
+
+
+def rstar_split(entries: Sequence[E], min_entries: int) -> SplitResult:
+    """R*-style split: choose the axis with the least total margin over all
+    candidate distributions, then the distribution with the least overlap
+    (ties broken by combined area)."""
+    _validate(entries, min_entries)
+    items = list(entries)
+    dim = items[0].rect.dim
+    total = len(items)
+    max_k = total - min_entries  # split points: min_entries .. max_k
+
+    def distributions(axis: int) -> List[Tuple[List[E], List[E]]]:
+        candidates = []
+        for sort_key in (
+            lambda e: (e.rect.lo[axis], e.rect.hi[axis]),
+            lambda e: (e.rect.hi[axis], e.rect.lo[axis]),
+        ):
+            ordered = sorted(items, key=sort_key)
+            for k in range(min_entries, max_k + 1):
+                candidates.append((ordered[:k], ordered[k:]))
+        return candidates
+
+    best_axis = 0
+    best_margin = float("inf")
+    for axis in range(dim):
+        margin_sum = 0.0
+        for left, right in distributions(axis):
+            margin_sum += Rect.union_all(e.rect for e in left).margin
+            margin_sum += Rect.union_all(e.rect for e in right).margin
+        if margin_sum < best_margin:
+            best_margin = margin_sum
+            best_axis = axis
+
+    best_split: SplitResult = ([], [])
+    best_key = (float("inf"), float("inf"))
+    for left, right in distributions(best_axis):
+        mbr_left = Rect.union_all(e.rect for e in left)
+        mbr_right = Rect.union_all(e.rect for e in right)
+        key = (mbr_left.overlap_area(mbr_right), mbr_left.area + mbr_right.area)
+        if key < best_key:
+            best_key = key
+            best_split = (list(left), list(right))
+    return best_split
+
+
+SPLIT_POLICIES: Dict[str, SplitFn] = {
+    "linear": linear_split,
+    "quadratic": quadratic_split,
+    "rstar": rstar_split,
+}

@@ -1,0 +1,125 @@
+"""Per-category page-I/O accounting.
+
+The paper's evaluation separates the page I/Os incurred by *queries* from
+those incurred by *dynamic updates* (Figures 8-13 all plot one or both).
+:class:`IOStats` keeps one :class:`IOCounter` per category and lets callers
+scope a block of work to a category with :meth:`IOStats.category`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+
+class IOCategory:
+    """Well-known accounting categories used by the experiment harness."""
+
+    QUERY = "query"
+    UPDATE = "update"
+    BUILD = "build"
+    OTHER = "other"
+
+    ALL = (QUERY, UPDATE, BUILD, OTHER)
+
+
+@dataclass
+class IOCounter:
+    """Read/write page counts for one category."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def copy(self) -> "IOCounter":
+        return IOCounter(self.reads, self.writes)
+
+    def __add__(self, other: "IOCounter") -> "IOCounter":
+        return IOCounter(self.reads + other.reads, self.writes + other.writes)
+
+    def __sub__(self, other: "IOCounter") -> "IOCounter":
+        return IOCounter(self.reads - other.reads, self.writes - other.writes)
+
+
+class IOStats:
+    """Accumulates page reads and writes, attributed to the active category.
+
+    The active category is managed as a stack so nested scopes compose:
+
+    >>> stats = IOStats()
+    >>> with stats.category(IOCategory.UPDATE):
+    ...     stats.record_read()
+    >>> stats.reads(IOCategory.UPDATE)
+    1
+
+    Work performed outside any scope is attributed to ``IOCategory.OTHER``.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, IOCounter] = {}
+        self._stack = [IOCategory.OTHER]
+
+    # -- recording -------------------------------------------------------
+
+    def record_read(self, count: int = 1) -> None:
+        self._counter(self._stack[-1]).reads += count
+
+    def record_write(self, count: int = 1) -> None:
+        self._counter(self._stack[-1]).writes += count
+
+    @contextmanager
+    def category(self, name: str) -> Iterator[None]:
+        """Attribute all I/O inside the block to ``name``."""
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @property
+    def active_category(self) -> str:
+        return self._stack[-1]
+
+    # -- reporting -------------------------------------------------------
+
+    def _counter(self, name: str) -> IOCounter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = IOCounter()
+            self._counters[name] = counter
+        return counter
+
+    def counter(self, name: str) -> IOCounter:
+        """A copy of the counter for ``name`` (zero if never touched)."""
+        return self._counter(name).copy()
+
+    def reads(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            return self._counter(name).reads
+        return sum(c.reads for c in self._counters.values())
+
+    def writes(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            return self._counter(name).writes
+        return sum(c.writes for c in self._counters.values())
+
+    def total(self, name: Optional[str] = None) -> int:
+        return self.reads(name) + self.writes(name)
+
+    def snapshot(self) -> Dict[str, IOCounter]:
+        """An immutable view of all counters at this instant."""
+        return {name: counter.copy() for name, counter in self._counters.items()}
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={counter.reads}r/{counter.writes}w"
+            for name, counter in sorted(self._counters.items())
+        )
+        return f"IOStats({parts})"

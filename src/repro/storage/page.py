@@ -1,0 +1,49 @@
+"""Base page type for the paged storage substrate.
+
+A :class:`Page` models one fixed-size disk block.  Index structures subclass
+it (R-tree nodes, data pages, hash buckets) and store Python objects rather
+than serialized bytes: the experiments measure *page access counts*, not byte
+layouts, so what matters is that each page respects its entry capacity
+(``N_entry`` in the paper's Table 1) and that every access goes through the
+:class:`~repro.storage.pager.Pager`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+PageId = int
+
+#: Sentinel for "no page" pointers, e.g. the tail of an overflow chain.
+NO_PAGE: PageId = -1
+
+
+class Page:
+    """One disk block.
+
+    Attributes:
+        pid: page id, assigned by the pager at allocation time
+            (``NO_PAGE`` until then).
+    """
+
+    __slots__ = ("pid",)
+
+    def __init__(self) -> None:
+        self.pid: PageId = NO_PAGE
+
+    @property
+    def is_allocated(self) -> bool:
+        return self.pid != NO_PAGE
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(pid={self.pid})"
+
+
+class RawPage(Page):
+    """A page holding an arbitrary payload; used by tests and generic code."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Optional[object] = None) -> None:
+        super().__init__()
+        self.payload = payload

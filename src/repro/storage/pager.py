@@ -1,0 +1,115 @@
+"""The pager: a page store that charges one I/O per page touched.
+
+The paper's performance metric is the number of page I/Os ("We do not
+distinguish between sequential page I/Os and random page I/Os -- each page is
+treated equally", Section 4.1).  The pager reproduces that accounting model:
+
+* :meth:`Pager.read` fetches a page and charges **one read**;
+* :meth:`Pager.write` persists a page and charges **one write**;
+* :meth:`Pager.allocate` creates a page and charges **one write** (the block
+  must reach disk);
+* :meth:`Pager.free` releases a page without charge (a real system would
+  merely flip a bit in a free-space map).
+
+Structures that want to inspect pages without perturbing the experiment
+(tests, invariant checkers, debug dumps) use :meth:`Pager.inspect`, which is
+never charged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.storage.iostats import IOStats
+from repro.storage.page import NO_PAGE, Page, PageId
+
+
+class PageNotAllocatedError(KeyError):
+    """Raised when a page id does not refer to a live page."""
+
+
+class Pager:
+    """An in-memory paged store with I/O accounting.
+
+    Args:
+        page_size: block size in bytes (``S_page``); informational -- entry
+            capacities are enforced by the structures themselves via
+            ``N_entry``-style limits.
+        stats: the :class:`IOStats` instance to charge; a fresh one is
+            created when omitted.
+    """
+
+    def __init__(self, page_size: int = 4096, stats: Optional[IOStats] = None) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self._pages: Dict[PageId, Page] = {}
+        self._next_pid: PageId = 0
+        self._freed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def allocate(self, page: Page) -> PageId:
+        """Assign a fresh page id to ``page``, store it, and charge one write."""
+        if page.is_allocated:
+            raise ValueError(f"page already allocated with pid={page.pid}")
+        pid = self._next_pid
+        self._next_pid += 1
+        page.pid = pid
+        self._pages[pid] = page
+        self.stats.record_write()
+        return pid
+
+    def free(self, pid: PageId) -> None:
+        """Release a page.  Not charged (free-space-map bookkeeping)."""
+        page = self._pages.pop(pid, None)
+        if page is None:
+            raise PageNotAllocatedError(pid)
+        page.pid = NO_PAGE
+        self._freed += 1
+
+    # -- charged access --------------------------------------------------
+
+    def read(self, pid: PageId) -> Page:
+        """Fetch a page; charges one read."""
+        try:
+            page = self._pages[pid]
+        except KeyError:
+            raise PageNotAllocatedError(pid) from None
+        self.stats.record_read()
+        return page
+
+    def write(self, page: Page) -> None:
+        """Persist a (mutated) page; charges one write."""
+        if not page.is_allocated or page.pid not in self._pages:
+            raise PageNotAllocatedError(page.pid)
+        self.stats.record_write()
+
+    # -- uncharged access ------------------------------------------------
+
+    def inspect(self, pid: PageId) -> Page:
+        """Fetch a page without charging I/O (tests and invariant checks)."""
+        try:
+            return self._pages[pid]
+        except KeyError:
+            raise PageNotAllocatedError(pid) from None
+
+    def contains(self, pid: PageId) -> bool:
+        return pid in self._pages
+
+    def iter_pids(self) -> Iterator[PageId]:
+        return iter(tuple(self._pages.keys()))
+
+    @property
+    def page_count(self) -> int:
+        """Number of live pages."""
+        return len(self._pages)
+
+    @property
+    def freed_count(self) -> int:
+        """Number of pages released over the pager's lifetime."""
+        return self._freed
+
+    def __repr__(self) -> str:
+        return f"Pager(pages={self.page_count}, page_size={self.page_size})"

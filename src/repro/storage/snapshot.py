@@ -1,0 +1,357 @@
+"""Snapshot persistence: save and load indexes without pickle.
+
+The pager and every page type serialize to a explicit, versioned JSON
+document -- the moving-object database can be checkpointed and reopened
+(e.g. the paper's offline rebuild runs "in background ... once the
+rebuilding is completed, the new index is used immediately": building in one
+process and shipping a snapshot to another is exactly this).
+
+Format (version 1): one JSON object with
+
+* ``pager``: page size, next page id, and every live page tagged by type;
+* ``index``: structure-specific metadata (root page, counters, parameters,
+  hash directory, buffer-tree table ...).
+
+Only data is stored -- never code -- so snapshots are safe to exchange.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.ctrtree import CTNode, CTRTree
+from repro.core.geometry import Rect
+from repro.core.overflow import DataPage, NodeBuffer, QSEntry
+from repro.core.params import CTParams
+from repro.hashindex.hashindex import BucketPage, HashIndex
+from repro.rtree.lazy import LazyRTree
+from repro.rtree.node import Entry, RTreeNode
+from repro.rtree.rtree import RTree
+from repro.storage.page import Page
+from repro.storage.pager import Pager
+
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """Raised for malformed or incompatible snapshot documents."""
+
+
+# -- rectangle / entry encoding ------------------------------------------------
+
+
+def _enc_rect(rect: Optional[Rect]):
+    if rect is None:
+        return None
+    return [list(rect.lo), list(rect.hi)]
+
+
+def _dec_rect(data) -> Optional[Rect]:
+    if data is None:
+        return None
+    return Rect(tuple(data[0]), tuple(data[1]))
+
+
+def _enc_owner(owner):
+    return list(owner)
+
+
+def _dec_owner(data):
+    return tuple(data)
+
+
+# -- page encoding -----------------------------------------------------------
+
+
+def _encode_page(page: Page) -> Dict:
+    if isinstance(page, CTNode):
+        return {
+            "type": "ct_node",
+            "level": page.level,
+            "parent": page.parent,
+            "mbr": _enc_rect(page.mbr),
+            "buffer": {
+                "kind": page.buffer.kind,
+                "pages": list(page.buffer.pages),
+                "fills": list(page.buffer.fills),
+            },
+            "entries": [
+                {
+                    "rect": _enc_rect(e.rect),
+                    "region_id": e.region_id,
+                    "chain": list(e.chain),
+                    "fills": list(e.fills),
+                    "removals": e.removals,
+                    "window_start": e.window_start,
+                }
+                if isinstance(e, QSEntry)
+                else {"rect": _enc_rect(e.rect), "child": e.child}
+                for e in page.entries
+            ],
+        }
+    if isinstance(page, RTreeNode):
+        return {
+            "type": "rtree_node",
+            "level": page.level,
+            "parent": page.parent,
+            "mbr": _enc_rect(page.mbr),
+            "tag": page.tag,
+            "entries": [
+                {"rect": _enc_rect(e.rect), "child": e.child} for e in page.entries
+            ],
+        }
+    if isinstance(page, DataPage):
+        return {
+            "type": "data_page",
+            "capacity": page.capacity,
+            "owner": _enc_owner(page.owner),
+            "tolerance": _enc_rect(page.tolerance),
+            "records": {str(oid): list(pt) for oid, pt in page.records.items()},
+        }
+    if isinstance(page, BucketPage):
+        return {"type": "bucket_page", "slots": list(page.slots)}
+    raise SnapshotError(f"cannot snapshot page type {type(page).__name__}")
+
+
+def _decode_page(data: Dict) -> Page:
+    kind = data.get("type")
+    if kind == "ct_node":
+        node = CTNode(level=data["level"])
+        node.parent = data["parent"]
+        node.mbr = _dec_rect(data["mbr"])
+        buf = NodeBuffer()
+        buf.kind = data["buffer"]["kind"]
+        buf.pages = list(data["buffer"]["pages"])
+        buf.fills = list(data["buffer"]["fills"])
+        node.buffer = buf
+        for raw in data["entries"]:
+            if "region_id" in raw:
+                qs = QSEntry(_dec_rect(raw["rect"]), raw["region_id"], raw["window_start"])
+                qs.chain = list(raw["chain"])
+                qs.fills = list(raw["fills"])
+                qs.removals = raw["removals"]
+                node.entries.append(qs)
+            else:
+                node.entries.append(Entry(_dec_rect(raw["rect"]), raw["child"]))
+        return node
+    if kind == "rtree_node":
+        node = RTreeNode(level=data["level"])
+        node.parent = data["parent"]
+        node.mbr = _dec_rect(data["mbr"])
+        node.tag = data["tag"]
+        node.entries = [
+            Entry(_dec_rect(raw["rect"]), raw["child"]) for raw in data["entries"]
+        ]
+        return node
+    if kind == "data_page":
+        page = DataPage(
+            data["capacity"], _dec_owner(data["owner"]), _dec_rect(data["tolerance"])
+        )
+        page.records = {int(oid): tuple(pt) for oid, pt in data["records"].items()}
+        return page
+    if kind == "bucket_page":
+        page = BucketPage(len(data["slots"]))
+        page.slots = list(data["slots"])
+        return page
+    raise SnapshotError(f"unknown page type {kind!r}")
+
+
+# -- pager --------------------------------------------------------------------
+
+
+def _encode_pager(pager: Pager) -> Dict:
+    return {
+        "page_size": pager.page_size,
+        "next_pid": pager._next_pid,
+        "pages": {str(pid): _encode_page(pager.inspect(pid)) for pid in pager.iter_pids()},
+    }
+
+
+def _decode_pager(data: Dict) -> Pager:
+    pager = Pager(page_size=data["page_size"])
+    for pid_str, raw in data["pages"].items():
+        page = _decode_page(raw)
+        page.pid = int(pid_str)
+        pager._pages[page.pid] = page
+    pager._next_pid = data["next_pid"]
+    # Loading is not charged: a restore maps pages in, it does not re-write them.
+    pager.stats.reset()
+    return pager
+
+
+def _encode_hash(index: HashIndex) -> Dict:
+    return {
+        "entries_per_bucket": index.entries_per_bucket,
+        "buckets": {str(k): v for k, v in index._buckets.items()},
+        "count": len(index),
+    }
+
+
+def _decode_hash(data: Dict, pager: Pager) -> HashIndex:
+    index = HashIndex(pager, entries_per_bucket=data["entries_per_bucket"])
+    index._buckets = {int(k): v for k, v in data["buckets"].items()}
+    index._count = data["count"]
+    return index
+
+
+def _encode_rtree_config(tree: RTree) -> Dict:
+    return {
+        "root_pid": tree.root_pid,
+        "size": len(tree),
+        "max_entries": tree.max_entries,
+        "min_entries": tree.min_entries,
+        "split": tree.split_policy,
+        "alpha": tree.alpha,
+        "shrink_on_delete": tree.shrink_on_delete,
+        "forced_reinsert": tree.forced_reinsert,
+    }
+
+
+def _decode_rtree(data: Dict, pager: Pager) -> RTree:
+    tree = RTree(
+        pager,
+        max_entries=data["max_entries"],
+        split=data["split"],
+        alpha=data["alpha"],
+        shrink_on_delete=data["shrink_on_delete"],
+        forced_reinsert=data["forced_reinsert"],
+    )
+    pager.free(tree.root_pid)  # discard the bootstrap root
+    tree._root_pid = data["root_pid"]
+    tree._size = data["size"]
+    tree.min_entries = data["min_entries"]
+    return tree
+
+
+# -- public API: LazyRTree ----------------------------------------------------
+
+
+def save_lazy_rtree(tree: LazyRTree, path: Union[str, Path]) -> Path:
+    """Snapshot a lazy-R-tree (or alpha-tree) with its hash index."""
+    document = {
+        "version": FORMAT_VERSION,
+        "structure": "lazy_rtree",
+        "pager": _encode_pager(tree.pager),
+        "index": {
+            "tree": _encode_rtree_config(tree.tree),
+            "hash": _encode_hash(tree.hash),
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+def load_lazy_rtree(path: Union[str, Path]) -> LazyRTree:
+    document = _read_document(path, expected="lazy_rtree")
+    pager = _decode_pager(document["pager"])
+    inner = _decode_rtree(document["index"]["tree"], pager)
+    hash_index = _decode_hash(document["index"]["hash"], pager)
+    tree = LazyRTree.__new__(LazyRTree)
+    tree.tree = inner
+    tree.hash = hash_index
+    tree.lazy_hits = 0
+    tree.relocations = 0
+    inner.on_entries_moved = tree._entries_moved
+    pager.stats.reset()
+    return tree
+
+
+# -- public API: CTRTree -------------------------------------------------------
+
+
+def save_ctrtree(tree: CTRTree, path: Union[str, Path]) -> Path:
+    """Snapshot a CT-R-tree: structural pages, chains, buffers, hash index."""
+    params = tree.params
+    document = {
+        "version": FORMAT_VERSION,
+        "structure": "ctrtree",
+        "pager": _encode_pager(tree.pager),
+        "index": {
+            "root_pid": tree.root_pid,
+            "domain": _enc_rect(tree.domain),
+            "size": len(tree),
+            "clock": tree._clock,
+            "next_region_id": tree._next_region_id,
+            "max_entries": tree.max_entries,
+            "min_entries": tree.min_entries,
+            "adaptive": tree.adaptive,
+            "params": {
+                field: getattr(params, field)
+                for field in (
+                    "t_dist", "t_rate", "t_time", "t_area", "c_query", "c_update",
+                    "t_list", "t_buf_num", "t_buf_time", "t_remove", "alpha",
+                )
+            },
+            "hash": _encode_hash(tree.hash),
+            "buffer_trees": {
+                str(node_pid): _encode_rtree_config(btree)
+                for node_pid, btree in tree._buffer_trees.items()
+            },
+            "buffer_bounds": {
+                str(node_pid): _enc_rect(bound)
+                for node_pid, bound in tree._buffer_bounds.items()
+            },
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+def load_ctrtree(path: Union[str, Path]) -> CTRTree:
+    document = _read_document(path, expected="ctrtree")
+    meta = document["index"]
+    pager = _decode_pager(document["pager"])
+
+    tree = CTRTree.__new__(CTRTree)
+    tree._pager = pager
+    tree.domain = _dec_rect(meta["domain"])
+    tree.params = CTParams(**meta["params"])
+    tree.max_entries = meta["max_entries"]
+    tree.min_entries = meta["min_entries"]
+    tree.page_capacity = meta["max_entries"]
+    from repro.rtree.splits import SPLIT_POLICIES
+
+    tree._split_fn = SPLIT_POLICIES["quadratic"]
+    tree.hash = _decode_hash(meta["hash"], pager)
+    tree.adaptive = meta["adaptive"]
+    tree._buffer_trees = {}
+    tree._buffer_bounds = {
+        int(k): _dec_rect(v) for k, v in meta["buffer_bounds"].items()
+    }
+    tree._size = meta["size"]
+    tree._clock = meta["clock"]
+    tree._next_region_id = meta["next_region_id"]
+    tree.lazy_hits = 0
+    tree.relocations = 0
+    tree._root_pid = meta["root_pid"]
+
+    from repro.core.adaptive import AdaptationManager
+
+    tree.adaptation = AdaptationManager(tree)
+
+    for node_pid_str, config in meta["buffer_trees"].items():
+        btree = _decode_rtree(config, pager)
+        btree.on_entries_moved = tree.hash.set_many
+        tree._buffer_trees[int(node_pid_str)] = btree
+    pager.stats.reset()
+    return tree
+
+
+def _read_document(path: Union[str, Path], expected: str) -> Dict:
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"not a snapshot file: {exc}") from exc
+    if document.get("version") != FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {document.get('version')!r}")
+    if document.get("structure") != expected:
+        raise SnapshotError(
+            f"snapshot holds a {document.get('structure')!r}, expected {expected!r}"
+        )
+    return document

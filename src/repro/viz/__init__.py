@@ -1,0 +1,32 @@
+"""Visualization: SVG renderings of the paper's illustrative figures.
+
+The evaluation figures (8-13) are regenerated as data tables by
+:mod:`repro.experiments`; this package reproduces the *illustrative* figures
+as SVG drawings from live data structures:
+
+* Figure 2(a): object trails segmented into initial qs-regions;
+* Figure 2(b) / Figure 5: the update graph before/after merging;
+* Figure 6: the structural R-tree over qs-regions;
+* Figure 7-style: the CT-R-tree's data placement (chains and buffers);
+* plus the generated city map itself.
+
+Everything is dependency-free SVG (see :mod:`repro.viz.svg`).
+"""
+
+from repro.viz.svg import SVGCanvas
+from repro.viz.figures import (
+    draw_city,
+    draw_ct_tree,
+    draw_structural_tree,
+    draw_trails,
+    draw_update_graph,
+)
+
+__all__ = [
+    "SVGCanvas",
+    "draw_city",
+    "draw_ct_tree",
+    "draw_structural_tree",
+    "draw_trails",
+    "draw_update_graph",
+]

@@ -1,0 +1,150 @@
+"""Renderings of the paper's illustrative figures from live structures."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.citysim.city import City
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.core.overflow import NodeBuffer
+from repro.core.qsregion import QSRegion, TrailSample
+from repro.core.update_graph import UpdateGraph
+from repro.viz.svg import SVGCanvas
+
+#: Per-level stroke colours for structural drawings (leaf upward).
+LEVEL_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b")
+
+TRAIL_COLORS = (
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+)
+
+
+def draw_city(city: City, width: int = 800) -> SVGCanvas:
+    """The generated city map: buildings, roads, intersections, park."""
+    canvas = SVGCanvas(city.bounds, width=width)
+    canvas.title(
+        f"City map: {len(city.buildings)} buildings, {len(city.roads)} roads, "
+        f"{len(city.intersections)} intersections, 1 park"
+    )
+    canvas.rect(city.park, stroke="#2ca02c", fill="#d4eed1", stroke_width=1.5)
+    for road in city.roads:
+        canvas.line(road.a, road.b, stroke="#bbbbbb", stroke_width=1.0)
+    for building in city.buildings:
+        canvas.rect(building.rect, stroke="#555555", fill="#e8e8f4")
+        canvas.circle(building.entrance, radius=1.5, fill="#555555")
+    for intersection in city.intersections:
+        canvas.circle(intersection, radius=3.0, fill="#d62728")
+    return canvas
+
+
+def draw_trails(
+    world: Rect,
+    histories: Mapping[int, Sequence[TrailSample]],
+    regions: Optional[Mapping[int, Sequence[QSRegion]]] = None,
+    max_objects: int = 10,
+    width: int = 800,
+) -> SVGCanvas:
+    """Figure 2(a): object trails (bold connected lines) and the bounding
+    rectangles of their initial qs-regions (dashed boxes)."""
+    canvas = SVGCanvas(world, width=width)
+    canvas.title("Figure 2(a): object trails and initial qs-regions")
+    for slot, (oid, trail) in enumerate(histories.items()):
+        if slot >= max_objects:
+            break
+        color = TRAIL_COLORS[slot % len(TRAIL_COLORS)]
+        canvas.polyline([p for p, _t in trail], stroke=color, stroke_width=1.2, opacity=0.8)
+        if trail:
+            canvas.circle(trail[0][0], radius=2.5, fill=color)
+        if regions is not None:
+            for region in regions.get(oid, ()):
+                canvas.rect(region.rect, stroke=color, dashed=True, stroke_width=1.0)
+    return canvas
+
+
+def draw_update_graph(
+    world: Rect,
+    graph: UpdateGraph,
+    title: str = "Figure 5: merged qs-regions and the update graph",
+    width: int = 800,
+    max_edge_width: float = 4.0,
+) -> SVGCanvas:
+    """Figures 2(b)/5: qs-regions as boxes, inter-region traffic as links
+    whose thickness scales with edge weight."""
+    canvas = SVGCanvas(world, width=width)
+    canvas.title(title)
+    max_weight = max((w for _a, _b, w in graph.edges()), default=1.0)
+    for a, b, weight in graph.edges():
+        stroke = 0.5 + (weight / max_weight) * max_edge_width
+        canvas.line(
+            graph.region(a).rect.center,
+            graph.region(b).rect.center,
+            stroke="#ff7f0e",
+            stroke_width=stroke,
+            opacity=0.7,
+        )
+    for rid in graph.region_ids:
+        region = graph.region(rid)
+        canvas.rect(region.rect, stroke="#1f77b4", dashed=True, stroke_width=1.2)
+        canvas.circle(region.rect.center, radius=2.0, fill="#1f77b4")
+    return canvas
+
+
+def draw_structural_tree(tree: CTRTree, width: int = 800) -> SVGCanvas:
+    """Figure 6: the structural R-tree over qs-regions -- nested node MBRs
+    (solid, coloured by level) over the qs-region rectangles (dashed)."""
+    canvas = SVGCanvas(tree.domain, width=width)
+    canvas.title(
+        f"Figure 6: structural R-tree ({tree.region_count} qs-regions, "
+        f"height {tree.height})"
+    )
+    for node in tree.iter_nodes():
+        if node.mbr is None:
+            continue
+        color = LEVEL_COLORS[min(node.level + 1, len(LEVEL_COLORS) - 1)]
+        canvas.rect(node.mbr, stroke=color, stroke_width=1.5 + 0.5 * node.level)
+    for _node, qs in tree.iter_qs_entries():
+        canvas.rect(qs.rect, stroke="#1f77b4", dashed=True)
+    return canvas
+
+
+def draw_ct_tree(tree: CTRTree, width: int = 800) -> SVGCanvas:
+    """Figure 7-style: where the data actually lives -- qs-region chains
+    (fill intensity = chain length), node buffers (hatched in orange), and
+    the current objects as dots."""
+    canvas = SVGCanvas(tree.domain, width=width)
+    canvas.title(
+        f"Figure 7: CT-R-tree data placement ({len(tree)} objects, "
+        f"{tree.buffered_object_count()} buffered)"
+    )
+    chain_lengths: Dict[int, int] = {}
+    for _node, qs in tree.iter_qs_entries():
+        chain_lengths[qs.region_id] = len(qs.chain)
+    longest = max(chain_lengths.values(), default=1) or 1
+    for _node, qs in tree.iter_qs_entries():
+        intensity = len(qs.chain) / longest
+        fill = f"rgba(31,119,180,{0.08 + 0.5 * intensity:.2f})"
+        canvas.rect(qs.rect, stroke="#1f77b4", fill=fill, stroke_width=1.0)
+        if qs.chain:
+            canvas.text(
+                qs.rect.center, str(qs.object_count()), size=9, anchor="middle"
+            )
+    for node in tree.iter_nodes():
+        buf = node.buffer
+        occupied = (
+            buf.object_count()
+            if buf.kind == NodeBuffer.KIND_LIST
+            else len(tree._buffer_trees[node.pid])
+        )
+        if occupied and node.mbr is not None:
+            canvas.rect(node.mbr, stroke="#ff7f0e", dashed=True, stroke_width=1.5)
+            canvas.text(
+                (node.mbr.lo[0], node.mbr.hi[1]),
+                f"buffer: {occupied} ({buf.kind})",
+                size=9,
+                fill="#ff7f0e",
+            )
+    for _oid, point in tree.iter_objects():
+        canvas.circle(point, radius=1.0, fill="#333333", opacity=0.5)
+    return canvas

@@ -1,0 +1,163 @@
+"""A minimal SVG canvas -- just enough for the figure renderings.
+
+Coordinates are given in *world* units (the city's metres); the canvas maps
+them into the SVG viewport with y flipped (SVG grows downward, maps grow
+upward).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.core.geometry import Rect
+
+Color = str
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+class SVGCanvas:
+    """Accumulates SVG elements over a world-coordinate viewport."""
+
+    def __init__(
+        self,
+        world: Rect,
+        width: int = 800,
+        margin: float = 20.0,
+        background: Optional[Color] = "#ffffff",
+    ) -> None:
+        if world.dim != 2:
+            raise ValueError("SVG rendering is 2-D only")
+        self.world = world
+        self.margin = margin
+        span_x, span_y = world.sides
+        if span_x <= 0 or span_y <= 0:
+            raise ValueError("world rectangle must have positive area")
+        self.scale = (width - 2 * margin) / span_x
+        self.width = width
+        self.height = int(span_y * self.scale + 2 * margin)
+        self._elements: List[str] = []
+        if background:
+            self._elements.append(
+                f'<rect x="0" y="0" width="{self.width}" height="{self.height}" '
+                f'fill="{background}"/>'
+            )
+
+    # -- coordinate mapping -----------------------------------------------
+
+    def x(self, wx: float) -> float:
+        return self.margin + (wx - self.world.lo[0]) * self.scale
+
+    def y(self, wy: float) -> float:
+        return self.height - self.margin - (wy - self.world.lo[1]) * self.scale
+
+    # -- primitives -----------------------------------------------------------
+
+    def rect(
+        self,
+        rect: Rect,
+        stroke: Color = "#333333",
+        fill: Color = "none",
+        stroke_width: float = 1.0,
+        dashed: bool = False,
+        opacity: float = 1.0,
+    ) -> None:
+        x0, y0 = self.x(rect.lo[0]), self.y(rect.hi[1])
+        w = rect.sides[0] * self.scale
+        h = rect.sides[1] * self.scale
+        dash = ' stroke-dasharray="5,3"' if dashed else ""
+        self._elements.append(
+            f'<rect x="{_fmt(x0)}" y="{_fmt(y0)}" width="{_fmt(w)}" height="{_fmt(h)}" '
+            f'stroke="{stroke}" fill="{fill}" stroke-width="{_fmt(stroke_width)}" '
+            f'opacity="{_fmt(opacity)}"{dash}/>'
+        )
+
+    def line(
+        self,
+        a: Sequence[float],
+        b: Sequence[float],
+        stroke: Color = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<line x1="{_fmt(self.x(a[0]))}" y1="{_fmt(self.y(a[1]))}" '
+            f'x2="{_fmt(self.x(b[0]))}" y2="{_fmt(self.y(b[1]))}" '
+            f'stroke="{stroke}" stroke-width="{_fmt(stroke_width)}" '
+            f'opacity="{_fmt(opacity)}"/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Sequence[float]],
+        stroke: Color = "#333333",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        if len(points) < 2:
+            return
+        path = " ".join(f"{_fmt(self.x(p[0]))},{_fmt(self.y(p[1]))}" for p in points)
+        self._elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(stroke_width)}" opacity="{_fmt(opacity)}"/>'
+        )
+
+    def circle(
+        self,
+        center: Sequence[float],
+        radius: float = 2.0,
+        fill: Color = "#333333",
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<circle cx="{_fmt(self.x(center[0]))}" cy="{_fmt(self.y(center[1]))}" '
+            f'r="{_fmt(radius)}" fill="{fill}" opacity="{_fmt(opacity)}"/>'
+        )
+
+    def text(
+        self,
+        position: Sequence[float],
+        content: str,
+        size: int = 12,
+        fill: Color = "#111111",
+        anchor: str = "start",
+    ) -> None:
+        escaped = (
+            content.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        self._elements.append(
+            f'<text x="{_fmt(self.x(position[0]))}" y="{_fmt(self.y(position[1]))}" '
+            f'font-size="{size}" font-family="sans-serif" fill="{fill}" '
+            f'text-anchor="{anchor}">{escaped}</text>'
+        )
+
+    def title(self, content: str) -> None:
+        escaped = content.replace("&", "&amp;").replace("<", "&lt;")
+        self._elements.append(
+            f'<text x="{_fmt(self.margin)}" y="{_fmt(self.margin * 0.8)}" '
+            f'font-size="14" font-family="sans-serif" font-weight="bold" '
+            f'fill="#111111">{escaped}</text>'
+        )
+
+    # -- output -----------------------------------------------------------------
+
+    def to_svg(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n  {body}\n</svg>\n'
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_svg(), encoding="utf-8")
+        return path
+
+    @property
+    def element_count(self) -> int:
+        return len(self._elements)

@@ -1,0 +1,15 @@
+"""Workload generation and the update/query simulation driver."""
+
+from repro.workload.queries import QueryWorkload, RangeQuery
+from repro.workload.updates import UpdateStream
+from repro.workload.driver import IndexKind, RunResult, SimulationDriver, make_index
+
+__all__ = [
+    "QueryWorkload",
+    "RangeQuery",
+    "UpdateStream",
+    "IndexKind",
+    "RunResult",
+    "SimulationDriver",
+    "make_index",
+]

@@ -1,0 +1,189 @@
+"""The simulation driver: replay updates and queries against an index.
+
+The driver merges the online update stream with a Poisson query stream in
+timestamp order and executes both against an index, attributing page I/O to
+``IOCategory.UPDATE`` / ``IOCategory.QUERY`` -- the two quantities every
+figure in the paper plots.
+
+All four evaluated structures expose the same surface (``insert``,
+``update``, ``delete``, ``range_search``), so one driver serves the
+traditional R-tree, the lazy-R-tree, the alpha-tree, and the CT-R-tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.builder import CTRTreeBuilder
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Point, Rect
+from repro.core.params import CTParams
+from repro.citysim.trace import TraceRecord
+from repro.rtree.alpha import AlphaTree
+from repro.rtree.lazy import LazyRTree
+from repro.rtree.rtree import RTree
+from repro.storage.iostats import IOCategory, IOCounter
+from repro.storage.pager import Pager
+from repro.workload.queries import RangeQuery
+
+AnyIndex = Union[RTree, LazyRTree, AlphaTree, CTRTree]
+
+
+class IndexKind:
+    """The four structures of the paper's evaluation (Section 4.2)."""
+
+    RTREE = "rtree"
+    LAZY = "lazy"
+    ALPHA = "alpha"
+    CT = "ct"
+
+    ALL = (RTREE, LAZY, ALPHA, CT)
+
+    LABELS = {
+        RTREE: "R-tree",
+        LAZY: "lazy-R-tree",
+        ALPHA: "alpha-tree",
+        CT: "CT-R-tree",
+    }
+
+
+def make_index(
+    kind: str,
+    pager: Pager,
+    domain: Rect,
+    *,
+    max_entries: int = 20,
+    ct_params: Optional[CTParams] = None,
+    histories: Optional[Mapping[int, Sequence]] = None,
+    query_rate: float = 50.0,
+    adaptive: bool = True,
+    split: str = "quadratic",
+) -> AnyIndex:
+    """Construct one of the four evaluated indexes on ``pager``.
+
+    The CT-R-tree additionally needs the history profile (``histories``) to
+    mine its qs-regions; the baselines ignore it.
+    """
+    params = ct_params if ct_params is not None else CTParams()
+    if kind == IndexKind.RTREE:
+        return RTree(pager, max_entries=max_entries, split=split)
+    if kind == IndexKind.LAZY:
+        return LazyRTree(pager, max_entries=max_entries, split=split)
+    if kind == IndexKind.ALPHA:
+        return AlphaTree(
+            pager, max_entries=max_entries, split=split, alpha=params.alpha
+        )
+    if kind == IndexKind.CT:
+        if histories is None:
+            raise ValueError("the CT-R-tree needs a history profile to build from")
+        builder = CTRTreeBuilder(
+            params,
+            query_rate=query_rate,
+            max_entries=max_entries,
+            split=split,
+            adaptive=adaptive,
+        )
+        tree, _ = builder.build(pager, domain, histories)
+        return tree
+    raise ValueError(f"unknown index kind {kind!r}; choose from {IndexKind.ALL}")
+
+
+@dataclass
+class RunResult:
+    """I/O accounting for one driver run."""
+
+    kind: str
+    n_updates: int = 0
+    n_queries: int = 0
+    result_count: int = 0
+    update_io: IOCounter = field(default_factory=IOCounter)
+    query_io: IOCounter = field(default_factory=IOCounter)
+
+    @property
+    def update_ios(self) -> int:
+        return self.update_io.total
+
+    @property
+    def query_ios(self) -> int:
+        return self.query_io.total
+
+    @property
+    def total_ios(self) -> int:
+        return self.update_ios + self.query_ios
+
+    @property
+    def ios_per_update(self) -> float:
+        return self.update_ios / self.n_updates if self.n_updates else 0.0
+
+    @property
+    def ios_per_query(self) -> float:
+        return self.query_ios / self.n_queries if self.n_queries else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.kind}: {self.n_updates}u/{self.n_queries}q, "
+            f"update={self.update_ios} query={self.query_ios} "
+            f"total={self.total_ios} I/Os)"
+        )
+
+
+class SimulationDriver:
+    """Replays a merged update/query timeline against one index."""
+
+    def __init__(self, index: AnyIndex, pager: Pager, kind: str = "index") -> None:
+        self.index = index
+        self.pager = pager
+        self.kind = kind
+        #: Last known position per object (the baselines' update() needs the
+        #: old point; the driver is the "server" that knows it).
+        self.positions: Dict[int, Point] = {}
+
+    def load(self, positions: Mapping[int, Point]) -> None:
+        """Initial bulk of current positions, charged as BUILD I/O."""
+        with self.pager.stats.category(IOCategory.BUILD):
+            for oid, point in positions.items():
+                self.index.insert(oid, point)
+                self.positions[oid] = tuple(point)
+
+    def adopt(self, positions: Mapping[int, Point]) -> None:
+        """Register positions already loaded (e.g. by the CT builder)."""
+        self.positions.update({oid: tuple(p) for oid, p in positions.items()})
+
+    def run(
+        self,
+        updates: Iterable[TraceRecord],
+        queries: Sequence[RangeQuery] = (),
+    ) -> RunResult:
+        """Execute both streams in timestamp order; returns the I/O ledger."""
+        stats = self.pager.stats
+        update_before = stats.counter(IOCategory.UPDATE)
+        query_before = stats.counter(IOCategory.QUERY)
+        result = RunResult(kind=self.kind)
+
+        # The third tuple slot is a tiebreaker so heapq.merge never compares
+        # the (unorderable) event payloads on equal timestamps.
+        update_events = ((r.t, 0, i, r) for i, r in enumerate(updates))
+        query_events = ((q.t, 1, i, q) for i, q in enumerate(queries))
+        for t, tag, _seq, event in heapq.merge(update_events, query_events):
+            if tag == 0:
+                record: TraceRecord = event
+                with stats.category(IOCategory.UPDATE):
+                    old = self.positions.get(record.oid)
+                    if old is None:
+                        self.index.insert(record.oid, record.point, now=t)
+                    else:
+                        self.index.update(record.oid, old, record.point, now=t)
+                self.positions[record.oid] = record.point
+                result.n_updates += 1
+            else:
+                query: RangeQuery = event
+                with stats.category(IOCategory.QUERY):
+                    matches = self.index.range_search(query.rect)
+                result.result_count += len(matches)
+                result.n_queries += 1
+
+        result.update_io = stats.counter(IOCategory.UPDATE) - update_before
+        result.query_io = stats.counter(IOCategory.QUERY) - query_before
+        return result

@@ -1,0 +1,85 @@
+"""Range-query generation.
+
+Section 4.1: "range queries are generated at an average rate of lambda_q.
+Each range query has the shape of a square, with central point chosen
+randomly within the city area and size equal to a fraction f_q of the city
+area."  Arrivals are Poisson (exponential gaps at rate ``lambda_q``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.geometry import Rect, square_at
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One square range query arriving at time ``t``."""
+
+    rect: Rect
+    t: float
+
+
+class QueryWorkload:
+    """Generates square range queries over a domain.
+
+    Args:
+        domain: the city bounds.
+        rate: arrival rate ``lambda_q`` (queries per second).
+        size_fraction: query area as a fraction of the domain area (``f_q``;
+            the paper's 0.1% default is ``0.001``).
+        seed: RNG seed; generation is deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        domain: Rect,
+        rate: float,
+        size_fraction: float,
+        seed: int = 0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not 0 < size_fraction <= 1:
+            raise ValueError("size_fraction must be in (0, 1]")
+        self.domain = domain
+        self.rate = rate
+        self.size_fraction = size_fraction
+        self.side = math.sqrt(domain.area * size_fraction)
+        self._rng = random.Random(seed)
+
+    def _one(self, t: float) -> RangeQuery:
+        center = tuple(
+            self._rng.uniform(lo, hi) for lo, hi in zip(self.domain.lo, self.domain.hi)
+        )
+        return RangeQuery(rect=square_at(center, self.side), t=t)
+
+    def between(self, t_start: float, t_end: float) -> List[RangeQuery]:
+        """All queries arriving in ``[t_start, t_end)`` (Poisson process)."""
+        if t_end < t_start:
+            raise ValueError("t_end must not precede t_start")
+        queries: List[RangeQuery] = []
+        t = t_start + self._rng.expovariate(self.rate)
+        while t < t_end:
+            queries.append(self._one(t))
+            t += self._rng.expovariate(self.rate)
+        return queries
+
+    def take(self, count: int, t_start: float = 0.0) -> List[RangeQuery]:
+        """Exactly ``count`` queries with Poisson gaps starting at ``t_start``."""
+        queries: List[RangeQuery] = []
+        t = t_start
+        for _ in range(count):
+            t += self._rng.expovariate(self.rate)
+            queries.append(self._one(t))
+        return queries
+
+    def __iter__(self) -> Iterator[RangeQuery]:
+        t = 0.0
+        while True:
+            t += self._rng.expovariate(self.rate)
+            yield self._one(t)

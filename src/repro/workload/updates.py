@@ -1,0 +1,73 @@
+"""The online update stream replayed against the indexes.
+
+"Once the CT-R-tree is built, the remaining N_update samples are modeled as
+dynamic updates to the CT-R-tree, as well as other R-tree variants"
+(Section 4.1).  :class:`UpdateStream` wraps a trace's online portion and
+exposes the knobs the experiments turn: sample skipping to lower the update
+rate (Figure 8) and object restriction for scalability sweeps (Figure 11).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.citysim.trace import Trace, TraceRecord
+
+
+class UpdateStream:
+    """Time-ordered location updates derived from a trace.
+
+    Args:
+        trace: the recorded simulation.
+        n_history: samples reserved for history + initial load; the stream
+            starts at sample ``n_history + 1`` of each object.
+        skip: keep every ``skip``-th online sample ("to generate a slower
+            update rate, some location samples are skipped").
+        object_ids: restrict to a subset of objects.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        n_history: int,
+        skip: int = 1,
+        object_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        if skip < 1:
+            raise ValueError("skip must be at least 1")
+        self.trace = trace if object_ids is None else trace.restricted_to(object_ids)
+        self.n_history = n_history
+        self.skip = skip
+        self._records: Optional[List[TraceRecord]] = None
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        if self._records is None:
+            merged = list(self.trace.online_updates(self.n_history))
+            self._records = merged[:: self.skip] if self.skip > 1 else merged
+        return self._records
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def duration(self) -> float:
+        records = self.records
+        if len(records) < 2:
+            return 0.0
+        return records[-1].t - records[0].t
+
+    @property
+    def rate(self) -> float:
+        """Aggregate updates per second over the stream's span."""
+        duration = self.duration
+        return len(self.records) / duration if duration > 0 else 0.0
+
+    def time_span(self) -> tuple:
+        records = self.records
+        if not records:
+            return (0.0, 0.0)
+        return (records[0].t, records[-1].t)

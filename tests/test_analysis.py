@@ -1,0 +1,152 @@
+"""Tests for the index and workload diagnostics."""
+
+import pytest
+
+from repro.analysis import (
+    ct_tree_stats,
+    overlap_factor,
+    rtree_stats,
+    trail_stats,
+)
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.core.params import CTParams
+from repro.rtree import AlphaTree, LazyRTree, RTree
+from repro.storage.pager import Pager
+from tests.conftest import dwell_trail, random_points
+
+DOMAIN = Rect((0, 0), (1000, 1000))
+
+
+class TestOverlapFactor:
+    def test_empty_and_singleton(self):
+        assert overlap_factor([]) == 0.0
+        assert overlap_factor([Rect((0, 0), (1, 1))]) == 0.0
+
+    def test_disjoint(self):
+        rects = [Rect((i * 10.0, 0), (i * 10.0 + 5, 5)) for i in range(4)]
+        assert overlap_factor(rects) == 0.0
+
+    def test_all_overlapping(self):
+        rects = [Rect((0, 0), (10, 10))] * 3
+        assert overlap_factor(rects) == pytest.approx(2.0)
+
+    def test_chain_overlap(self):
+        rects = [Rect((0, 0), (10, 10)), Rect((5, 0), (15, 10)), Rect((12, 0), (20, 10))]
+        # first-second and second-third intersect: 2 pairs * 2 / 3 rects.
+        assert overlap_factor(rects) == pytest.approx(4.0 / 3.0)
+
+
+class TestRTreeStats:
+    def test_empty_tree(self, pager):
+        stats = rtree_stats(RTree(pager))
+        assert stats.object_count == 0
+        assert stats.leaf_count == 1
+
+    def test_counts_consistent(self, pager, rng):
+        tree = RTree(pager, max_entries=8)
+        for oid, point in random_points(rng, 200).items():
+            tree.insert(oid, point)
+        stats = rtree_stats(tree)
+        assert stats.object_count == 200
+        assert stats.height == tree.height
+        assert stats.node_count == tree.node_count()
+        assert 0.0 < stats.avg_leaf_fill <= 1.0
+        assert stats.avg_leaf_area > 0
+
+    def test_alpha_tree_has_more_dead_space(self, rng):
+        points = random_points(rng, 150)
+        moves = [(oid, p, (p[0] + 3, p[1] + 3)) for oid, p in points.items()]
+
+        def build(cls):
+            tree = cls(Pager(), max_entries=8)
+            for oid, point in points.items():
+                tree.insert(oid, point)
+            for oid, old, new in moves:
+                tree.update(oid, old, new)
+            return rtree_stats(tree.tree)
+
+        lazy = build(LazyRTree)
+        alpha = build(AlphaTree)
+        assert alpha.dead_space_ratio >= lazy.dead_space_ratio
+
+    def test_as_row_keys(self, pager):
+        row = rtree_stats(RTree(pager)).as_row()
+        assert "overlap" in row and "dead space" in row
+
+
+class TestCTRTreeStats:
+    def make_tree(self, rng):
+        regions = [Rect((i * 150.0, 100), (i * 150.0 + 60, 160)) for i in range(5)]
+        tree = CTRTree(Pager(), DOMAIN, regions, max_entries=5, ct_params=CTParams(t_list=1))
+        for oid in range(60):
+            if oid % 3 == 0:
+                tree.insert(oid, (rng.uniform(0, 1000), rng.uniform(500, 1000)))
+            else:
+                region = regions[oid % len(regions)]
+                tree.insert(oid, region.center)
+        return tree
+
+    def test_counts_consistent(self, rng):
+        tree = self.make_tree(rng)
+        stats = ct_tree_stats(tree)
+        assert stats.object_count == 60
+        assert stats.region_count == 5
+        assert stats.buffered_objects == tree.buffered_object_count()
+        assert stats.buffered_fraction == pytest.approx(stats.buffered_objects / 60)
+        assert stats.chain_pages >= 5
+        assert stats.avg_chain_length >= 1.0
+
+    def test_empty_regions_counted(self):
+        tree = CTRTree(Pager(), DOMAIN, [Rect((0, 0), (10, 10))])
+        stats = ct_tree_stats(tree)
+        assert stats.empty_regions == 1
+        assert stats.object_count == 0
+
+    def test_buffer_kinds_tracked(self, rng):
+        tree = self.make_tree(rng)
+        stats = ct_tree_stats(tree)
+        assert stats.list_buffers + stats.tree_buffers >= 1
+
+
+class TestTrailStats:
+    def test_dwell_heavy_workload_detected(self, rng):
+        histories = {
+            oid: dwell_trail(rng, [(200, 200), (700, 700)], dwell_reports=40)
+            for oid in range(10)
+        }
+        stats = trail_stats(histories)
+        assert stats.object_count == 10
+        assert stats.median_step < 10.0
+        assert stats.dwell_step_fraction > 0.8
+        assert stats.dwell_time_fraction > 0.6
+        assert stats.regions_per_object == pytest.approx(2.0)
+        assert stats.is_change_tolerant_friendly
+
+    def test_pure_travel_workload_detected(self):
+        histories = {
+            oid: [((k * 300.0, 0.0), k * 20.0) for k in range(40)] for oid in range(5)
+        }
+        stats = trail_stats(histories)
+        assert stats.dwell_step_fraction == 0.0
+        assert stats.regions_per_object == 0.0
+        assert not stats.is_change_tolerant_friendly
+
+    def test_empty_histories(self):
+        stats = trail_stats({})
+        assert stats.object_count == 0
+        assert stats.median_step == 0.0
+
+    def test_city_simulator_output_is_friendly(self):
+        """The substitute simulator must produce the movement shape the paper
+        describes -- this is the validation the substitution rests on."""
+        from repro.citysim import City, CitySimulator
+        from repro.core.params import SimulationParams
+
+        city = City.generate(seed=2, n_buildings=25)
+        params = SimulationParams(
+            n_objects=80, update_rate=4.0, n_history=110, n_updates=5, n_warmup_max=20
+        )
+        trace = CitySimulator(city, params, seed=3).run()
+        stats = trail_stats(trace.histories(110))
+        assert stats.is_change_tolerant_friendly

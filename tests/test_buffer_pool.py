@@ -1,0 +1,115 @@
+"""Unit tests for the LRU buffer pool ablation substrate."""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import RawPage
+from repro.storage.pager import Pager
+
+
+@pytest.fixture
+def pool():
+    return BufferPool(Pager(), capacity=3)
+
+
+class TestBasics:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BufferPool(Pager(), capacity=0)
+
+    def test_allocate_charges_one_write_and_caches(self, pool):
+        pid = pool.allocate(RawPage("a"))
+        assert pool.stats.writes() == 1
+        before = pool.stats.reads()
+        pool.read(pid)  # cached: free
+        assert pool.stats.reads() == before
+        assert pool.hits == 1
+
+    def test_read_miss_charges_then_hit_is_free(self):
+        pager = Pager()
+        pids = [pager.allocate(RawPage(i)) for i in range(5)]
+        pool = BufferPool(pager, capacity=2)
+        pool.read(pids[0])
+        assert pool.misses == 1
+        assert pager.stats.reads() == 1
+        pool.read(pids[0])
+        assert pool.hits == 1
+        assert pager.stats.reads() == 1
+
+
+class TestEviction:
+    def test_lru_eviction_order(self, pool):
+        pids = [pool.allocate(RawPage(i)) for i in range(3)]
+        pool.read(pids[0])  # 0 most recent
+        pool.allocate(RawPage(3))  # evicts pid 1 (least recent)
+        reads_before = pool.stats.reads()
+        pool.read(pids[0])
+        assert pool.stats.reads() == reads_before  # still cached
+        pool.read(pids[1])
+        assert pool.stats.reads() == reads_before + 1  # was evicted
+
+    def test_dirty_eviction_writes_back(self):
+        pager = Pager()
+        pool = BufferPool(pager, capacity=1)
+        page_a = RawPage("a")
+        pool.allocate(page_a)
+        pool.write(page_a)  # dirty, not yet charged
+        writes_before = pager.stats.writes()
+        pool.allocate(RawPage("b"))  # evicts dirty a -> +1 write-back +1 alloc
+        assert pager.stats.writes() == writes_before + 2
+
+    def test_clean_eviction_is_free(self):
+        pager = Pager()
+        pool = BufferPool(pager, capacity=1)
+        pid = pager.allocate(RawPage("cold"))
+        pool.read(pid)  # clean frame
+        writes_before = pager.stats.writes()
+        pool.allocate(RawPage("hot"))  # evicts clean: only the alloc write
+        assert pager.stats.writes() == writes_before + 1
+
+
+class TestWriteBack:
+    def test_write_deferred_until_flush(self, pool):
+        page = RawPage("x")
+        pool.allocate(page)
+        writes_before = pool.stats.writes()
+        pool.write(page)
+        pool.write(page)
+        assert pool.stats.writes() == writes_before  # absorbed
+        assert pool.flush() == 1
+        assert pool.stats.writes() == writes_before + 1
+
+    def test_flush_twice_writes_once(self, pool):
+        page = RawPage()
+        pool.allocate(page)
+        pool.write(page)
+        assert pool.flush() == 1
+        assert pool.flush() == 0
+
+    def test_free_drops_frame(self, pool):
+        page = RawPage()
+        pid = pool.allocate(page)
+        pool.write(page)
+        pool.free(pid)
+        assert pool.flush() == 0  # dirty frame gone with the page
+
+    def test_hit_rate(self, pool):
+        pid = pool.allocate(RawPage())
+        pool.read(pid)
+        pool.read(pid)
+        assert pool.hit_rate == 1.0
+
+
+class TestPagerParity:
+    """The pool must be a drop-in replacement for the Pager interface."""
+
+    def test_inspect_contains_iter(self, pool):
+        pid = pool.allocate(RawPage("z"))
+        assert pool.inspect(pid).payload == "z"
+        assert pool.contains(pid)
+        assert list(pool.iter_pids()) == [pid]
+
+    def test_page_size_and_count(self, pool):
+        pool.allocate(RawPage())
+        assert pool.page_size == 4096
+        assert pool.page_count == 1

@@ -1,0 +1,107 @@
+"""Unit tests for STR bulk loading."""
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.rtree import RTree, str_pack
+from repro.rtree.bulk import str_pack_rects
+from repro.storage.pager import Pager
+from tests.conftest import brute_force_range, random_points, random_query
+
+
+@pytest.fixture
+def tree(pager):
+    return RTree(pager, max_entries=8)
+
+
+class TestStrPack:
+    def test_empty_input_is_noop(self, tree):
+        str_pack(tree, [])
+        assert len(tree) == 0
+
+    def test_requires_empty_tree(self, tree):
+        tree.insert(1, (0, 0))
+        with pytest.raises(ValueError):
+            str_pack(tree, [(2, (1, 1))])
+
+    def test_rejects_bad_fill(self, tree):
+        with pytest.raises(ValueError):
+            str_pack(tree, [(1, (0, 0))], fill=0.0)
+
+    def test_single_item(self, tree):
+        str_pack(tree, [(7, (3.0, 4.0))])
+        assert tree.search_point((3.0, 4.0)) == [7]
+        assert tree.height == 1
+
+    def test_all_items_retrievable(self, tree, rng):
+        points = random_points(rng, 300)
+        str_pack(tree, list(points.items()))
+        assert len(tree) == 300
+        for _ in range(30):
+            query = random_query(rng)
+            got = sorted(oid for oid, _ in tree.range_search(query))
+            assert got == brute_force_range(points, query)
+
+    def test_structure_is_valid_except_min_fill(self, tree, rng):
+        # STR packs to the target fill; trailing tiles may dip below the
+        # dynamic-insert minimum, which is legal for bulk-loaded trees.
+        points = random_points(rng, 157)
+        str_pack(tree, list(points.items()))
+        problems = [p for p in tree.validate() if "fill" not in p]
+        assert problems == []
+
+    def test_packs_tighter_than_repeated_insertion(self, rng):
+        points = random_points(rng, 400)
+        packed = RTree(Pager(), max_entries=8)
+        str_pack(packed, list(points.items()), fill=0.9)
+        inserted = RTree(Pager(), max_entries=8)
+        for oid, point in points.items():
+            inserted.insert(oid, point)
+        assert packed.node_count() < inserted.node_count()
+
+    def test_fill_controls_leaf_count(self, rng):
+        points = list(random_points(rng, 200).items())
+        tight = RTree(Pager(), max_entries=8)
+        str_pack(tight, points, fill=1.0)
+        loose = RTree(Pager(), max_entries=8)
+        str_pack(loose, points, fill=0.5)
+        tight_leaves = sum(1 for _ in tight.iter_leaves())
+        loose_leaves = sum(1 for _ in loose.iter_leaves())
+        assert tight_leaves < loose_leaves
+
+    def test_parent_pointers_consistent(self, tree, rng):
+        points = random_points(rng, 220)
+        str_pack(tree, list(points.items()))
+        problems = [p for p in tree.validate() if "parent" in p]
+        assert problems == []
+
+    def test_dynamic_operations_after_pack(self, tree, rng):
+        points = random_points(rng, 120)
+        str_pack(tree, list(points.items()))
+        tree.insert(999, (50, 50))
+        assert 999 in tree.search_point((50, 50))
+        assert tree.delete(0, points[0])
+        got = sorted(oid for oid, _ in tree.range_search(Rect((0, 0), (100, 100))))
+        expected = sorted((set(points) - {0}) | {999})
+        assert got == expected
+
+
+class TestStrPackRects:
+    def test_pack_rectangles(self, tree, rng):
+        rects = []
+        for i in range(80):
+            x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+            rects.append((Rect((x, y), (x + 5, y + 5)), i))
+        str_pack_rects(tree, rects)
+        assert len(tree) == 80
+        problems = [p for p in tree.validate() if "fill" not in p]
+        assert problems == []
+
+    def test_requires_empty_tree(self, tree):
+        tree.insert(1, (0, 0))
+        with pytest.raises(ValueError):
+            str_pack_rects(tree, [(Rect((0, 0), (1, 1)), 5)])
+
+    def test_empty_is_noop(self, tree):
+        str_pack_rects(tree, [])
+        assert len(tree) == 0

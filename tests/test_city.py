@@ -1,0 +1,102 @@
+"""Unit tests for city map generation and routing."""
+
+import math
+
+import pytest
+
+from repro.citysim.city import City
+
+
+@pytest.fixture(scope="module")
+def city():
+    return City.generate(seed=1)
+
+
+class TestGeneration:
+    def test_default_composition_matches_paper(self, city):
+        assert len(city.buildings) == 71
+        assert len(city.intersections) == 6
+        assert city.park.area > 0
+
+    def test_buildings_disjoint(self, city):
+        for i, a in enumerate(city.buildings):
+            for b in city.buildings[i + 1 :]:
+                assert not a.rect.intersects(b.rect)
+
+    def test_buildings_avoid_park(self, city):
+        for building in city.buildings:
+            assert not building.rect.intersects(city.park)
+
+    def test_buildings_inside_bounds(self, city):
+        for building in city.buildings:
+            assert city.bounds.contains_rect(building.rect)
+
+    def test_floors_positive(self, city):
+        assert all(1 <= b.floors <= 8 for b in city.buildings)
+
+    def test_entrance_on_boundary(self, city):
+        for building in city.buildings:
+            e = building.entrance
+            rect = building.rect
+            on_x = e[0] in (rect.lo[0], rect.hi[0]) and rect.lo[1] <= e[1] <= rect.hi[1]
+            on_y = e[1] in (rect.lo[1], rect.hi[1]) and rect.lo[0] <= e[0] <= rect.hi[0]
+            assert on_x or on_y
+
+    def test_generation_is_deterministic(self):
+        a = City.generate(seed=9, n_buildings=20)
+        b = City.generate(seed=9, n_buildings=20)
+        assert [x.rect for x in a.buildings] == [x.rect for x in b.buildings]
+
+    def test_different_seeds_differ(self):
+        a = City.generate(seed=1, n_buildings=20)
+        b = City.generate(seed=2, n_buildings=20)
+        assert [x.rect for x in a.buildings] != [x.rect for x in b.buildings]
+
+    def test_roads_cover_intersections_and_accesses(self, city):
+        # At least one access road per building.
+        assert len(city.roads) >= len(city.buildings)
+
+
+class TestRouting:
+    def test_route_endpoints(self, city):
+        src, dst = (10.0, 10.0), (900.0, 900.0)
+        route = city.route(src, dst)
+        assert route[0] == src
+        assert route[-1] == dst
+        assert len(route) >= 2
+
+    def test_route_passes_through_network(self, city):
+        src = city.buildings[0].entrance
+        dst = city.buildings[-1].entrance
+        route = city.route(src, dst)
+        graph_nodes = set(city.graph.nodes)
+        assert any(p in graph_nodes for p in route)
+
+    def test_route_has_finite_length(self, city):
+        route = city.route((0.0, 0.0), (1000.0, 1000.0))
+        length = sum(math.dist(a, b) for a, b in zip(route, route[1:]))
+        assert 0 < length < 10_000
+
+
+class TestChanges:
+    def test_with_changes_swaps_buildings(self, city):
+        changed = city.with_changes(remove=5, add=5, seed=3)
+        assert len(changed.buildings) == len(city.buildings)
+        before = {b.rect for b in city.buildings}
+        after = {b.rect for b in changed.buildings}
+        assert len(before - after) == 5
+        assert len(after - before) == 5
+
+    def test_changed_city_still_disjoint(self, city):
+        changed = city.with_changes(remove=5, add=5, seed=3)
+        for i, a in enumerate(changed.buildings):
+            for b in changed.buildings[i + 1 :]:
+                assert not a.rect.intersects(b.rect)
+
+    def test_ids_renumbered(self, city):
+        changed = city.with_changes(remove=5, add=5, seed=3)
+        assert [b.id for b in changed.buildings] == list(range(len(changed.buildings)))
+
+    def test_zero_changes_is_identity_footprints(self, city):
+        same = city.with_changes(remove=0, add=0, seed=3)
+        assert {b.rect for b in same.buildings} == {b.rect for b in city.buildings}

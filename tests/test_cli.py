@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.csv"
+    code = main(
+        [
+            "simulate",
+            str(path),
+            "--objects", "60",
+            "--history", "30",
+            "--updates", "5",
+            "--buildings", "12",
+            "--seed", "3",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate", "out.csv"])
+        assert args.objects == 1000
+        assert args.history == 110
+
+
+class TestSimulate:
+    def test_writes_trace(self, trace_file, capsys):
+        assert trace_file.exists()
+        header = trace_file.read_text().splitlines()[0]
+        assert header == "oid,x,y,t"
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        for path in (a, b):
+            main(["simulate", str(path), "--objects", "20", "--history", "10",
+                  "--updates", "2", "--buildings", "8", "--seed", "5"])
+        assert a.read_text() == b.read_text()
+
+
+class TestBuild:
+    def test_reports_pipeline(self, trace_file, capsys):
+        code = main(["build", str(trace_file), "--history", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase 1 regions:" in out
+        assert "CTRTree(" in out
+
+
+class TestCompare:
+    def test_races_all_indexes(self, trace_file, capsys):
+        code = main(["compare", str(trace_file), "--history", "30", "--ratio", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for label in ("R-tree", "lazy-R-tree", "alpha-tree", "CT-R-tree"):
+            assert label in out
+
+    def test_empty_online_stream_errors(self, trace_file, capsys):
+        code = main(["compare", str(trace_file), "--history", "99"])
+        assert code == 1
+
+
+class TestExperimentAndParams:
+    def test_params(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda_u" in out and "T_area" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "N_obj" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Unit tests for the simulation driver and index factory."""
+
+import pytest
+
+from repro.citysim.trace import TraceRecord
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.rtree import AlphaTree, LazyRTree, RTree
+from repro.storage.iostats import IOCategory
+from repro.storage.pager import Pager
+from repro.workload.driver import IndexKind, SimulationDriver, make_index
+from repro.workload.queries import RangeQuery
+from tests.conftest import dwell_trail
+
+DOMAIN = Rect((0, 0), (1000, 1000))
+
+
+class TestMakeIndex:
+    def test_kinds_map_to_types(self, rng):
+        histories = {0: dwell_trail(rng, [(100, 100)], dwell_reports=30)}
+        expected = {
+            IndexKind.RTREE: RTree,
+            IndexKind.LAZY: LazyRTree,
+            IndexKind.ALPHA: AlphaTree,
+            IndexKind.CT: CTRTree,
+        }
+        for kind, cls in expected.items():
+            index = make_index(kind, Pager(), DOMAIN, histories=histories)
+            assert isinstance(index, cls)
+
+    def test_ct_requires_histories(self):
+        with pytest.raises(ValueError):
+            make_index(IndexKind.CT, Pager(), DOMAIN)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_index("btree", Pager(), DOMAIN)
+
+    def test_alpha_uses_param_alpha(self):
+        from repro.core.params import CTParams
+
+        index = make_index(
+            IndexKind.ALPHA, Pager(), DOMAIN, ct_params=CTParams(alpha=0.3)
+        )
+        assert index.alpha == 0.3
+
+
+class TestDriver:
+    def make_driver(self, kind=IndexKind.LAZY):
+        pager = Pager()
+        index = make_index(kind, pager, DOMAIN)
+        return SimulationDriver(index, pager, kind), pager
+
+    def test_load_charges_build(self):
+        driver, pager = self.make_driver()
+        driver.load({0: (1.0, 1.0), 1: (2.0, 2.0)})
+        assert pager.stats.total(IOCategory.BUILD) > 0
+        assert pager.stats.total(IOCategory.UPDATE) == 0
+        assert driver.positions[0] == (1.0, 1.0)
+
+    def test_run_counts_and_categorizes(self):
+        driver, pager = self.make_driver()
+        driver.load({0: (1.0, 1.0)})
+        updates = [TraceRecord(oid=0, point=(2.0, 2.0), t=10.0)]
+        queries = [RangeQuery(rect=Rect((0, 0), (5, 5)), t=15.0)]
+        result = driver.run(updates, queries)
+        assert result.n_updates == 1
+        assert result.n_queries == 1
+        assert result.result_count == 1
+        assert result.update_ios > 0
+        assert result.query_ios > 0
+        assert result.total_ios == result.update_ios + result.query_ios
+
+    def test_unseen_object_is_inserted(self):
+        driver, _pager = self.make_driver()
+        result = driver.run([TraceRecord(oid=9, point=(3.0, 3.0), t=1.0)], [])
+        assert result.n_updates == 1
+        assert driver.index.search_point((3.0, 3.0)) == [9]
+
+    def test_events_interleaved_by_time(self):
+        """A query between two updates must observe the first but not the second."""
+        driver, _pager = self.make_driver()
+        driver.load({0: (1.0, 1.0)})
+        updates = [
+            TraceRecord(oid=0, point=(50.0, 50.0), t=10.0),
+            TraceRecord(oid=0, point=(200.0, 200.0), t=30.0),
+        ]
+        queries = [RangeQuery(rect=Rect((49, 49), (51, 51)), t=20.0)]
+        result = driver.run(updates, queries)
+        assert result.result_count == 1
+
+    def test_consecutive_runs_accumulate_separately(self):
+        driver, _pager = self.make_driver()
+        driver.load({0: (1.0, 1.0)})
+        first = driver.run([TraceRecord(oid=0, point=(2.0, 2.0), t=1.0)], [])
+        second = driver.run([TraceRecord(oid=0, point=(3.0, 3.0), t=2.0)], [])
+        assert first.n_updates == 1
+        assert second.n_updates == 1
+        assert second.update_ios > 0
+
+    def test_adopt_registers_without_io(self):
+        driver, pager = self.make_driver()
+        before = pager.stats.total()
+        driver.adopt({5: (9.0, 9.0)})
+        assert pager.stats.total() == before
+        assert driver.positions[5] == (9.0, 9.0)
+
+    def test_per_op_averages(self):
+        driver, _pager = self.make_driver()
+        driver.load({0: (1.0, 1.0)})
+        result = driver.run([TraceRecord(oid=0, point=(2.0, 2.0), t=1.0)], [])
+        assert result.ios_per_update == result.update_ios
+        assert result.ios_per_query == 0.0
+
+    @pytest.mark.parametrize("kind", IndexKind.ALL)
+    def test_all_kinds_run_the_same_workload(self, kind, rng):
+        pager = Pager()
+        histories = {
+            oid: dwell_trail(rng, [(100 + 50 * oid, 100)], dwell_reports=25)
+            for oid in range(5)
+        }
+        index = make_index(kind, pager, DOMAIN, histories=histories)
+        driver = SimulationDriver(index, pager, kind)
+        driver.load({oid: (100.0 + 50 * oid, 100.0) for oid in range(5)})
+        updates = [
+            TraceRecord(oid=oid, point=(100.0 + 50 * oid, 101.0), t=float(oid))
+            for oid in range(5)
+        ]
+        queries = [RangeQuery(rect=Rect((0, 0), (1000, 1000)), t=10.0)]
+        result = driver.run(updates, queries)
+        assert result.n_updates == 5
+        assert result.result_count == 5

@@ -1,0 +1,188 @@
+"""Smoke tests for the experiment harness and every figure module.
+
+These run tiny configurations -- the goal is that each table/figure module
+executes end to end and produces structurally sane output, not to reproduce
+the shapes (the benchmarks do that at larger scales).
+"""
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.harness import (
+    ExperimentResult,
+    build_workload,
+    ratio_controls,
+    run_index_on,
+)
+from repro.experiments.scales import SCALES, Scale, get_scale
+from repro.workload.driver import IndexKind
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    harness.clear_workload_cache()
+    yield
+    harness.clear_workload_cache()
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return build_workload("smoke", seed=0)
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert set(SCALES) == {"smoke", "small", "medium", "paper"}
+
+    def test_get_scale_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_paper_scale_matches_table1(self):
+        paper = get_scale("paper")
+        params = paper.simulation_params()
+        assert params.n_objects == 100_000
+        assert params.update_rate == pytest.approx(5000.0)
+
+    def test_base_update_rate(self):
+        scale = Scale("x", n_objects=100, n_history=10, n_updates=5)
+        assert scale.base_update_rate == pytest.approx(5.0)
+
+
+class TestHarness:
+    def test_workload_memoized(self):
+        a = build_workload("smoke", seed=0)
+        b = build_workload("smoke", seed=0)
+        assert a is b
+        assert build_workload("smoke", seed=0, fresh=True) is not a
+
+    def test_bundle_slices(self, bundle):
+        histories = bundle.histories()
+        assert len(histories) == bundle.scale.n_objects
+        assert all(len(h) == bundle.scale.n_history - 1 for h in histories.values())
+        assert len(bundle.current()) == bundle.scale.n_objects
+
+    def test_ratio_controls_thin_updates_at_low_ratio(self, bundle):
+        duration = bundle.update_stream().duration
+        skip, query_rate = ratio_controls(bundle.scale, duration, 0.1)
+        assert skip > 1
+        effective_update_rate = bundle.scale.base_update_rate / skip
+        assert effective_update_rate / query_rate == pytest.approx(0.1, rel=0.3)
+
+    def test_ratio_controls_full_sampling_at_high_ratio(self, bundle):
+        duration = bundle.update_stream().duration
+        skip, query_rate = ratio_controls(bundle.scale, duration, 1000.0)
+        assert skip == 1
+        assert bundle.scale.base_update_rate / query_rate == pytest.approx(1000.0)
+
+    def test_ratio_controls_reject_nonpositive(self, bundle):
+        with pytest.raises(ValueError):
+            ratio_controls(bundle.scale, 100.0, 0.0)
+
+    @pytest.mark.parametrize("kind", IndexKind.ALL)
+    def test_run_index_on_every_kind(self, bundle, kind):
+        run = run_index_on(kind, bundle, skip=10, query_count=5)
+        assert run.result.n_updates > 0
+        assert run.result.total_ios > 0
+
+    def test_object_restriction(self, bundle):
+        subset = bundle.trace.object_ids[:50]
+        run = run_index_on(IndexKind.LAZY, bundle, object_ids=subset, query_count=3)
+        assert len(run.index) == 50
+
+
+class TestExperimentResult:
+    def test_table_rendering(self):
+        result = ExperimentResult(title="T", columns=["a", "b"])
+        result.add(a=1, b=2.5)
+        result.add(a=10_000, b="x")
+        text = result.to_table()
+        assert "T" in text and "10,000" in text and "2.50" in text
+
+    def test_csv(self):
+        result = ExperimentResult(title="T", columns=["a", "b"])
+        result.add(a=1, b=2)
+        assert result.to_csv().splitlines() == ["a,b", "1,2"]
+
+    def test_column_access(self):
+        result = ExperimentResult(title="T", columns=["a"])
+        result.add(a=1)
+        result.add(a=2)
+        assert result.column("a") == [1, 2]
+
+
+class TestFigureModules:
+    def test_table1(self):
+        from repro.experiments import table1
+
+        text = table1.run("smoke")
+        assert "lambda_u" in text
+
+    def test_figure8(self):
+        from repro.experiments import figure8
+
+        result = figure8.run("smoke", ratios=(1.0, 100.0))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            for kind in IndexKind.ALL:
+                assert row[IndexKind.LABELS[kind]] > 0
+
+    def test_figure9(self):
+        from repro.experiments import figure9
+
+        result = figure9.run("smoke", sizes_pct=(0.1, 1.0), query_count=20)
+        assert len(result.rows) == 2
+        assert all(row["CT/lazy"] > 0 for row in result.rows)
+
+    def test_figure10(self):
+        from repro.experiments import figure10
+
+        result = figure10.run("smoke", sizes_pct=(0.5,))
+        assert len(result.rows) == 1
+
+    def test_figure11(self):
+        from repro.experiments import figure11
+
+        result = figure11.run("smoke", counts=(50, 150), query_count=5)
+        assert [row["objects"] for row in result.rows] == [50, 150]
+        first, second = result.rows
+        label = IndexKind.LABELS[IndexKind.LAZY]
+        assert second[label] > first[label]  # more objects, more I/O
+
+    def test_figure12(self):
+        from repro.experiments import figure12
+
+        result = figure12.run_parameter("t_rate", "smoke", values=(1.0, 2.0))
+        assert len(result.rows) == 2
+        with pytest.raises(ValueError):
+            figure12.run_parameter("bogus", "smoke")
+
+    def test_figure13(self):
+        from repro.experiments import figure13
+
+        result = figure13.run("smoke", ratios=(10.0,))
+        (row,) = result.rows
+        assert row["unchanged qs-regions"] > 0
+        assert row["new qs-regions"] > 0
+
+    def test_ablation_secondary_index(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_secondary_index("smoke")
+        rows = {row["index"]: row for row in result.rows}
+        assert rows["lazy-R-tree"]["I/O per update"] < rows["R-tree"]["I/O per update"]
+
+    def test_ablation_merge_phases(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_merge_phases("smoke")
+        assert len(result.rows) == 2
+        phase1_row, full_row = result.rows
+        assert phase1_row["qs-regions"] >= full_row["qs-regions"]
+
+    def test_ablation_bulk_loading(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_bulk_loading("smoke")
+        rows = {row["method"]: row for row in result.rows}
+        assert rows["STR packing"]["build I/O"] < rows["repeated insertion"]["build I/O"]

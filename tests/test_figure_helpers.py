@@ -1,0 +1,64 @@
+"""Tests for small figure-module helpers that the smoke runs don't hit."""
+
+import pytest
+
+from repro.experiments.figure8 import DEFAULT_RATIOS, crossover_ratio
+from repro.experiments.harness import ExperimentResult
+from repro.workload.driver import IndexKind
+
+
+def fake_figure8(ct_series, alpha_series, ratios=(1.0, 10.0, 100.0)):
+    result = ExperimentResult(
+        title="fake",
+        columns=["ratio", IndexKind.LABELS[IndexKind.CT], IndexKind.LABELS[IndexKind.ALPHA]],
+    )
+    for ratio, ct, alpha in zip(ratios, ct_series, alpha_series):
+        result.add(
+            **{
+                "ratio": ratio,
+                IndexKind.LABELS[IndexKind.CT]: ct,
+                IndexKind.LABELS[IndexKind.ALPHA]: alpha,
+            }
+        )
+    return result
+
+
+class TestCrossoverRatio:
+    def test_finds_first_win(self):
+        result = fake_figure8(ct_series=(100, 90, 50), alpha_series=(80, 95, 100))
+        assert crossover_ratio(result, IndexKind.CT, IndexKind.ALPHA) == 10.0
+
+    def test_none_when_never_wins(self):
+        result = fake_figure8(ct_series=(100, 100, 100), alpha_series=(50, 50, 50))
+        assert crossover_ratio(result, IndexKind.CT, IndexKind.ALPHA) is None
+
+    def test_immediate_win(self):
+        result = fake_figure8(ct_series=(10, 10, 10), alpha_series=(50, 50, 50))
+        assert crossover_ratio(result, IndexKind.CT, IndexKind.ALPHA) == 1.0
+
+
+class TestModuleConstants:
+    def test_figure8_ratio_span_matches_paper(self):
+        assert min(DEFAULT_RATIOS) <= 0.01
+        assert max(DEFAULT_RATIOS) >= 1000.0
+
+    def test_figure9_sizes_match_paper(self):
+        from repro.experiments.figure9 import DEFAULT_SIZES_PCT
+
+        assert DEFAULT_SIZES_PCT[0] == 0.1
+        assert DEFAULT_SIZES_PCT[-1] == 2.0
+
+    def test_figure10_uses_table1_baseline_ratio(self):
+        from repro.experiments.figure10 import DEFAULT_RATIO
+
+        assert DEFAULT_RATIO == 100.0  # lambda_u / lambda_q from Table 1
+
+    def test_figure12_sweeps_all_four_thresholds(self):
+        from repro.experiments.figure12 import DEFAULT_SWEEPS
+
+        assert set(DEFAULT_SWEEPS) == {"t_rate", "t_time", "t_dist", "t_area"}
+        for values in DEFAULT_SWEEPS.values():
+            assert len(values) == 5
+
+    def test_index_kind_labels_complete(self):
+        assert set(IndexKind.LABELS) == set(IndexKind.ALL)

@@ -1,0 +1,224 @@
+"""Unit tests for points and rectangles."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect, square_at
+
+
+def rect(x0, y0, x1, y1):
+    return Rect((x0, y0), (x1, y1))
+
+
+class TestConstruction:
+    def test_basic_bounds(self):
+        r = rect(0, 1, 2, 3)
+        assert r.lo == (0.0, 1.0)
+        assert r.hi == (2.0, 3.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            rect(2, 0, 1, 1)
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect((0, 0), (1, 1, 1))
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            Rect((), ())
+
+    def test_degenerate_rect_is_allowed(self):
+        r = Rect.from_point((5, 5))
+        assert r.area == 0.0
+        assert r.contains_point((5, 5))
+
+    def test_from_points_bounds_all(self):
+        r = Rect.from_points([(0, 5), (3, 1), (2, 2)])
+        assert r == rect(0, 1, 3, 5)
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_union_all(self):
+        r = Rect.union_all([rect(0, 0, 1, 1), rect(2, 2, 3, 3)])
+        assert r == rect(0, 0, 3, 3)
+
+    def test_union_all_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+    def test_three_dimensional(self):
+        r = Rect((0, 0, 0), (1, 2, 3))
+        assert r.dim == 3
+        assert r.area == 6.0
+
+
+class TestMeasures:
+    def test_area(self):
+        assert rect(0, 0, 2, 3).area == 6.0
+
+    def test_margin(self):
+        assert rect(0, 0, 2, 3).margin == 5.0
+
+    def test_diagonal(self):
+        assert rect(0, 0, 3, 4).diagonal == 5.0
+
+    def test_center(self):
+        assert rect(0, 0, 2, 4).center == (1.0, 2.0)
+
+    def test_sides(self):
+        assert rect(1, 1, 4, 3).sides == (3.0, 2.0)
+
+
+class TestPredicates:
+    def test_contains_point_interior(self):
+        assert rect(0, 0, 2, 2).contains_point((1, 1))
+
+    def test_contains_point_boundary(self):
+        assert rect(0, 0, 2, 2).contains_point((2, 2))
+        assert rect(0, 0, 2, 2).contains_point((0, 1))
+
+    def test_contains_point_outside(self):
+        assert not rect(0, 0, 2, 2).contains_point((2.01, 1))
+
+    def test_contains_rect(self):
+        assert rect(0, 0, 4, 4).contains_rect(rect(1, 1, 2, 2))
+        assert not rect(0, 0, 4, 4).contains_rect(rect(1, 1, 5, 2))
+        assert rect(0, 0, 4, 4).contains_rect(rect(0, 0, 4, 4))
+
+    def test_intersects_overlap(self):
+        assert rect(0, 0, 2, 2).intersects(rect(1, 1, 3, 3))
+
+    def test_intersects_touching_edge_counts(self):
+        assert rect(0, 0, 1, 1).intersects(rect(1, 0, 2, 1))
+
+    def test_intersects_disjoint(self):
+        assert not rect(0, 0, 1, 1).intersects(rect(2, 2, 3, 3))
+
+
+class TestCombination:
+    def test_intersection(self):
+        overlap = rect(0, 0, 2, 2).intersection(rect(1, 1, 3, 3))
+        assert overlap == rect(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert rect(0, 0, 1, 1).intersection(rect(2, 2, 3, 3)) is None
+
+    def test_overlap_area(self):
+        assert rect(0, 0, 2, 2).overlap_area(rect(1, 1, 3, 3)) == 1.0
+        assert rect(0, 0, 1, 1).overlap_area(rect(5, 5, 6, 6)) == 0.0
+
+    def test_union(self):
+        assert rect(0, 0, 1, 1).union(rect(2, 2, 3, 3)) == rect(0, 0, 3, 3)
+
+    def test_union_point_inside_returns_self(self):
+        r = rect(0, 0, 2, 2)
+        assert r.union_point((1, 1)) is r
+
+    def test_union_point_outside_expands(self):
+        assert rect(0, 0, 1, 1).union_point((3, 0.5)) == rect(0, 0, 3, 1)
+
+    def test_enlargement(self):
+        assert rect(0, 0, 1, 1).enlargement(rect(0, 0, 2, 1)) == 1.0
+        assert rect(0, 0, 2, 2).enlargement(rect(1, 1, 2, 2)) == 0.0
+
+    def test_enlargement_point(self):
+        assert rect(0, 0, 1, 1).enlargement_point((2, 1)) == 1.0
+
+    def test_inflated_grows_each_side(self):
+        r = rect(0, 0, 10, 10).inflated(0.1)
+        assert r.sides == (11.0, 11.0)
+        assert r.center == (5.0, 5.0)
+
+    def test_inflated_zero_is_identity(self):
+        r = rect(1, 2, 3, 4)
+        assert r.inflated(0.0) == r
+
+    def test_inflated_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rect(0, 0, 1, 1).inflated(-0.5)
+
+    def test_translated(self):
+        assert rect(0, 0, 1, 1).translated((5, -1)) == rect(5, -1, 6, 0)
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a, b = rect(0, 0, 1, 1), rect(0, 0, 1, 1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != rect(0, 0, 1, 2)
+
+    def test_equality_other_type(self):
+        assert rect(0, 0, 1, 1) != "rect"
+
+    def test_repr_roundtrips_mentally(self):
+        assert "Rect" in repr(rect(0, 0, 1, 1))
+
+
+class TestSquareAt:
+    def test_centered_square(self):
+        s = square_at((5, 5), 2.0)
+        assert s == rect(4, 4, 6, 6)
+
+    def test_zero_side(self):
+        assert square_at((1, 1), 0.0).area == 0.0
+
+    def test_rejects_negative_side(self):
+        with pytest.raises(ValueError):
+            square_at((0, 0), -1.0)
+
+
+coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x0, x1 = sorted((draw(coords), draw(coords)))
+    y0, y1 = sorted((draw(coords), draw(coords)))
+    return Rect((x0, y0), (x1, y1))
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_union_is_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+
+    @given(rects(), rects())
+    def test_intersects_iff_intersection_exists(self, a, b):
+        assert a.intersects(b) == (a.intersection(b) is not None)
+
+    @given(rects(), rects())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement(b) >= 0.0
+
+    @given(rects())
+    def test_diagonal_vs_sides(self, r):
+        assert r.diagonal <= sum(r.sides) + 1e-6
+        assert r.diagonal >= max(r.sides) - 1e-6
+
+    @given(rects(), st.floats(min_value=0, max_value=3))
+    def test_inflated_contains_original(self, r, alpha):
+        assert r.inflated(alpha).contains_rect(r)
+
+    @given(rects(), coords, coords)
+    def test_union_point_contains_point(self, r, x, y):
+        assert r.union_point((x, y)).contains_point((x, y))

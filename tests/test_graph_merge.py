@@ -1,0 +1,119 @@
+"""Unit tests for Phase 3: traffic-driven merging (Equation 6)."""
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.graph_merge import dead_space_increase, merge_by_traffic, should_merge
+from repro.core.params import CTParams
+from repro.core.qsregion import QSRegion
+from repro.core.update_graph import UpdateGraph
+
+
+def graph_with_pair(gap: float, weight: float, side: float = 10.0):
+    """Two side x side squares separated by ``gap`` along x, linked by ``weight``."""
+    g = UpdateGraph()
+    a = g.add_region(QSRegion(rect=Rect((0, 0), (side, side)), dwell_time=100))
+    b = g.add_region(
+        QSRegion(rect=Rect((side + gap, 0), (2 * side + gap, side)), dwell_time=100)
+    )
+    if weight:
+        g.add_edge(a, b, weight)
+    return g, a, b
+
+
+class TestDeadSpace:
+    def test_disjoint_pair(self):
+        g, a, b = graph_with_pair(gap=10.0, weight=1.0)
+        # Union 30x10 = 300; covered 200; dead 100.
+        assert dead_space_increase(g, a, b) == pytest.approx(100.0)
+
+    def test_touching_pair_has_no_dead_space(self):
+        g, a, b = graph_with_pair(gap=0.0, weight=1.0)
+        assert dead_space_increase(g, a, b) == pytest.approx(0.0)
+
+    def test_overlapping_counts_overlap_once(self):
+        g = UpdateGraph()
+        a = g.add_region(QSRegion(rect=Rect((0, 0), (10, 10)), dwell_time=1))
+        b = g.add_region(QSRegion(rect=Rect((5, 0), (15, 10)), dwell_time=1))
+        g.add_edge(a, b, 1.0)
+        assert dead_space_increase(g, a, b) == pytest.approx(0.0)
+
+
+class TestShouldMerge:
+    def test_heavy_traffic_merges(self):
+        g, a, b = graph_with_pair(gap=10.0, weight=100.0)
+        assert should_merge(g, a, b, query_rate=1.0, domain_area=1000.0, params=CTParams())
+
+    def test_light_traffic_with_costly_queries_does_not(self):
+        g, a, b = graph_with_pair(gap=10.0, weight=0.001)
+        assert not should_merge(
+            g, a, b, query_rate=100.0, domain_area=1000.0, params=CTParams()
+        )
+
+    def test_zero_weight_never_merges(self):
+        g, a, b = graph_with_pair(gap=0.0, weight=0.0)
+        assert not should_merge(g, a, b, query_rate=0.0, domain_area=1.0, params=CTParams())
+
+    def test_equation6_boundary(self):
+        # C_u * w >= C_q * r_q * M / A with M=100, A=1000, r_q=1 -> threshold 0.1.
+        g, a, b = graph_with_pair(gap=10.0, weight=0.1)
+        assert should_merge(g, a, b, query_rate=1.0, domain_area=1000.0, params=CTParams())
+        g2, a2, b2 = graph_with_pair(gap=10.0, weight=0.0999)
+        assert not should_merge(
+            g2, a2, b2, query_rate=1.0, domain_area=1000.0, params=CTParams()
+        )
+
+    def test_scaling_factors_shift_threshold(self):
+        g, a, b = graph_with_pair(gap=10.0, weight=0.05)
+        base = CTParams()
+        assert not should_merge(g, a, b, 1.0, 1000.0, base)
+        update_favoring = CTParams(c_update=10.0)
+        assert should_merge(g, a, b, 1.0, 1000.0, update_favoring)
+
+    def test_rejects_bad_domain_area(self):
+        g, a, b = graph_with_pair(gap=1.0, weight=1.0)
+        with pytest.raises(ValueError):
+            should_merge(g, a, b, 1.0, 0.0, CTParams())
+
+
+class TestMergeByTraffic:
+    def test_merges_heaviest_first_to_fixpoint(self):
+        g = UpdateGraph()
+        a = g.add_region(QSRegion(rect=Rect((0, 0), (10, 10)), dwell_time=1))
+        b = g.add_region(QSRegion(rect=Rect((20, 0), (30, 10)), dwell_time=1))
+        c = g.add_region(QSRegion(rect=Rect((500, 0), (510, 10)), dwell_time=1))
+        g.add_edge(a, b, 50.0)   # close + heavy: merges
+        g.add_edge(b, c, 0.001)  # far + light: stays
+        merges = merge_by_traffic(g, query_rate=1.0, domain_area=10000.0, params=CTParams())
+        assert merges == 1
+        assert g.region_count == 2
+
+    def test_max_merges_bound(self):
+        g = UpdateGraph()
+        rids = [
+            g.add_region(QSRegion(rect=Rect((i * 12.0, 0), (i * 12.0 + 10, 10)), dwell_time=1))
+            for i in range(4)
+        ]
+        for x, y in zip(rids, rids[1:]):
+            g.add_edge(x, y, 100.0)
+        merges = merge_by_traffic(
+            g, query_rate=1.0, domain_area=10000.0, params=CTParams(), max_merges=1
+        )
+        assert merges == 1
+        assert g.region_count == 3
+
+    def test_no_edges_no_merges(self):
+        g = UpdateGraph()
+        g.add_region(QSRegion(rect=Rect((0, 0), (1, 1)), dwell_time=1))
+        assert merge_by_traffic(g, 1.0, 100.0, CTParams()) == 0
+
+    def test_cascading_merges(self):
+        """After one merge the combined region may newly qualify with a third."""
+        g = UpdateGraph()
+        a = g.add_region(QSRegion(rect=Rect((0, 0), (10, 10)), dwell_time=1))
+        b = g.add_region(QSRegion(rect=Rect((10, 0), (20, 10)), dwell_time=1))
+        c = g.add_region(QSRegion(rect=Rect((20, 0), (30, 10)), dwell_time=1))
+        g.add_edge(a, b, 10.0)
+        g.add_edge(b, c, 10.0)
+        merge_by_traffic(g, query_rate=1.0, domain_area=10000.0, params=CTParams())
+        assert g.region_count == 1

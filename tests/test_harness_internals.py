@@ -1,0 +1,91 @@
+"""Tests for harness internals not covered by the figure smoke tests."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    _resolve_query_rate,
+    build_workload,
+    run_index_on,
+)
+from repro.workload.driver import IndexKind
+
+
+class TestResolveQueryRate:
+    def test_explicit_rate_wins(self):
+        assert _resolve_query_rate(100.0, query_rate=2.5, query_count=None) == 2.5
+
+    def test_count_converts_to_rate(self):
+        assert _resolve_query_rate(200.0, None, query_count=50) == pytest.approx(0.25)
+
+    def test_both_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_query_rate(100.0, query_rate=1.0, query_count=5)
+
+    def test_zero_duration_guard(self):
+        assert _resolve_query_rate(0.0, None, query_count=3) == 3.0
+
+    def test_no_spec_defaults_to_one_query(self):
+        assert _resolve_query_rate(100.0, None, None) == pytest.approx(0.01)
+
+
+class TestExperimentResultEdge:
+    def test_empty_result_renders(self):
+        result = ExperimentResult(title="Empty", columns=["a", "b"])
+        text = result.to_table()
+        assert "Empty" in text
+        assert "a" in text and "b" in text
+
+    def test_notes_rendered(self):
+        result = ExperimentResult(title="T", columns=["a"], notes=["careful"])
+        result.add(a=1)
+        assert "note: careful" in result.to_table()
+
+    def test_missing_cell_blank(self):
+        result = ExperimentResult(title="T", columns=["a", "b"])
+        result.add(a=1)  # b absent
+        assert result.to_table().count("|") >= 2
+
+    def test_str_is_table(self):
+        result = ExperimentResult(title="T", columns=["a"])
+        assert str(result) == result.to_table()
+
+
+class TestRunIndexOnOptions:
+    def test_ct_params_propagate(self):
+        from repro.core.params import CTParams
+
+        bundle = build_workload("smoke", 0)
+        run = run_index_on(
+            IndexKind.CT,
+            bundle,
+            skip=20,
+            query_count=2,
+            ct_params=CTParams(t_dist=60.0),
+        )
+        assert run.index.params.t_dist == 60.0  # type: ignore[attr-defined]
+
+    def test_adaptive_flag_propagates(self):
+        bundle = build_workload("smoke", 0)
+        run = run_index_on(
+            IndexKind.CT, bundle, skip=20, query_count=2, adaptive=False
+        )
+        assert not run.index.adaptive  # type: ignore[attr-defined]
+
+    def test_custom_builder_query_rate(self):
+        """A tiny anticipated query rate lets Equation 6 merge everything."""
+        bundle = build_workload("smoke", 0)
+        aggressive = run_index_on(
+            IndexKind.CT, bundle, skip=20, query_count=2, builder_query_rate=1e-9
+        )
+        default = run_index_on(IndexKind.CT, bundle, skip=20, query_count=2)
+        assert (
+            aggressive.index.region_count < default.index.region_count  # type: ignore[attr-defined]
+        )
+
+    def test_lazy_hits_surface_on_indexrun(self):
+        bundle = build_workload("smoke", 0)
+        run = run_index_on(IndexKind.LAZY, bundle, skip=10, query_count=2)
+        assert run.lazy_hits is not None
+        rtree_run = run_index_on(IndexKind.RTREE, bundle, skip=20, query_count=2)
+        assert rtree_run.lazy_hits is None

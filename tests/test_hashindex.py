@@ -1,0 +1,123 @@
+"""Unit tests for the secondary hash index (paper Figure 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashindex import HashIndex
+from repro.storage.pager import Pager
+
+
+@pytest.fixture
+def index(pager):
+    return HashIndex(pager, entries_per_bucket=4)
+
+
+class TestBasics:
+    def test_get_missing_returns_none(self, index):
+        assert index.get(0) is None
+
+    def test_set_then_get(self, index):
+        index.set(7, 123)
+        assert index.get(7) == 123
+
+    def test_overwrite(self, index):
+        index.set(7, 1)
+        index.set(7, 2)
+        assert index.get(7) == 2
+        assert len(index) == 1
+
+    def test_remove(self, index):
+        index.set(3, 9)
+        assert index.remove(3)
+        assert index.get(3) is None
+        assert len(index) == 0
+
+    def test_remove_missing_is_false(self, index):
+        assert not index.remove(3)
+
+    def test_negative_id_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.set(-1, 0)
+
+    def test_default_bucket_capacity_from_page_size(self, pager):
+        index = HashIndex(pager)
+        assert index.entries_per_bucket == pager.page_size // 16
+
+
+class TestDirectAddressing:
+    def test_ids_in_same_bucket_share_page(self, index, pager):
+        index.set(0, 10)
+        pages_after_first = pager.page_count
+        index.set(3, 13)  # same bucket of 4
+        assert pager.page_count == pages_after_first
+        index.set(4, 14)  # next bucket
+        assert pager.page_count == pages_after_first + 1
+
+    def test_sparse_ids_only_allocate_touched_buckets(self, index):
+        index.set(0, 1)
+        index.set(1000, 2)
+        assert index.bucket_count == 2
+
+    def test_size_bytes(self, index, pager):
+        index.set(0, 1)
+        assert index.size_bytes == pager.page_size
+
+
+class TestCharging:
+    def test_get_costs_one_read(self, index, pager):
+        index.set(5, 50)
+        before = pager.stats.reads()
+        index.get(5)
+        assert pager.stats.reads() == before + 1
+
+    def test_get_on_unallocated_bucket_is_free(self, index, pager):
+        before = pager.stats.total()
+        assert index.get(999) is None
+        assert pager.stats.total() == before
+
+    def test_set_costs_read_plus_write_on_existing_bucket(self, index, pager):
+        index.set(0, 1)  # allocates
+        before_r, before_w = pager.stats.reads(), pager.stats.writes()
+        index.set(1, 2)
+        assert pager.stats.reads() == before_r + 1
+        assert pager.stats.writes() == before_w + 1
+
+    def test_first_set_in_bucket_costs_one_write(self, index, pager):
+        before_r, before_w = pager.stats.reads(), pager.stats.writes()
+        index.set(0, 1)
+        assert pager.stats.reads() == before_r
+        assert pager.stats.writes() == before_w + 2  # allocation + content write
+
+    def test_set_many_coalesces_per_bucket(self, index, pager):
+        index.set(0, 0)  # allocate bucket 0
+        index.set(4, 0)  # allocate bucket 1
+        before_r, before_w = pager.stats.reads(), pager.stats.writes()
+        index.set_many([(0, 1), (1, 2), (2, 3), (5, 9)])
+        # bucket 0: 1 read + 1 write for three entries; bucket 1: 1 + 1.
+        assert pager.stats.reads() == before_r + 2
+        assert pager.stats.writes() == before_w + 2
+
+    def test_peek_is_free(self, index, pager):
+        index.set(0, 7)
+        before = pager.stats.total()
+        assert index.peek(0) == 7
+        assert pager.stats.total() == before
+
+
+class TestBulk:
+    def test_set_many_counts_new_entries_once(self, index):
+        index.set_many([(0, 1), (1, 2)])
+        index.set_many([(0, 3)])
+        assert len(index) == 2
+        assert index.get(0) == 3
+
+    @given(st.dictionaries(st.integers(0, 500), st.integers(0, 10_000), max_size=60))
+    def test_matches_dict_semantics(self, mapping):
+        pager = Pager()
+        index = HashIndex(pager, entries_per_bucket=8)
+        for key, value in mapping.items():
+            index.set(key, value)
+        for key, value in mapping.items():
+            assert index.get(key) == value
+        assert len(index) == len(mapping)

@@ -1,0 +1,145 @@
+"""Unit tests for the lazy-R-tree (hash-indexed updates, Section 2.1)."""
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.rtree import LazyRTree
+from repro.storage.pager import Pager
+from tests.conftest import brute_force_range, random_points, random_query
+
+
+@pytest.fixture
+def tree(pager):
+    return LazyRTree(pager, max_entries=8)
+
+
+class TestBasics:
+    def test_insert_sets_hash_pointer(self, tree):
+        pid = tree.insert(1, (5, 5))
+        assert tree.hash.peek(1) == pid
+
+    def test_delete_via_hash(self, tree):
+        tree.insert(1, (5, 5))
+        assert tree.delete(1)
+        assert tree.hash.peek(1) is None
+        assert tree.search_point((5, 5)) == []
+
+    def test_delete_missing(self, tree):
+        assert not tree.delete(42)
+
+    def test_update_missing_raises(self, tree):
+        with pytest.raises(KeyError):
+            tree.update(1, (0, 0), (1, 1))
+
+    def test_len_tracks_tree(self, tree, rng):
+        for oid, point in random_points(rng, 30).items():
+            tree.insert(oid, point)
+        assert len(tree) == 30
+
+
+class TestLazyPath:
+    def test_small_move_is_lazy(self, tree):
+        for i in range(8):
+            tree.insert(i, (float(i), 0.0))
+        before = tree.relocations
+        tree.update(0, (0.0, 0.0), (0.5, 0.0))  # stays in the only leaf
+        assert tree.lazy_hits == 1
+        assert tree.relocations == before
+        assert tree.search_point((0.5, 0.0)) == [0]
+
+    def test_lazy_update_costs_three_ios(self, tree, pager):
+        for i in range(8):
+            tree.insert(i, (float(i), 0.0))
+        reads, writes = pager.stats.reads(), pager.stats.writes()
+        tree.update(0, (0.0, 0.0), (0.5, 0.0))
+        # 1 hash-bucket read + 1 leaf read + 1 leaf write (Section 2.1).
+        assert pager.stats.reads() - reads == 2
+        assert pager.stats.writes() - writes == 1
+
+    def test_far_move_relocates(self, tree, rng):
+        points = random_points(rng, 60)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        tree.update(0, points[0], (999.0, 999.0))
+        assert tree.relocations >= 1
+        assert tree.search_point((999.0, 999.0)) == [0]
+        assert tree.hash.peek(0) is not None
+
+    def test_lazy_path_leaves_structure_untouched(self, tree, rng):
+        points = random_points(rng, 60)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        nodes_before = tree.tree.node_count()
+        for oid, point in points.items():
+            tree.update(oid, point, (point[0] + 0.01, point[1] + 0.01))
+        assert tree.tree.node_count() == nodes_before
+
+
+class TestHashConsistency:
+    def test_pointers_exact_after_splits(self, tree, rng):
+        points = random_points(rng, 200)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        assert tree.validate() == []
+
+    def test_pointers_exact_after_heavy_updates(self, tree, rng):
+        points = random_points(rng, 100)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        for _ in range(800):
+            oid = rng.randrange(100)
+            new = (rng.uniform(0, 100), rng.uniform(0, 100))
+            tree.update(oid, points[oid], new)
+            points[oid] = new
+        assert tree.validate() == []
+        for _ in range(20):
+            query = random_query(rng)
+            got = sorted(oid for oid, _ in tree.range_search(query))
+            assert got == brute_force_range(points, query)
+
+    def test_pointers_exact_after_deletes(self, tree, rng):
+        points = random_points(rng, 120)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        for oid in list(points)[::2]:
+            assert tree.delete(oid)
+            del points[oid]
+        assert tree.validate() == []
+
+    def test_shared_hash_index_across_trees(self, pager):
+        from repro.hashindex import HashIndex
+
+        shared = HashIndex(pager, entries_per_bucket=8)
+        a = LazyRTree(pager, hash_index=shared)
+        a.insert(1, (0, 0))
+        assert shared.peek(1) is not None
+
+
+class TestMBRBehaviour:
+    def test_no_shrink_on_delete(self, tree, rng):
+        points = random_points(rng, 100)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        mbrs_before = {
+            leaf.pid: leaf.mbr for leaf in tree.tree.iter_leaves()
+        }
+        # Delete a few objects: surviving leaves must not tighten.
+        for oid in list(points)[:20]:
+            tree.delete(oid)
+        for leaf in tree.tree.iter_leaves():
+            if leaf.pid in mbrs_before and leaf.entries:
+                assert mbrs_before[leaf.pid].contains_rect(leaf.mbr)
+
+    def test_queries_correct_with_loose_mbrs(self, rng):
+        pager = Pager()
+        tree = LazyRTree(pager, max_entries=6)
+        points = random_points(rng, 150)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        for oid in list(points)[::3]:
+            tree.delete(oid)
+            del points[oid]
+        for _ in range(25):
+            query = random_query(rng)
+            got = sorted(oid for oid, _ in tree.range_search(query))
+            assert got == brute_force_range(points, query)

@@ -1,0 +1,157 @@
+"""Cross-cutting coverage: cached stores under real indexes, accessors,
+renderings of degenerate structures."""
+
+import pytest
+
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.rtree import LazyRTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.pager import Pager
+from tests.conftest import brute_force_range, random_points, random_query
+
+DOMAIN = Rect((0, 0), (1000, 1000))
+
+
+class TestIndexesOverBufferPool:
+    """The pool is a drop-in pager; indexes must behave identically on it."""
+
+    def test_lazy_rtree_on_pool_matches_brute_force(self, rng):
+        pool = BufferPool(Pager(), capacity=64)
+        tree = LazyRTree(pool, max_entries=6)  # type: ignore[arg-type]
+        points = random_points(rng, 150)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        for _ in range(400):
+            oid = rng.randrange(150)
+            new = (rng.uniform(0, 100), rng.uniform(0, 100))
+            tree.update(oid, points[oid], new)
+            points[oid] = new
+        assert tree.validate() == []
+        for _ in range(20):
+            query = random_query(rng)
+            got = sorted(oid for oid, _ in tree.range_search(query))
+            assert got == brute_force_range(points, query)
+        assert pool.hit_rate > 0.3  # the cache is actually being exercised
+
+    def test_ct_tree_on_pool(self, rng):
+        pool = BufferPool(Pager(), capacity=64)
+        tree = CTRTree(
+            pool, DOMAIN, [Rect((100, 100), (400, 400))], max_entries=6  # type: ignore[arg-type]
+        )
+        points = {}
+        for oid in range(80):
+            point = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tree.insert(oid, point)
+            points[oid] = point
+        assert tree.validate() == []
+        got = sorted(oid for oid, _ in tree.range_search(DOMAIN))
+        assert got == sorted(points)
+
+    def test_pool_charges_less_than_raw(self, rng):
+        points = random_points(rng, 100)
+        raw_pager = Pager()
+        raw = LazyRTree(raw_pager, max_entries=6)
+        pool_backing = Pager()
+        pool = BufferPool(pool_backing, capacity=256)
+        cached = LazyRTree(pool, max_entries=6)  # type: ignore[arg-type]
+        for oid, point in points.items():
+            raw.insert(oid, point)
+            cached.insert(oid, point)
+        assert pool_backing.stats.total() < raw_pager.stats.total()
+
+
+class TestAccessors:
+    def test_ct_stats_as_row(self, rng):
+        from repro.analysis import ct_tree_stats
+
+        tree = CTRTree(Pager(), DOMAIN, [Rect((0, 0), (100, 100))])
+        tree.insert(1, (50.0, 50.0))
+        row = ct_tree_stats(tree).as_row()
+        assert row["regions"] == 1
+        assert row["objects"] == 1
+        assert "chain pages" in row
+
+    def test_update_graph_neighbors(self):
+        from repro.core.qsregion import QSRegion
+        from repro.core.update_graph import UpdateGraph
+
+        graph = UpdateGraph()
+        a = graph.add_region(QSRegion(rect=Rect((0, 0), (1, 1)), dwell_time=1))
+        b = graph.add_region(QSRegion(rect=Rect((2, 2), (3, 3)), dwell_time=1))
+        graph.add_edge(a, b, 4.0)
+        assert graph.neighbors(a) == {b: 4.0}
+        assert len(graph.regions()) == 2
+        assert "regions=2" in repr(graph)
+
+    def test_ct_tree_repr(self):
+        tree = CTRTree(Pager(), DOMAIN, [Rect((0, 0), (10, 10))])
+        text = repr(tree)
+        assert "regions=1" in text and "size=0" in text
+
+    def test_iostats_bulk_counts(self):
+        from repro.storage.iostats import IOStats
+
+        stats = IOStats()
+        stats.record_read(5)
+        stats.record_write(3)
+        assert stats.total() == 8
+
+
+class TestDegenerateRenderings:
+    def test_draw_structural_tree_empty(self):
+        from repro.viz import draw_structural_tree
+
+        tree = CTRTree(Pager(), DOMAIN)
+        svg = draw_structural_tree(tree).to_svg()
+        assert "<svg" in svg
+
+    def test_draw_ct_tree_empty(self):
+        from repro.viz import draw_ct_tree
+
+        tree = CTRTree(Pager(), DOMAIN)
+        svg = draw_ct_tree(tree).to_svg()
+        assert "0 objects" in svg
+
+    def test_draw_update_graph_no_edges(self):
+        from repro.core.qsregion import QSRegion
+        from repro.core.update_graph import UpdateGraph
+        from repro.viz import draw_update_graph
+
+        graph = UpdateGraph()
+        graph.add_region(QSRegion(rect=Rect((1, 1), (5, 5)), dwell_time=1))
+        svg = draw_update_graph(DOMAIN, graph).to_svg()
+        assert svg.count("<rect") >= 1
+
+    def test_draw_trails_empty_histories(self):
+        from repro.viz import draw_trails
+
+        svg = draw_trails(DOMAIN, {}).to_svg()
+        assert "<svg" in svg
+
+
+class TestBTreeExtras:
+    def test_bptree_repr_and_node_count(self, rng):
+        from repro.btree import BPlusTree
+
+        tree = BPlusTree(Pager(), max_entries=6)
+        for oid in range(60):
+            tree.insert(oid, rng.uniform(0, 100))
+        assert "size=60" in repr(tree)
+        assert tree.node_count() > 1
+
+    def test_bnode_covers_sentinels(self):
+        from repro.btree.bptree import BNode, HIGH_SENTINEL, LOW_SENTINEL
+
+        node = BNode(leaf=True)
+        assert node.low == LOW_SENTINEL
+        assert node.high == HIGH_SENTINEL
+        assert node.covers((1e308, 0))
+        assert node.covers((-1e308, 5))
+
+    def test_lazy_bptree_repr(self, pager):
+        from repro.btree import LazyBPlusTree
+
+        tree = LazyBPlusTree(pager)
+        tree.insert(1, 5.0)
+        assert "size=1" in repr(tree)

@@ -1,0 +1,126 @@
+"""Unit tests for the dwell/travel mobility model."""
+
+import random
+
+import pytest
+
+from repro.citysim.city import City
+from repro.citysim.mobility import MobilityModel, ObjectState
+
+
+@pytest.fixture(scope="module")
+def city():
+    return City.generate(seed=2, n_buildings=20)
+
+
+@pytest.fixture
+def model(city):
+    return MobilityModel(city, random.Random(3), dwell_mean=600.0)
+
+
+class TestSpawn:
+    def test_spawn_inside_building(self, model):
+        obj = model.spawn(0, now=0.0)
+        assert obj.state == ObjectState.INDOORS
+        assert obj.building is not None
+        assert obj.building.rect.contains_point(obj.position)
+        assert 0 <= obj.floor < obj.building.floors
+        assert obj.dwell_until > 0
+
+    def test_spawn_requires_buildings(self):
+        empty = City.generate(seed=3, n_buildings=0)
+        with pytest.raises(ValueError):
+            MobilityModel(empty, random.Random(0))
+
+
+class TestDwelling:
+    def test_indoor_jitter_stays_inside(self, model):
+        obj = model.spawn(0, now=0.0)
+        obj.dwell_until = 1e9
+        rect = obj.building.rect
+        for step in range(200):
+            model.step(obj, now=step * 20.0, dt=20.0)
+            assert rect.contains_point(obj.position)
+
+    def test_jitter_is_small_per_step(self, model):
+        obj = model.spawn(0, now=0.0)
+        obj.dwell_until = 1e9
+        previous = obj.position
+        import math
+
+        for step in range(100):
+            model.step(obj, now=step * 20.0, dt=20.0)
+            assert math.dist(previous, obj.position) < 20.0
+            previous = obj.position
+
+    def test_dwell_expiry_starts_trip(self, model):
+        obj = model.spawn(0, now=0.0)
+        obj.dwell_until = 10.0
+        model.step(obj, now=20.0, dt=20.0)
+        assert obj.state == ObjectState.TRAVELING
+        assert obj.waypoints
+
+    def test_ground_bias_pushes_to_floor_zero(self, city):
+        model = MobilityModel(city, random.Random(4), floor_change_prob=1.0)
+        model.ground_bias = 1
+        obj = model.spawn(0, now=0.0)
+        obj.dwell_until = 1e9
+        for step in range(5):
+            model.step(obj, now=step * 20.0, dt=20.0)
+        assert obj.floor == 0
+
+    def test_negative_bias_keeps_off_ground(self, city):
+        model = MobilityModel(city, random.Random(4), floor_change_prob=1.0)
+        model.ground_bias = -1
+        obj = model.spawn(0, now=0.0)
+        obj.building = max(city.buildings, key=lambda b: b.floors)
+        obj.dwell_until = 1e9
+        for step in range(5):
+            model.step(obj, now=step * 20.0, dt=20.0)
+        assert obj.floor > 0
+
+
+class TestTravel:
+    def test_travel_reaches_destination_and_dwells(self, model):
+        obj = model.spawn(0, now=0.0)
+        obj.dwell_until = 0.0
+        t = 0.0
+        for _ in range(2000):
+            t += 20.0
+            model.step(obj, now=t, dt=20.0)
+            if obj.state != ObjectState.TRAVELING:
+                break
+        assert obj.state in (ObjectState.INDOORS, ObjectState.IN_PARK)
+        if obj.state == ObjectState.INDOORS:
+            assert obj.building.rect.contains_point(obj.position)
+
+    def test_travel_speed_bounded(self, model):
+        import math
+
+        obj = model.spawn(0, now=0.0)
+        obj.dwell_until = 0.0
+        model.step(obj, now=20.0, dt=20.0)  # start trip
+        previous = obj.position
+        while obj.state == ObjectState.TRAVELING:
+            model.step(obj, now=40.0, dt=20.0)
+            dist = math.dist(previous, obj.position)
+            assert dist <= model.speed_range[1] * 20.0 + 1e-6
+            previous = obj.position
+
+    def test_rejects_negative_dt(self, model):
+        obj = model.spawn(0, now=0.0)
+        with pytest.raises(ValueError):
+            model.step(obj, now=0.0, dt=-1.0)
+
+    def test_park_trips_happen(self, city):
+        model = MobilityModel(city, random.Random(5), park_prob=1.0)
+        obj = model.spawn(0, now=0.0)
+        obj.dwell_until = 0.0
+        t = 0.0
+        for _ in range(500):
+            t += 20.0
+            model.step(obj, now=t, dt=20.0)
+            if obj.state == ObjectState.IN_PARK:
+                break
+        assert obj.state == ObjectState.IN_PARK
+        assert obj.at_ground_level

@@ -1,0 +1,193 @@
+"""Tests for k-nearest-neighbour search on the R-tree family and CT-R-tree."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.core.params import CTParams
+from repro.rtree import AlphaTree, LazyRTree, RTree
+from repro.storage.pager import Pager
+from tests.conftest import random_points
+
+DOMAIN = Rect((0, 0), (1000, 1000))
+
+
+def brute_knn(points, target, k):
+    ranked = sorted(
+        (math.dist(target, p), oid) for oid, p in points.items()
+    )
+    return [oid for _, oid in ranked[:k]]
+
+
+class TestRectMinDistance:
+    def test_inside_is_zero(self):
+        assert Rect((0, 0), (10, 10)).min_distance((5, 5)) == 0.0
+
+    def test_boundary_is_zero(self):
+        assert Rect((0, 0), (10, 10)).min_distance((10, 5)) == 0.0
+
+    def test_axis_aligned_outside(self):
+        assert Rect((0, 0), (10, 10)).min_distance((15, 5)) == 5.0
+
+    def test_corner_distance(self):
+        assert Rect((0, 0), (10, 10)).min_distance((13, 14)) == 5.0
+
+    @given(
+        st.floats(-100, 100), st.floats(-100, 100),
+        st.floats(-100, 100), st.floats(-100, 100),
+    )
+    def test_lower_bounds_contained_points(self, x, y, px, py):
+        rect = Rect((min(x, px) - 1, min(y, py) - 1), (max(x, px) + 1, max(y, py) + 1))
+        assert rect.min_distance((x, y)) == 0.0
+
+
+class TestRTreeNearest:
+    def test_rejects_bad_k(self, pager):
+        tree = RTree(pager)
+        with pytest.raises(ValueError):
+            tree.nearest((0, 0), k=0)
+
+    def test_empty_tree(self, pager):
+        tree = RTree(pager)
+        assert tree.nearest((0, 0), k=3) == []
+
+    def test_single_object(self, pager):
+        tree = RTree(pager)
+        tree.insert(1, (3.0, 4.0))
+        ((dist, oid, point),) = tree.nearest((0.0, 0.0))
+        assert (dist, oid, point) == (5.0, 1, (3.0, 4.0))
+
+    def test_k_larger_than_population(self, pager):
+        tree = RTree(pager)
+        tree.insert(1, (1, 1))
+        tree.insert(2, (2, 2))
+        assert len(tree.nearest((0, 0), k=10)) == 2
+
+    @pytest.mark.parametrize("cls", [RTree, LazyRTree, AlphaTree])
+    def test_matches_brute_force(self, cls, rng):
+        tree = cls(Pager(), max_entries=6)
+        points = random_points(rng, 200)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        inner = tree.tree if hasattr(tree, "tree") else tree
+        for _ in range(25):
+            target = (rng.uniform(0, 100), rng.uniform(0, 100))
+            k = rng.randint(1, 10)
+            got = [oid for _, oid, _ in inner.nearest(target, k)]
+            assert got == brute_knn(points, target, k)
+
+    def test_results_sorted_by_distance(self, pager, rng):
+        tree = RTree(pager, max_entries=6)
+        points = random_points(rng, 100)
+        for oid, point in points.items():
+            tree.insert(oid, point)
+        distances = [d for d, _, _ in tree.nearest((50, 50), k=20)]
+        assert distances == sorted(distances)
+
+    def test_prunes_far_subtrees(self, pager, rng):
+        """Best-first must not read the whole tree for k=1."""
+        tree = RTree(pager, max_entries=6)
+        for oid, point in random_points(rng, 300).items():
+            tree.insert(oid, point)
+        reads_before = pager.stats.reads()
+        tree.nearest((50.0, 50.0), k=1)
+        reads = pager.stats.reads() - reads_before
+        assert reads < tree.node_count() / 2
+
+
+class TestCTRTreeNearest:
+    def make_tree(self, rng, n=150, with_buffers=True):
+        regions = [
+            Rect((i * 220.0, j * 220.0), (i * 220.0 + 100, j * 220.0 + 100))
+            for i in range(4)
+            for j in range(4)
+        ]
+        tree = CTRTree(
+            Pager(), DOMAIN, regions, max_entries=6, ct_params=CTParams(t_list=2)
+        )
+        points = {}
+        for oid in range(n):
+            if with_buffers and oid % 4 == 0:
+                point = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            else:
+                region = regions[oid % len(regions)]
+                point = (
+                    rng.uniform(region.lo[0], region.hi[0]),
+                    rng.uniform(region.lo[1], region.hi[1]),
+                )
+            tree.insert(oid, point)
+            points[oid] = point
+        return tree, points
+
+    def test_rejects_bad_k(self, rng):
+        tree, _ = self.make_tree(rng, n=5)
+        with pytest.raises(ValueError):
+            tree.nearest((0, 0), k=0)
+
+    def test_matches_brute_force(self, rng):
+        tree, points = self.make_tree(rng)
+        for _ in range(25):
+            target = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            k = rng.randint(1, 12)
+            got = [oid for _, oid, _ in tree.nearest(target, k)]
+            assert got == brute_knn(points, target, k)
+
+    def test_finds_buffer_residents(self, rng):
+        tree, points = self.make_tree(rng)
+        assert tree.buffered_object_count() > 0
+        # The nearest object to every buffered object's own location is itself.
+        from repro.core.overflow import DataPage, OWNER_LIST
+
+        for oid, point in points.items():
+            page = tree.pager.inspect(tree.hash.peek(oid))
+            if isinstance(page, DataPage) and page.owner[0] == OWNER_LIST:
+                (_, found, _), *_rest = tree.nearest(point, k=1)
+                assert math.dist(points[found], point) <= 1e-9
+                break
+
+    def test_empty_tree(self):
+        tree = CTRTree(Pager(), DOMAIN)
+        assert tree.nearest((5, 5), k=2) == []
+
+    def test_after_updates(self, rng):
+        tree, points = self.make_tree(rng, n=80)
+        for _ in range(200):
+            oid = rng.randrange(80)
+            new = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            tree.update(oid, points[oid], new)
+            points[oid] = new
+        for _ in range(10):
+            target = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            got = [oid for _, oid, _ in tree.nearest(target, k=5)]
+            assert got == brute_knn(points, target, 5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1000, allow_nan=False), st.floats(0, 1000, allow_nan=False)),
+        min_size=1,
+        max_size=80,
+    ),
+    st.integers(1, 8),
+    st.integers(0, 2**16),
+)
+def test_property_ct_knn_matches_rtree_knn(coords, k, seed):
+    rng = random.Random(seed)
+    regions = [Rect((200, 200), (500, 500)), Rect((600, 100), (800, 400))]
+    ct = CTRTree(Pager(), DOMAIN, regions, max_entries=5)
+    rt = RTree(Pager(), max_entries=5)
+    points = {}
+    for oid, point in enumerate(coords):
+        ct.insert(oid, point)
+        rt.insert(oid, point)
+        points[oid] = point
+    target = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+    ct_dists = [round(d, 9) for d, _, _ in ct.nearest(target, k)]
+    rt_dists = [round(d, 9) for d, _, _ in rt.nearest(target, k)]
+    assert ct_dists == rt_dists

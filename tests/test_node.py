@@ -1,0 +1,51 @@
+"""Unit tests for R-tree node/entry primitives."""
+
+from repro.core.geometry import Rect
+from repro.rtree.node import Entry, RTreeNode
+from repro.storage.page import NO_PAGE
+
+
+class TestEntry:
+    def test_for_point_builds_degenerate_rect(self):
+        entry = Entry.for_point((3.0, 4.0), 7)
+        assert entry.rect.lo == entry.rect.hi == (3.0, 4.0)
+        assert entry.child == 7
+        assert entry.point == (3.0, 4.0)
+
+    def test_repr(self):
+        entry = Entry(Rect((0, 0), (1, 1)), 5)
+        assert "child=5" in repr(entry)
+
+
+class TestRTreeNode:
+    def test_fresh_node_state(self):
+        node = RTreeNode(level=2)
+        assert node.level == 2
+        assert not node.is_leaf
+        assert node.is_root  # no parent yet
+        assert node.parent == NO_PAGE
+        assert node.mbr is None
+        assert node.tag is None
+        assert node.entries == []
+
+    def test_leaf_detection(self):
+        assert RTreeNode(level=0).is_leaf
+        assert not RTreeNode(level=1).is_leaf
+
+    def test_tight_mbr(self):
+        node = RTreeNode(level=0)
+        assert node.tight_mbr() is None
+        node.entries.append(Entry.for_point((0.0, 0.0), 1))
+        node.entries.append(Entry.for_point((4.0, 2.0), 2))
+        assert node.tight_mbr() == Rect((0, 0), (4, 2))
+
+    def test_find_entry(self):
+        node = RTreeNode(level=0)
+        node.entries = [Entry.for_point((0.0, 0.0), 10), Entry.for_point((1.0, 1.0), 20)]
+        assert node.find_entry(20) == 1
+        assert node.find_entry(30) is None
+
+    def test_repr_counts_entries(self):
+        node = RTreeNode(level=1)
+        node.entries = [Entry(Rect((0, 0), (1, 1)), 3)]
+        assert "entries=1" in repr(node)

@@ -1,0 +1,76 @@
+"""Unit tests for data pages and buffer directories."""
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.overflow import OWNER_LIST, OWNER_QS, DataPage, NodeBuffer, QSEntry
+
+
+class TestDataPage:
+    def test_capacity_enforced(self):
+        page = DataPage(2, (OWNER_LIST, 0), None)
+        page.add(1, (0, 0))
+        page.add(2, (1, 1))
+        assert page.is_full
+        with pytest.raises(ValueError):
+            page.add(3, (2, 2))
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DataPage(0, (OWNER_LIST, 0), None)
+
+    def test_remove_returns_point(self):
+        page = DataPage(4, (OWNER_QS, 0, 1), Rect((0, 0), (10, 10)))
+        page.add(7, (3.0, 4.0))
+        assert page.remove(7) == (3.0, 4.0)
+        assert page.remove(7) is None
+        assert page.is_empty
+
+    def test_matches_filters_by_rect(self):
+        page = DataPage(4, (OWNER_LIST, 0), None)
+        page.add(1, (1.0, 1.0))
+        page.add(2, (9.0, 9.0))
+        hits = page.matches(Rect((0, 0), (5, 5)))
+        assert hits == [(1, (1.0, 1.0))]
+
+    def test_len(self):
+        page = DataPage(4, (OWNER_LIST, 0), None)
+        page.add(1, (0, 0))
+        assert len(page) == 1
+
+
+class TestQSEntry:
+    def test_first_non_full(self):
+        qs = QSEntry(Rect((0, 0), (10, 10)), region_id=0)
+        qs.chain = [10, 11, 12]
+        qs.fills = [4, 4, 2]
+        assert qs.first_non_full(4) == 2
+        qs.fills = [4, 4, 4]
+        assert qs.first_non_full(4) is None
+
+    def test_object_count(self):
+        qs = QSEntry(Rect((0, 0), (10, 10)), region_id=0)
+        qs.chain = [1, 2]
+        qs.fills = [3, 5]
+        assert qs.object_count() == 8
+
+    def test_created_at_window(self):
+        qs = QSEntry(Rect((0, 0), (1, 1)), region_id=3, created_at=42.0)
+        assert qs.window_start == 42.0
+        assert qs.removals == 0
+
+
+class TestNodeBuffer:
+    def test_starts_as_empty_list(self):
+        buf = NodeBuffer()
+        assert buf.kind == NodeBuffer.KIND_LIST
+        assert buf.pages == []
+        assert buf.object_count() == 0
+
+    def test_first_non_full(self):
+        buf = NodeBuffer()
+        buf.pages = [5, 6]
+        buf.fills = [4, 1]
+        assert buf.first_non_full(4) == 1
+        buf.fills = [4, 4]
+        assert buf.first_non_full(4) is None

@@ -1,0 +1,95 @@
+"""Unit tests for the pager's allocation and charging model."""
+
+import pytest
+
+from repro.storage.page import NO_PAGE, RawPage
+from repro.storage.pager import PageNotAllocatedError, Pager
+
+
+class TestAllocation:
+    def test_allocate_assigns_sequential_ids(self, pager):
+        a, b = RawPage("a"), RawPage("b")
+        assert pager.allocate(a) == 0
+        assert pager.allocate(b) == 1
+
+    def test_allocate_charges_one_write(self, pager):
+        pager.allocate(RawPage())
+        assert pager.stats.writes() == 1
+        assert pager.stats.reads() == 0
+
+    def test_double_allocate_rejected(self, pager):
+        page = RawPage()
+        pager.allocate(page)
+        with pytest.raises(ValueError):
+            pager.allocate(page)
+
+    def test_free_releases_and_unsets_pid(self, pager):
+        page = RawPage()
+        pid = pager.allocate(page)
+        pager.free(pid)
+        assert page.pid == NO_PAGE
+        assert not pager.contains(pid)
+        assert pager.freed_count == 1
+
+    def test_free_is_not_charged(self, pager):
+        pid = pager.allocate(RawPage())
+        before = pager.stats.total()
+        pager.free(pid)
+        assert pager.stats.total() == before
+
+    def test_free_unknown_pid_raises(self, pager):
+        with pytest.raises(PageNotAllocatedError):
+            pager.free(42)
+
+    def test_pids_are_never_reused(self, pager):
+        pid = pager.allocate(RawPage())
+        pager.free(pid)
+        assert pager.allocate(RawPage()) == pid + 1
+
+    def test_rejects_nonpositive_page_size(self):
+        with pytest.raises(ValueError):
+            Pager(page_size=0)
+
+
+class TestChargedAccess:
+    def test_read_returns_page_and_charges(self, pager):
+        page = RawPage("payload")
+        pid = pager.allocate(page)
+        got = pager.read(pid)
+        assert got is page
+        assert pager.stats.reads() == 1
+
+    def test_read_unknown_raises(self, pager):
+        with pytest.raises(PageNotAllocatedError):
+            pager.read(7)
+
+    def test_write_charges(self, pager):
+        page = RawPage()
+        pager.allocate(page)
+        pager.write(page)
+        assert pager.stats.writes() == 2  # allocation + explicit write
+
+    def test_write_freed_page_raises(self, pager):
+        page = RawPage()
+        pid = pager.allocate(page)
+        pager.free(pid)
+        with pytest.raises(PageNotAllocatedError):
+            pager.write(page)
+
+
+class TestUnchargedAccess:
+    def test_inspect_free_of_charge(self, pager):
+        pid = pager.allocate(RawPage("x"))
+        before = pager.stats.total()
+        assert pager.inspect(pid).payload == "x"
+        assert pager.stats.total() == before
+
+    def test_inspect_unknown_raises(self, pager):
+        with pytest.raises(PageNotAllocatedError):
+            pager.inspect(3)
+
+    def test_page_count_and_iter(self, pager):
+        pids = [pager.allocate(RawPage(i)) for i in range(5)]
+        pager.free(pids[0])
+        assert pager.page_count == 4
+        assert set(pager.iter_pids()) == set(pids[1:])

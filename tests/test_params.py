@@ -1,0 +1,90 @@
+"""Unit tests for Table-1 parameter handling."""
+
+import pytest
+
+from repro.core.params import CTParams, SimulationParams, format_table1
+
+
+class TestSimulationParams:
+    def test_paper_defaults(self):
+        p = SimulationParams()
+        assert p.n_objects == 100_000
+        assert p.update_rate == 5000.0
+        assert p.query_rate == 50.0
+        assert p.n_history == 110
+        assert p.n_updates == 20
+        assert p.entries_per_page == 20
+        assert p.page_size == 4096
+
+    def test_report_interval(self):
+        assert SimulationParams().report_interval == pytest.approx(20.0)
+
+    def test_update_query_ratio_baseline_is_100(self):
+        assert SimulationParams().update_query_ratio == pytest.approx(100.0)
+
+    def test_query_size_fraction(self):
+        assert SimulationParams().query_size_fraction == pytest.approx(0.001)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_objects", 0),
+            ("n_history", 1),
+            ("n_updates", -1),
+            ("entries_per_page", 3),
+            ("query_size_pct", 0.0),
+            ("query_size_pct", 150.0),
+            ("update_rate", 0.0),
+            ("query_rate", -1.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            SimulationParams(**{field: value})
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            SimulationParams(t_fill=0.6, t_empty=0.5)
+
+
+class TestCTParams:
+    def test_paper_defaults(self):
+        p = CTParams()
+        assert p.t_dist == 30.0
+        assert p.t_rate == 1.0
+        assert p.t_time == 300.0
+        assert p.t_area == 22_500.0
+        assert p.c_query == 1.0
+        assert p.c_update == 1.0
+        assert p.alpha == 0.1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("t_dist", 0.0),
+            ("t_rate", -1.0),
+            ("t_time", 0.0),
+            ("t_area", -5.0),
+            ("c_query", -1.0),
+            ("t_list", 0),
+            ("t_buf_num", 0),
+            ("t_buf_time", -1.0),
+            ("t_remove", -0.1),
+            ("alpha", -0.2),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ValueError):
+            CTParams(**{field: value})
+
+
+class TestTable1:
+    def test_format_contains_all_labels(self):
+        text = format_table1(SimulationParams(), CTParams())
+        for label in ("lambda_u", "T_start", "N_obj", "T_dist", "T_area", "C_q", "S_hash"):
+            assert label in text
+
+    def test_appendix_knobs_not_in_table1(self):
+        text = format_table1(SimulationParams(), CTParams())
+        assert "t_list" not in text
+        assert "t_buf_num" not in text

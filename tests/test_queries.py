@@ -1,0 +1,75 @@
+"""Unit tests for the range-query workload generator."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.workload.queries import QueryWorkload
+
+DOMAIN = Rect((0, 0), (1000, 1000))
+
+
+class TestConstruction:
+    def test_side_from_fraction(self):
+        w = QueryWorkload(DOMAIN, rate=1.0, size_fraction=0.001)
+        assert w.side == pytest.approx(math.sqrt(1000.0))
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(DOMAIN, rate=0.0, size_fraction=0.1)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(DOMAIN, rate=1.0, size_fraction=0.0)
+        with pytest.raises(ValueError):
+            QueryWorkload(DOMAIN, rate=1.0, size_fraction=1.5)
+
+
+class TestGeneration:
+    def test_queries_are_squares_of_right_area(self):
+        w = QueryWorkload(DOMAIN, rate=1.0, size_fraction=0.01, seed=1)
+        for q in w.take(20):
+            sides = q.rect.sides
+            assert sides[0] == pytest.approx(sides[1])
+            assert q.rect.area == pytest.approx(0.01 * DOMAIN.area)
+
+    def test_centers_within_domain(self):
+        w = QueryWorkload(DOMAIN, rate=1.0, size_fraction=0.01, seed=1)
+        for q in w.take(50):
+            assert DOMAIN.contains_point(q.rect.center)
+
+    def test_poisson_arrivals_increasing(self):
+        w = QueryWorkload(DOMAIN, rate=5.0, size_fraction=0.01, seed=2)
+        queries = w.take(50)
+        times = [q.t for q in queries]
+        assert times == sorted(times)
+        assert len(set(times)) == 50
+
+    def test_between_respects_window(self):
+        w = QueryWorkload(DOMAIN, rate=10.0, size_fraction=0.01, seed=3)
+        queries = w.between(100.0, 200.0)
+        assert all(100.0 <= q.t < 200.0 for q in queries)
+        # Expect roughly rate * window arrivals.
+        assert 500 < len(queries) < 1500
+
+    def test_between_empty_window(self):
+        w = QueryWorkload(DOMAIN, rate=10.0, size_fraction=0.01, seed=3)
+        assert w.between(50.0, 50.0) == []
+
+    def test_between_rejects_reversed_window(self):
+        w = QueryWorkload(DOMAIN, rate=10.0, size_fraction=0.01, seed=3)
+        with pytest.raises(ValueError):
+            w.between(10.0, 5.0)
+
+    def test_deterministic_per_seed(self):
+        a = QueryWorkload(DOMAIN, 1.0, 0.01, seed=4).take(10)
+        b = QueryWorkload(DOMAIN, 1.0, 0.01, seed=4).take(10)
+        assert [q.rect for q in a] == [q.rect for q in b]
+
+    def test_iterator_interface(self):
+        w = QueryWorkload(DOMAIN, rate=1.0, size_fraction=0.01, seed=5)
+        it = iter(w)
+        first = next(it)
+        second = next(it)
+        assert second.t > first.t

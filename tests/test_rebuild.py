@@ -1,0 +1,131 @@
+"""Tests for Appendix A.3: background rebuild of a drifted CT-R-tree."""
+
+import pytest
+
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.core.params import CTParams
+from repro.core.rebuild import RebuildPolicy, rebuild_ctrtree
+from repro.storage.pager import Pager
+from tests.conftest import brute_force_range, dwell_trail, random_query
+
+DOMAIN = Rect((0, 0), (1000, 1000))
+
+
+class TestRebuildPolicy:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            RebuildPolicy(churn_threshold=0.0)
+
+    def test_no_rebuild_without_churn(self, pager):
+        tree = CTRTree(pager, DOMAIN, [Rect((0, 0), (50, 50))] * 0)
+        policy = RebuildPolicy()
+        assert not policy.should_rebuild(tree, initial_regions=100)
+
+    def test_churn_ratio_counts_promotions_and_retirements(self, pager):
+        tree = CTRTree(pager, DOMAIN)
+        tree.adaptation.promotions = 15
+        tree.adaptation.retirements = 10
+        policy = RebuildPolicy(churn_threshold=0.2)
+        assert policy.churn_ratio(tree, initial_regions=100) == pytest.approx(0.25)
+        assert policy.should_rebuild(tree, initial_regions=100)
+
+    def test_tiny_indexes_never_demand_rebuild(self, pager):
+        tree = CTRTree(pager, DOMAIN)
+        tree.adaptation.promotions = 50
+        policy = RebuildPolicy(min_initial_regions=4)
+        assert not policy.should_rebuild(tree, initial_regions=2)
+
+
+class TestRebuild:
+    def build_old_tree(self, rng):
+        """An index built for spots A/B, while objects have moved to C/D."""
+        old_spots = [(150, 150), (800, 200)]
+        new_spots = [(200, 800), (700, 700)]
+        old_histories = {
+            oid: dwell_trail(rng, [old_spots[oid % 2]], dwell_reports=30)
+            for oid in range(40)
+        }
+        pager = Pager()
+        from repro.core.builder import CTRTreeBuilder
+
+        tree, _ = CTRTreeBuilder(CTParams(), query_rate=1.0).build(
+            pager, DOMAIN, old_histories
+        )
+        # The population has since migrated: current positions at C/D.
+        positions = {}
+        for oid in range(40):
+            cx, cy = new_spots[oid % 2]
+            point = (cx + rng.gauss(0, 2), cy + rng.gauss(0, 2))
+            tree.insert(oid, point, now=1000.0 + oid)
+            positions[oid] = point
+        new_histories = {
+            oid: dwell_trail(rng, [new_spots[oid % 2]], dwell_reports=30)
+            for oid in range(40)
+        }
+        return tree, positions, new_histories
+
+    def test_rebuild_transfers_all_objects(self, rng):
+        old_tree, positions, new_histories = self.build_old_tree(rng)
+        new_tree, report = rebuild_ctrtree(old_tree, new_histories, query_rate=1.0)
+        assert len(new_tree) == len(positions)
+        assert new_tree.validate() == []
+        assert report.object_count == 40
+        for _ in range(15):
+            query = random_query(rng, span=1000)
+            got = sorted(oid for oid, _ in new_tree.range_search(query))
+            assert got == brute_force_range(positions, query)
+
+    def test_rebuild_mines_the_new_patterns(self, rng):
+        old_tree, _positions, new_histories = self.build_old_tree(rng)
+        new_tree, _ = rebuild_ctrtree(old_tree, new_histories, query_rate=1.0)
+        # The rebuilt skeleton covers the new spots; objects live in regions.
+        assert new_tree.buffered_object_count() < len(new_tree) * 0.2
+        # The old skeleton, by contrast, strands the migrated population.
+        assert old_tree.buffered_object_count() > len(old_tree) * 0.5
+
+    def test_rebuild_does_not_touch_the_live_index(self, rng):
+        old_tree, positions, new_histories = self.build_old_tree(rng)
+        before_total = old_tree.pager.stats.total()
+        before_pages = old_tree.pager.page_count
+        rebuild_ctrtree(old_tree, new_histories, query_rate=1.0)
+        assert old_tree.pager.stats.total() == before_total
+        assert old_tree.pager.page_count == before_pages
+        assert old_tree.validate() == []
+
+    def test_rebuild_inherits_params_and_adaptive_flag(self, rng):
+        old_tree, _, new_histories = self.build_old_tree(rng)
+        old_tree.adaptive = False
+        params = CTParams(t_list=2)
+        old_tree.params = params
+        new_tree, _ = rebuild_ctrtree(old_tree, new_histories, query_rate=1.0)
+        assert new_tree.params.t_list == 2
+        assert not new_tree.adaptive
+
+    def test_rebuild_charged_as_build(self, rng):
+        old_tree, _, new_histories = self.build_old_tree(rng)
+        pager = Pager()
+        rebuild_ctrtree(old_tree, new_histories, query_rate=1.0, pager=pager)
+        from repro.storage.iostats import IOCategory
+
+        assert pager.stats.total(IOCategory.BUILD) == pager.stats.total()
+
+    def test_rebuild_improves_update_cost_after_migration(self, rng):
+        """The point of A.3: the rebuilt index serves the migrated population
+        with lazy updates again."""
+        old_tree, positions, new_histories = self.build_old_tree(rng)
+        new_tree, _ = rebuild_ctrtree(old_tree, new_histories, query_rate=1.0)
+
+        def measure(tree):
+            pager = tree.pager
+            before = pager.stats.total()
+            lazy_before = tree.lazy_hits
+            for oid, point in list(positions.items())[:30]:
+                tree.update(oid, point, (point[0] + 0.5, point[1] + 0.5), now=5000.0)
+                tree.update(oid, (point[0] + 0.5, point[1] + 0.5), point, now=5001.0)
+            return pager.stats.total() - before, tree.lazy_hits - lazy_before
+
+        old_cost, _old_lazy = measure(old_tree)
+        new_cost, new_lazy = measure(new_tree)
+        assert new_lazy == 60  # every jitter update is lazy on the new tree
+        assert new_cost < old_cost

@@ -1,0 +1,96 @@
+"""Tests for multi-seed replication and aggregation."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.replication import Aggregate, replicate
+
+
+class TestAggregate:
+    def test_mean_std(self):
+        agg = Aggregate([1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.std == pytest.approx(1.0)
+        assert agg.minimum == 1.0
+        assert agg.maximum == 3.0
+        assert agg.n == 3
+
+    def test_single_value(self):
+        agg = Aggregate([5.0])
+        assert agg.mean == 5.0
+        assert agg.std == 0.0
+        assert agg.relative_spread == 0.0
+
+    def test_empty(self):
+        agg = Aggregate([])
+        assert agg.mean == 0.0
+        assert agg.minimum == 0.0
+
+    def test_relative_spread(self):
+        assert Aggregate([90.0, 110.0]).relative_spread == pytest.approx(0.2)
+
+    def test_str_format(self):
+        assert str(Aggregate([1000.0, 3000.0])) == "2,000 ± 1,414"
+
+
+def make_run(offset_per_seed):
+    def run(seed: int) -> ExperimentResult:
+        result = ExperimentResult(title="fake", columns=["x", "metric", "label"])
+        for x in (1, 2):
+            result.add(x=x, metric=10.0 * x + offset_per_seed * seed, label="L")
+        return result
+
+    return run
+
+
+class TestReplicate:
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            replicate(make_run(0), [], key_column="x")
+
+    def test_aggregates_numeric_columns(self):
+        replicated = replicate(make_run(1.0), [0, 1, 2], key_column="x")
+        agg = replicated.get(1, "metric")
+        assert agg.values == [10.0, 11.0, 12.0]
+        assert agg.mean == pytest.approx(11.0)
+
+    def test_ignores_non_numeric(self):
+        replicated = replicate(make_run(0.0), [0, 1], key_column="x")
+        assert "label" not in replicated.aggregates[1]
+
+    def test_mismatched_sweeps_rejected(self):
+        calls = {"n": 0}
+
+        def run(seed):
+            calls["n"] += 1
+            result = ExperimentResult(title="t", columns=["x", "m"])
+            result.add(x=calls["n"], m=1)  # different key each run
+            return result
+
+        with pytest.raises(ValueError):
+            replicate(run, [0, 1], key_column="x")
+
+    def test_table_rendering(self):
+        replicated = replicate(make_run(1.0), [0, 1], key_column="x")
+        text = replicated.to_table()
+        assert "n=2 seeds" in text
+        assert "±" in text
+
+    def test_deterministic_runs_have_zero_std(self):
+        replicated = replicate(make_run(0.0), [0, 1, 2, 3], key_column="x")
+        assert replicated.get(2, "metric").std == 0.0
+
+
+class TestEndToEndReplication:
+    def test_figure11_gap_is_stable_across_seeds(self):
+        """The Figure-11 trend must not be a single-seed artifact."""
+        from repro.experiments import figure11
+
+        replicated = replicate(
+            lambda seed: figure11.run("smoke", seed=seed, counts=(100, 300), query_count=5),
+            seeds=[0, 1],
+            key_column="objects",
+        )
+        small = replicated.get(100, "lazy-R-tree")
+        large = replicated.get(300, "lazy-R-tree")
+        assert large.mean > small.mean  # more objects cost more, on average

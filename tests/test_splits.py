@@ -1,0 +1,137 @@
+"""Unit tests for the node split policies."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect
+from repro.rtree.node import Entry
+from repro.rtree.splits import (
+    SPLIT_POLICIES,
+    linear_split,
+    quadratic_split,
+    rstar_split,
+)
+
+ALL_POLICIES = list(SPLIT_POLICIES.values())
+
+
+def point_entries(points):
+    return [Entry.for_point(p, i) for i, p in enumerate(points)]
+
+
+def grid_entries(n):
+    rng = random.Random(42)
+    return point_entries([(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("split", ALL_POLICIES)
+    def test_rejects_single_entry(self, split):
+        with pytest.raises(ValueError):
+            split(point_entries([(0, 0)]), 1)
+
+    @pytest.mark.parametrize("split", ALL_POLICIES)
+    def test_rejects_unsatisfiable_min(self, split):
+        with pytest.raises(ValueError):
+            split(point_entries([(0, 0), (1, 1), (2, 2)]), 2)
+
+    @pytest.mark.parametrize("split", ALL_POLICIES)
+    def test_rejects_zero_min(self, split):
+        with pytest.raises(ValueError):
+            split(point_entries([(0, 0), (1, 1)]), 0)
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("split", ALL_POLICIES)
+    @pytest.mark.parametrize("n,m", [(4, 2), (10, 4), (21, 8), (21, 2)])
+    def test_partition_is_complete_and_respects_min(self, split, n, m):
+        entries = grid_entries(n)
+        a, b = split(entries, m)
+        assert len(a) + len(b) == n
+        assert len(a) >= m and len(b) >= m
+        assert {id(e) for e in a} | {id(e) for e in b} == {id(e) for e in entries}
+        assert {id(e) for e in a} & {id(e) for e in b} == set()
+
+    @pytest.mark.parametrize("split", ALL_POLICIES)
+    def test_identical_points_still_split(self, split):
+        entries = point_entries([(5, 5)] * 10)
+        a, b = split(entries, 4)
+        assert len(a) >= 4 and len(b) >= 4
+
+    @pytest.mark.parametrize("split", ALL_POLICIES)
+    def test_handles_rect_entries(self, split):
+        rng = random.Random(7)
+        entries = [
+            Entry(
+                Rect(
+                    (rng.uniform(0, 50), rng.uniform(0, 50)),
+                    (rng.uniform(50, 100), rng.uniform(50, 100)),
+                ),
+                i,
+            )
+            for i in range(12)
+        ]
+        a, b = split(entries, 4)
+        assert len(a) + len(b) == 12
+
+
+class TestQuality:
+    def test_quadratic_separates_two_clusters(self):
+        left = point_entries([(x, y) for x in (0, 1, 2) for y in (0, 1, 2)])
+        right = [
+            Entry.for_point((x + 100.0, y), 100 + i)
+            for i, (x, y) in enumerate((x, y) for x in (0, 1, 2) for y in (0, 1, 2))
+        ]
+        a, b = quadratic_split(left + right, 4)
+        sides = [{e.child < 100 for e in group} for group in (a, b)]
+        assert sides[0] in ({True}, {False})
+        assert sides[1] in ({True}, {False})
+        assert sides[0] != sides[1]
+
+    def test_linear_separates_two_clusters(self):
+        entries = point_entries([(0, 0), (1, 0), (0, 1), (1, 1)]) + [
+            Entry.for_point((x, y), 10 + i)
+            for i, (x, y) in enumerate([(100, 0), (101, 0), (100, 1), (101, 1)])
+        ]
+        a, b = linear_split(entries, 2)
+        xs_a = {e.point[0] < 50 for e in a}
+        xs_b = {e.point[0] < 50 for e in b}
+        assert len(xs_a) == 1 and len(xs_b) == 1 and xs_a != xs_b
+
+    def test_rstar_minimizes_overlap_on_stripes(self):
+        # Two horizontal stripes: the best split separates by y with zero overlap.
+        bottom = point_entries([(x, 0.0) for x in range(10)])
+        top = [Entry.for_point((float(x), 100.0), 100 + x) for x in range(10)]
+        a, b = rstar_split(bottom + top, 4)
+        mbr_a = Rect.union_all(e.rect for e in a)
+        mbr_b = Rect.union_all(e.rect for e in b)
+        assert mbr_a.overlap_area(mbr_b) == 0.0
+
+
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=8, max_size=30),
+        st.sampled_from(sorted(SPLIT_POLICIES)),
+    )
+    def test_split_never_loses_entries(self, points, policy_name):
+        entries = point_entries(points)
+        a, b = SPLIT_POLICIES[policy_name](entries, 2)
+        assert sorted(e.child for e in a + b) == sorted(e.child for e in entries)
+
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=8, max_size=30),
+        st.sampled_from(sorted(SPLIT_POLICIES)),
+    )
+    def test_groups_cover_originals(self, points, policy_name):
+        entries = point_entries(points)
+        a, b = SPLIT_POLICIES[policy_name](entries, 2)
+        for group in (a, b):
+            mbr = Rect.union_all(e.rect for e in group)
+            for entry in group:
+                assert mbr.contains_rect(entry.rect)

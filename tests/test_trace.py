@@ -1,0 +1,98 @@
+"""Unit tests for trace recording, slicing, and persistence."""
+
+import pytest
+
+from repro.citysim.trace import Trace
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    for oid in range(3):
+        for k in range(10):
+            t.add(oid, (float(oid), float(k)), k * 20.0 + oid)
+    return t
+
+
+class TestBasics:
+    def test_counts(self, trace):
+        assert len(trace) == 30
+        assert trace.object_ids == [0, 1, 2]
+        assert trace.sample_count(1) == 10
+        assert trace.min_samples() == 10
+
+    def test_rejects_time_regression(self):
+        t = Trace()
+        t.add(0, (0, 0), 10.0)
+        with pytest.raises(ValueError):
+            t.add(0, (1, 1), 5.0)
+
+    def test_duration(self, trace):
+        assert trace.duration() == pytest.approx(9 * 20.0 + 2)
+
+    def test_empty_trace(self):
+        t = Trace()
+        assert len(t) == 0
+        assert t.min_samples() == 0
+        assert t.duration() == 0.0
+        assert t.online_span(5) == (0.0, 0.0)
+
+
+class TestPhases:
+    def test_histories_take_first_n_minus_one(self, trace):
+        histories = trace.histories(5)
+        assert all(len(h) == 4 for h in histories.values())
+
+    def test_current_positions_are_nth_sample(self, trace):
+        current = trace.current_positions(5)
+        assert current[0] == (0.0, 4.0)
+
+    def test_current_clamps_to_available(self, trace):
+        current = trace.current_positions(99)
+        assert current[0] == (0.0, 9.0)
+
+    def test_online_updates_are_time_ordered_and_correctly_attributed(self, trace):
+        records = list(trace.online_updates(5))
+        assert len(records) == 15
+        times = [r.t for r in records]
+        assert times == sorted(times)
+        for record in records:
+            # y-coordinate encodes the sample index; x encodes the object id.
+            assert record.point[0] == float(record.oid)
+
+    def test_online_span(self, trace):
+        start, end = trace.online_span(5)
+        assert start == pytest.approx(5 * 20.0)  # oid 0 sample 5
+        assert end == pytest.approx(9 * 20.0 + 2)
+
+
+class TestTransforms:
+    def test_subsample(self, trace):
+        thin = trace.subsample(2)
+        assert thin.sample_count(0) == 5
+        assert thin.trail(0)[1] == trace.trail(0)[2]
+
+    def test_subsample_rejects_zero(self, trace):
+        with pytest.raises(ValueError):
+            trace.subsample(0)
+
+    def test_restricted_to(self, trace):
+        sub = trace.restricted_to([0, 2])
+        assert sub.object_ids == [0, 2]
+        assert len(sub) == 20
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.object_ids == trace.object_ids
+        for oid in trace.object_ids:
+            assert loaded.trail(oid) == trace.trail(oid)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("not,a,trace\n")
+        with pytest.raises(ValueError):
+            Trace.load(path)

@@ -1,0 +1,225 @@
+"""Unit tests for Phase 2: the update graph and density merging (Figure 4)."""
+
+import random
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.qsregion import QSRegion
+from repro.core.update_graph import (
+    UpdateGraph,
+    build_update_graph,
+    chain_graph,
+    merge_by_density,
+    union_graphs,
+)
+
+
+def region(x0, y0, x1, y1, tau, oid=None, order=0):
+    return QSRegion(
+        rect=Rect((x0, y0), (x1, y1)), dwell_time=tau, object_id=oid, order=order
+    )
+
+
+class TestGraphBasics:
+    def test_add_region_and_edges(self):
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 1, 1, 10))
+        b = g.add_region(region(2, 2, 3, 3, 10))
+        g.add_edge(a, b)
+        assert g.edge_weight(a, b) == 1.0
+        assert g.edge_weight(b, a) == 1.0
+        assert g.region_count == 2
+        assert g.edge_count() == 1
+
+    def test_edge_weights_accumulate(self):
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 1, 1, 10))
+        b = g.add_region(region(2, 2, 3, 3, 10))
+        g.add_edge(a, b)
+        g.add_edge(a, b, 2.5)
+        assert g.edge_weight(a, b) == 3.5
+
+    def test_self_edge_ignored(self):
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 1, 1, 10))
+        g.add_edge(a, a)
+        assert g.edge_count() == 0
+
+    def test_edge_to_unknown_region_raises(self):
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 1, 1, 10))
+        with pytest.raises(KeyError):
+            g.add_edge(a, 99)
+
+    def test_scale_edges(self):
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 1, 1, 10))
+        b = g.add_region(region(2, 2, 3, 3, 10))
+        g.add_edge(a, b, 10.0)
+        g.scale_edges(0.1)
+        assert g.edge_weight(a, b) == pytest.approx(1.0)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UpdateGraph().scale_edges(-1.0)
+
+
+class TestMergeSemantics:
+    def test_merge_unions_rect_and_sums_dwell(self):
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 2, 2, 10, oid=1))
+        b = g.add_region(region(1, 1, 3, 3, 5, oid=2))
+        g.merge(a, b)
+        merged = g.region(a)
+        assert merged.rect == Rect((0, 0), (3, 3))
+        assert merged.dwell_time == 15
+        assert merged.sources == [1, 2]
+        assert merged.object_id is None  # mixed owners
+        assert g.region_count == 1
+
+    def test_merge_collapses_common_links(self):
+        """Figure 4 step (b): links to the same third region become one link
+        of summed weight."""
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 1, 1, 10))
+        b = g.add_region(region(1, 1, 2, 2, 10))
+        c = g.add_region(region(5, 5, 6, 6, 10))
+        g.add_edge(a, c, 2.0)
+        g.add_edge(b, c, 3.0)
+        g.add_edge(a, b, 7.0)
+        g.merge(a, b)
+        assert g.edge_weight(a, c) == 5.0
+        assert g.edge_count() == 1  # the a-b link became internal
+
+    def test_merge_self_rejected(self):
+        g = UpdateGraph()
+        a = g.add_region(region(0, 0, 1, 1, 10))
+        with pytest.raises(ValueError):
+            g.merge(a, a)
+
+
+class TestChainGraph:
+    def test_chain_edges_follow_time_order(self):
+        regions = [region(i, 0, i + 1, 1, 10, order=i) for i in range(4)]
+        g = chain_graph(regions)
+        assert g.region_count == 4
+        assert g.edge_count() == 3
+        rids = g.region_ids
+        for a, b in zip(rids, rids[1:]):
+            assert g.edge_weight(a, b) == 1.0
+
+    def test_empty_and_singleton_chains(self):
+        assert chain_graph([]).region_count == 0
+        assert chain_graph([region(0, 0, 1, 1, 5)]).edge_count() == 0
+
+
+class TestUnionGraphs:
+    def test_union_relabels_disjointly(self):
+        g1 = chain_graph([region(0, 0, 1, 1, 10), region(2, 0, 3, 1, 10)])
+        g2 = chain_graph([region(5, 5, 6, 6, 10)])
+        unified = union_graphs([g1, g2])
+        assert unified.region_count == 3
+        assert unified.edge_count() == 1
+
+
+class TestDensityMerging:
+    def test_coincident_regions_merge(self):
+        g = UpdateGraph()
+        g.add_region(region(0, 0, 10, 10, 100))
+        g.add_region(region(0, 0, 10, 10, 100))
+        merges = merge_by_density(g, t_area=22500)
+        assert merges == 1
+        assert g.region_count == 1
+        assert g.region(g.region_ids[0]).dwell_time == 200
+
+    def test_disjoint_far_regions_do_not_merge(self):
+        g = UpdateGraph()
+        g.add_region(region(0, 0, 10, 10, 100))
+        g.add_region(region(500, 500, 510, 510, 100))
+        assert merge_by_density(g, t_area=22500) == 0
+        assert g.region_count == 2
+
+    def test_area_cap_blocks_merge(self):
+        g = UpdateGraph()
+        g.add_region(region(0, 0, 10, 10, 1000))
+        g.add_region(region(5, 5, 15, 15, 1000))
+        assert merge_by_density(g, t_area=150.0) == 0
+
+    def test_density_condition_is_strict(self):
+        # Union density must beat BOTH constituents; side-by-side rects with
+        # equal density produce an equal union density -> no merge.
+        g = UpdateGraph()
+        g.add_region(region(0, 0, 10, 10, 100))
+        g.add_region(region(10, 0, 20, 10, 100))
+        assert merge_by_density(g, t_area=22500) == 0
+
+    def test_heavily_overlapping_merge_cascades(self):
+        g = UpdateGraph()
+        for i in range(5):
+            g.add_region(region(i * 0.5, 0, i * 0.5 + 10, 10, 100))
+        merge_by_density(g, t_area=22500)
+        assert g.region_count == 1
+
+    def test_grid_reaches_a_true_fixpoint(self):
+        """Figure 4 merges "in arbitrary order, until none satisfies", so
+        different orders may reach different (equally valid) fixpoints.  The
+        grid-pruned pass must (a) leave no mergeable pair behind -- an
+        exhaustive pass afterwards finds nothing -- and (b) land near the
+        exhaustive pass's region count on realistic clustered input."""
+        rng = random.Random(5)
+
+        def make_graph(seed):
+            r = random.Random(seed)
+            g = UpdateGraph()
+            for _ in range(120):
+                cx, cy = r.choice(clusters)
+                x = cx + r.uniform(-8, 8)
+                y = cy + r.uniform(-8, 8)
+                g.add_region(region(x, y, x + 15, y + 15, r.uniform(300, 900)))
+            return g
+
+        clusters = [(rng.uniform(50, 950), rng.uniform(50, 950)) for _ in range(8)]
+        g_exhaustive = make_graph(6)
+        g_grid = make_graph(6)
+        merge_by_density(g_exhaustive, t_area=22500, exhaustive=True)
+        merge_by_density(g_grid, t_area=22500, exhaustive=False)
+        assert merge_by_density(g_grid, t_area=22500, exhaustive=True) == 0
+        assert (
+            abs(g_grid.region_count - g_exhaustive.region_count)
+            <= 0.5 * g_exhaustive.region_count
+        )
+
+    def test_merged_dwell_time_is_conserved(self):
+        g = UpdateGraph()
+        total = 0.0
+        for i in range(10):
+            tau = 100.0 + i
+            total += tau
+            g.add_region(region(0, 0, 10 + i * 0.1, 10, tau))
+        merge_by_density(g, t_area=22500)
+        assert g.total_dwell_time() == pytest.approx(total)
+
+
+class TestBuildUpdateGraph:
+    def test_full_phase2(self):
+        per_object = [
+            [region(0, 0, 10, 10, 400, oid=1, order=0), region(100, 100, 110, 110, 400, oid=1, order=1)],
+            [region(1, 1, 11, 11, 400, oid=2, order=0), region(100, 100, 110, 110, 400, oid=2, order=1)],
+        ]
+        graph = build_update_graph(per_object, t_area=22500, t_max=1000.0)
+        # Coincident home/work regions merge across objects.
+        assert graph.region_count == 2
+        (edge,) = list(graph.edges())
+        # Two transitions, scaled by t_max.
+        assert edge[2] == pytest.approx(2.0 / 1000.0)
+
+    def test_zero_t_max_skips_scaling(self):
+        per_object = [[region(0, 0, 1, 1, 400, order=0), region(5, 5, 6, 6, 400, order=1)]]
+        graph = build_update_graph(per_object, t_area=22500, t_max=0.0)
+        (edge,) = list(graph.edges())
+        assert edge[2] == 1.0
+
+    def test_no_regions(self):
+        graph = build_update_graph([[], []], t_area=22500, t_max=100.0)
+        assert graph.region_count == 0

@@ -1,0 +1,57 @@
+"""Unit tests for the online update stream."""
+
+import pytest
+
+from repro.citysim.trace import Trace
+from repro.workload.updates import UpdateStream
+
+
+@pytest.fixture
+def trace():
+    t = Trace()
+    for oid in range(4):
+        for k in range(20):
+            t.add(oid, (float(k), float(oid)), k * 10.0 + oid * 0.1)
+    return t
+
+
+class TestStream:
+    def test_starts_after_history(self, trace):
+        stream = UpdateStream(trace, n_history=15)
+        assert len(stream) == 4 * 5
+        assert min(r.t for r in stream) >= 15 * 10.0
+
+    def test_time_ordered(self, trace):
+        stream = UpdateStream(trace, n_history=10)
+        times = [r.t for r in stream]
+        assert times == sorted(times)
+
+    def test_skip_thins_stream(self, trace):
+        full = UpdateStream(trace, n_history=10)
+        thinned = UpdateStream(trace, n_history=10, skip=4)
+        assert len(thinned) == len(full) // 4
+        assert thinned.records[0] == full.records[0]
+
+    def test_skip_rejects_zero(self, trace):
+        with pytest.raises(ValueError):
+            UpdateStream(trace, n_history=10, skip=0)
+
+    def test_object_restriction(self, trace):
+        stream = UpdateStream(trace, n_history=10, object_ids=[1, 3])
+        assert {r.oid for r in stream} == {1, 3}
+
+    def test_rate_and_duration(self, trace):
+        stream = UpdateStream(trace, n_history=10)
+        assert stream.duration > 0
+        assert stream.rate == pytest.approx(len(stream) / stream.duration)
+
+    def test_empty_stream(self, trace):
+        stream = UpdateStream(trace, n_history=99)
+        assert len(stream) == 0
+        assert stream.duration == 0.0
+        assert stream.rate == 0.0
+        assert stream.time_span() == (0.0, 0.0)
+
+    def test_records_cached(self, trace):
+        stream = UpdateStream(trace, n_history=10)
+        assert stream.records is stream.records

@@ -1,0 +1,116 @@
+"""Tests for the SVG figure renderings."""
+
+import pytest
+
+from repro.citysim.city import City
+from repro.core.ctrtree import CTRTree
+from repro.core.geometry import Rect
+from repro.core.qsregion import QSRegion, identify_qs_regions
+from repro.core.params import CTParams
+from repro.core.update_graph import UpdateGraph
+from repro.storage.pager import Pager
+from repro.viz import (
+    SVGCanvas,
+    draw_city,
+    draw_ct_tree,
+    draw_structural_tree,
+    draw_trails,
+    draw_update_graph,
+)
+from tests.conftest import dwell_trail
+
+WORLD = Rect((0, 0), (1000, 1000))
+
+
+class TestCanvas:
+    def test_rejects_3d_world(self):
+        with pytest.raises(ValueError):
+            SVGCanvas(Rect((0, 0, 0), (1, 1, 1)))
+
+    def test_rejects_degenerate_world(self):
+        with pytest.raises(ValueError):
+            SVGCanvas(Rect((0, 0), (0, 10)))
+
+    def test_coordinate_mapping_flips_y(self):
+        canvas = SVGCanvas(WORLD, width=800, margin=0)
+        assert canvas.x(0) == 0.0
+        assert canvas.y(0) == canvas.height  # world bottom -> SVG bottom
+        assert canvas.y(1000) == 0.0
+
+    def test_primitives_accumulate(self):
+        canvas = SVGCanvas(WORLD)
+        base = canvas.element_count
+        canvas.rect(Rect((10, 10), (20, 20)))
+        canvas.line((0, 0), (5, 5))
+        canvas.polyline([(0, 0), (1, 1), (2, 0)])
+        canvas.circle((3, 3))
+        canvas.text((4, 4), "hi & <bye>")
+        assert canvas.element_count == base + 5
+        svg = canvas.to_svg()
+        assert svg.startswith("<svg")
+        assert "&amp;" in svg and "&lt;bye&gt;" in svg
+
+    def test_short_polyline_ignored(self):
+        canvas = SVGCanvas(WORLD)
+        base = canvas.element_count
+        canvas.polyline([(0, 0)])
+        assert canvas.element_count == base
+
+    def test_save(self, tmp_path):
+        canvas = SVGCanvas(WORLD)
+        canvas.rect(Rect((1, 1), (2, 2)))
+        path = canvas.save(tmp_path / "nested" / "out.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestFigureDrawings:
+    @pytest.fixture(scope="class")
+    def city(self):
+        return City.generate(seed=3, n_buildings=15)
+
+    def test_draw_city(self, city):
+        canvas = draw_city(city)
+        svg = canvas.to_svg()
+        assert svg.count("<rect") >= len(city.buildings)
+        assert "City map" in svg
+
+    def test_draw_trails_with_regions(self, rng):
+        trails = {
+            oid: dwell_trail(rng, [(100 + 100 * oid, 100), (500, 500)], dwell_reports=25)
+            for oid in range(3)
+        }
+        regions = {
+            oid: identify_qs_regions(trail, CTParams(), object_id=oid)
+            for oid, trail in trails.items()
+        }
+        svg = draw_trails(WORLD, trails, regions).to_svg()
+        assert svg.count("<polyline") == 3
+        assert "stroke-dasharray" in svg  # the dashed qs-region boxes
+
+    def test_draw_trails_caps_objects(self, rng):
+        trails = {
+            oid: dwell_trail(rng, [(200, 200)], dwell_reports=10) for oid in range(30)
+        }
+        svg = draw_trails(WORLD, trails, max_objects=5).to_svg()
+        assert svg.count("<polyline") == 5
+
+    def test_draw_update_graph(self):
+        graph = UpdateGraph()
+        a = graph.add_region(QSRegion(rect=Rect((0, 0), (50, 50)), dwell_time=100))
+        b = graph.add_region(QSRegion(rect=Rect((200, 200), (250, 250)), dwell_time=100))
+        graph.add_edge(a, b, 5.0)
+        svg = draw_update_graph(WORLD, graph).to_svg()
+        assert svg.count("<rect") >= 2
+        assert svg.count("<line") >= 1
+
+    def test_draw_structural_and_ct(self, rng):
+        regions = [Rect((i * 200.0, 100), (i * 200.0 + 80, 180)) for i in range(4)]
+        tree = CTRTree(Pager(), WORLD, regions, max_entries=5, ct_params=CTParams(t_list=1))
+        for oid in range(40):
+            tree.insert(oid, (rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        structural = draw_structural_tree(tree).to_svg()
+        assert "structural R-tree" in structural
+        placement = draw_ct_tree(tree).to_svg()
+        assert "buffer:" in placement  # some objects are buffered
+        assert placement.count("<circle") >= 40
