@@ -89,6 +89,17 @@ class Trace:
                 positions[oid] = trail[index][0]
         return positions
 
+    def load_time(self, n_history: int) -> float:
+        """Timestamp of the initial index load: the latest ``n_history``-th
+        sample across objects (the moment the current-position snapshot is
+        complete).  0.0 for an empty trace."""
+        latest = 0.0
+        for trail in self._trails.values():
+            index = min(n_history, len(trail)) - 1
+            if index >= 0:
+                latest = max(latest, trail[index][1])
+        return latest
+
     def online_updates(self, n_history: int) -> Iterator[TraceRecord]:
         """Samples after the ``n_history``-th, merged across objects by time."""
         streams = []

@@ -9,18 +9,24 @@ Commands:
 * ``params``     -- print Table 1.
 
 Every command is deterministic given ``--seed``.
+
+``build`` and ``compare`` accept ``--metrics-out out.json``: it enables the
+process-global :class:`~repro.obs.MetricsRegistry` for the run and dumps the
+registry plus structural probes (tree shape, buffer-pool telemetry) as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.citysim import City, CitySimulator, Trace
 from repro.core.builder import CTRTreeBuilder
 from repro.core.params import CTParams, SimulationParams, format_table1
-from repro.storage import Pager
+from repro.obs import get_registry, set_enabled, tree_stats
+from repro.storage import BufferPool, Pager
 from repro.workload import (
     IndexKind,
     QueryWorkload,
@@ -64,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--city-size", type=float, default=1000.0)
     build.add_argument("--save", metavar="SNAPSHOT",
                        help="write the built index to a JSON snapshot file")
+    build.add_argument("--metrics-out", metavar="JSON",
+                       help="enable metrics and dump the registry, build phase "
+                            "timings, and tree-shape stats to this JSON file")
 
     experiment = sub.add_parser("experiment", help="run a paper table/figure")
     experiment.add_argument("name", choices=EXPERIMENTS)
@@ -78,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="update/query ratio (default: the Table-1 baseline)")
     compare.add_argument("--city-size", type=float, default=1000.0)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--buffer-pool", type=int, default=0, metavar="FRAMES",
+                         help="run every index over an LRU buffer pool of this "
+                              "many frames (0 = paper accounting, no cache)")
+    compare.add_argument("--metrics-out", metavar="JSON",
+                         help="enable metrics and dump the registry, per-index "
+                              "tree stats, run ledgers, and buffer-pool "
+                              "telemetry to this JSON file")
 
     report = sub.add_parser("report", help="run every experiment, write one markdown report")
     report.add_argument("-o", "--output", default="report.md")
@@ -115,6 +131,8 @@ def _domain(size: float):
 
 
 def cmd_build(args: argparse.Namespace) -> int:
+    if args.metrics_out:
+        set_enabled(True).reset()
     trace = Trace.load(args.trace)
     histories = trace.histories(args.history)
     current = trace.current_positions(args.history)
@@ -136,7 +154,36 @@ def cmd_build(args: argparse.Namespace) -> int:
 
         path = save_ctrtree(tree, args.save)
         print(f"snapshot:       {path}")
+    if args.metrics_out:
+        if not _write_metrics(
+            args.metrics_out,
+            {
+                "command": "build",
+                "build": report.to_dict(),
+                "tree_stats": tree_stats(tree),
+                "pager": pager.metrics_dict(),
+            },
+        ):
+            return 1
     return 0
+
+
+def _write_metrics(path: str, payload: dict) -> bool:
+    """Dump ``payload`` plus the global registry to ``path`` as JSON, then
+    switch the registry back off so library state doesn't leak past the
+    command (matters for in-process callers such as the tests)."""
+    payload["registry"] = get_registry().to_dict()
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        set_enabled(False)
+        print(f"cannot write --metrics-out file: {exc}", file=sys.stderr)
+        return False
+    set_enabled(False)
+    print(f"metrics:        {path}")
+    return True
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -167,10 +214,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    if args.metrics_out:
+        set_enabled(True).reset()
     trace = Trace.load(args.trace)
     domain = _domain(args.city_size)
     histories = trace.histories(args.history)
     current = trace.current_positions(args.history)
+    load_time = trace.load_time(args.history)
     stream = UpdateStream(trace, args.history)
     if len(stream) == 0:
         print("trace has no online samples past the history length", file=sys.stderr)
@@ -180,22 +230,52 @@ def cmd_compare(args: argparse.Namespace) -> int:
     queries = QueryWorkload(domain, query_rate, 0.001, seed=args.seed).between(
         t_start, t_end
     )
-    print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})\n")
+    pooled = args.buffer_pool > 0
+    print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})")
+    if pooled:
+        print(f"buffer pool: {args.buffer_pool} frames (LRU, write-back)")
+    print()
     header = f"{'index':<12} {'update I/O':>12} {'query I/O':>10} {'total':>10}"
+    if pooled:
+        header += f" {'hit rate':>9}"
     print(header)
     print("-" * len(header))
+    per_index: dict = {}
     for kind in IndexKind.ALL:
         pager = Pager()
+        store = BufferPool(pager, capacity=args.buffer_pool) if pooled else pager
         index = make_index(
-            kind, pager, domain, histories=histories, query_rate=query_rate
+            kind, store, domain, histories=histories, query_rate=query_rate
         )
-        driver = SimulationDriver(index, pager, kind)
-        driver.load(current)
+        driver = SimulationDriver(index, store, kind)
+        driver.load(current, now=load_time)
         result = driver.run(stream, queries)
-        print(
+        line = (
             f"{IndexKind.LABELS[kind]:<12} {result.update_ios:>12,} "
             f"{result.query_ios:>10,} {result.total_ios:>10,}"
         )
+        if pooled:
+            line += f" {store.hit_rate:>8.1%}"
+        print(line)
+        if args.metrics_out:
+            per_index[kind] = {
+                "run": result.to_dict(),
+                "tree_stats": tree_stats(index),
+                "pager": pager.metrics_dict(),
+                "buffer_pool": store.metrics_dict() if pooled else None,
+            }
+    if args.metrics_out:
+        if not _write_metrics(
+            args.metrics_out,
+            {
+                "command": "compare",
+                "buffer_pool_frames": args.buffer_pool,
+                "n_updates": len(stream),
+                "n_queries": len(queries),
+                "indexes": per_index,
+            },
+        ):
+            return 1
     return 0
 
 

@@ -18,8 +18,9 @@ offline fashion, it does not interrupt the processing of online updates").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.ctrtree import CTRTree
 from repro.core.geometry import Point, Rect
@@ -28,6 +29,7 @@ from repro.core.params import CTParams
 from repro.core.qsregion import TrailSample, identify_qs_regions, trail_duration
 from repro.core.update_graph import UpdateGraph, build_update_graph
 from repro.hashindex import HashIndex
+from repro.obs.metrics import get_registry
 from repro.storage.iostats import IOCategory
 from repro.storage.pager import Pager
 
@@ -44,10 +46,27 @@ class BuildReport:
     t_max: float
     build_reads: int
     build_writes: int
+    #: Wall-clock seconds per construction phase (phase1_qs_mining,
+    #: phase2_graph, phase3_traffic_merge, phase4_tree_load).
+    phase_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def build_ios(self) -> int:
         return self.build_reads + self.build_writes
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "object_count": self.object_count,
+            "phase1_regions": self.phase1_regions,
+            "phase2_regions": self.phase2_regions,
+            "phase3_regions": self.phase3_regions,
+            "traffic_merges": self.traffic_merges,
+            "t_max": self.t_max,
+            "build_reads": self.build_reads,
+            "build_writes": self.build_writes,
+            "build_ios": self.build_ios,
+            "phase_timings": dict(self.phase_timings),
+        }
 
 
 class CTRTreeBuilder:
@@ -79,6 +98,8 @@ class CTRTreeBuilder:
         self.split = split
         self.exhaustive = exhaustive
         self.adaptive = adaptive
+        #: Wall-clock seconds per phase of the most recent mine()/build().
+        self.last_phase_timings: Dict[str, float] = {}
 
     # -- phases 1-3 ---------------------------------------------------------
 
@@ -87,20 +108,39 @@ class CTRTreeBuilder:
         histories: Mapping[int, Sequence[TrailSample]],
         domain: Rect,
     ) -> Tuple[UpdateGraph, int, int, float]:
-        """Run Phases 1-3; returns (graph, phase1 count, traffic merges, t_max)."""
+        """Run Phases 1-3; returns (graph, phase1 count, traffic merges, t_max).
+
+        Each phase is a timed span: wall-clock seconds land in
+        ``self.last_phase_timings`` and (when enabled) the metrics registry.
+        Construction is offline, so the few ``perf_counter`` calls are free
+        relative to the work they bracket.
+        """
+        registry = get_registry()
+        timings = self.last_phase_timings = {}
+
+        t0 = perf_counter()
         per_object = [
             identify_qs_regions(trail, self.params, object_id=obj_id)
             for obj_id, trail in histories.items()
         ]
         phase1_count = sum(len(regions) for regions in per_object)
         t_max = max((trail_duration(t) for t in histories.values()), default=0.0)
+        timings["phase1_qs_mining"] = perf_counter() - t0
 
+        t0 = perf_counter()
         graph = build_update_graph(
             per_object, self.params.t_area, t_max, exhaustive=self.exhaustive
         )
+        timings["phase2_graph"] = perf_counter() - t0
+
+        t0 = perf_counter()
         traffic_merges = merge_by_traffic(
             graph, self.query_rate, domain.area, self.params
         )
+        timings["phase3_traffic_merge"] = perf_counter() - t0
+
+        for phase, seconds in timings.items():
+            registry.record_duration(f"build.{phase}_s", seconds)
         return graph, phase1_count, traffic_merges, t_max
 
     # -- phase 4 ---------------------------------------------------------------
@@ -125,6 +165,7 @@ class CTRTreeBuilder:
         with stats.category(IOCategory.BUILD):
             graph, phase1_count, traffic_merges, t_max = self.mine(histories, domain)
             phase2_count = graph.region_count + traffic_merges  # pre-Phase-3 count
+            t0 = perf_counter()
             tree = CTRTree(
                 pager,
                 domain,
@@ -138,6 +179,11 @@ class CTRTreeBuilder:
             if current:
                 for obj_id, point in current.items():
                     tree.insert(obj_id, point)
+            self.last_phase_timings["phase4_tree_load"] = perf_counter() - t0
+            get_registry().record_duration(
+                "build.phase4_tree_load_s",
+                self.last_phase_timings["phase4_tree_load"],
+            )
         after = stats.counter(IOCategory.BUILD)
 
         report = BuildReport(
@@ -149,5 +195,6 @@ class CTRTreeBuilder:
             t_max=t_max,
             build_reads=after.reads - before.reads,
             build_writes=after.writes - before.writes,
+            phase_timings=dict(self.last_phase_timings),
         )
         return tree, report

@@ -23,6 +23,8 @@ from repro.core.builder import BuildReport
 from repro.core.geometry import Rect
 from repro.core.params import CTParams
 from repro.experiments.scales import Scale, get_scale
+from repro.obs import tree_stats
+from repro.storage.buffer_pool import BufferPool
 from repro.storage.pager import Pager
 from repro.workload import (
     QueryWorkload,
@@ -106,10 +108,17 @@ class IndexRun:
     index: object
     pager: Pager
     build_report: Optional[BuildReport] = None
+    #: The LRU pool the index ran over, when ``run_index_on`` was asked for
+    #: one (None = paper accounting, every access charged).
+    pool: Optional[BufferPool] = None
 
     @property
     def lazy_hits(self) -> Optional[int]:
         return getattr(self.index, "lazy_hits", None)
+
+    def tree_stats(self) -> Dict:
+        """Shape statistics of the driven index (uncharged probe)."""
+        return tree_stats(self.index)
 
 
 def run_index_on(
@@ -126,6 +135,7 @@ def run_index_on(
     query_seed: int = 99,
     max_entries: int = 20,
     builder_query_rate: Optional[float] = None,
+    buffer_pool: Optional[int] = None,
 ) -> IndexRun:
     """Build ``kind`` over the bundle and replay updates + queries.
 
@@ -137,8 +147,14 @@ def run_index_on(
     Table-1 baseline (update/query ratio 100) and evaluates it under varying
     mixes, so this defaults to ``base_update_rate / 100`` rather than the
     swept per-point rate.
+
+    ``buffer_pool`` wraps the pager in an LRU :class:`BufferPool` of that
+    many frames (the ablation substrate); None keeps the paper's cache-less
+    accounting.
     """
     pager = Pager()
+    pool = BufferPool(pager, capacity=buffer_pool) if buffer_pool else None
+    store = pool if pool is not None else pager
     stream = bundle.update_stream(skip=skip, object_ids=object_ids)
     histories = bundle.histories(object_ids)
     current = bundle.current(object_ids)
@@ -150,7 +166,7 @@ def run_index_on(
         builder_query_rate = bundle.scale.base_update_rate / 100.0
     index = make_index(
         kind,
-        pager,
+        store,
         bundle.domain,
         max_entries=max_entries,
         ct_params=ct_params,
@@ -158,8 +174,8 @@ def run_index_on(
         query_rate=builder_query_rate,
         adaptive=adaptive,
     )
-    driver = SimulationDriver(index, pager, kind)
-    driver.load(current)
+    driver = SimulationDriver(index, store, kind)
+    driver.load(current, now=bundle.trace.load_time(bundle.scale.n_history))
 
     # Queries span the full online window even when updates are thinned: the
     # paper keeps the query process fixed while skipping update samples.
@@ -169,7 +185,7 @@ def run_index_on(
     )
     queries: List[RangeQuery] = workload.between(t_start, t_end) if t_end > t_start else []
     result = driver.run(stream, queries)
-    return IndexRun(result=result, index=index, pager=pager)
+    return IndexRun(result=result, index=index, pager=pager, pool=pool)
 
 
 def _resolve_query_rate(

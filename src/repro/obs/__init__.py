@@ -1,0 +1,27 @@
+"""Observability: metrics registry, wall-clock timers, structural probes.
+
+One import surface for everything the experiments measure beyond the page-I/O
+ledger (:mod:`repro.storage.iostats`):
+
+* :class:`MetricsRegistry` -- counters, timers, value summaries; the global
+  instance (:func:`get_registry`) is **disabled by default** so instrumented
+  hot paths stay free until an entry point opts in via :func:`set_enabled`;
+* :func:`tree_stats` -- the shape of a paged tree (height, fanout, MBR dead
+  space, qs-region inventory) as a JSON-ready dict.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    Summary,
+    get_registry,
+    set_enabled,
+)
+from repro.obs.treestats import tree_stats
+
+__all__ = [
+    "MetricsRegistry",
+    "Summary",
+    "get_registry",
+    "set_enabled",
+    "tree_stats",
+]

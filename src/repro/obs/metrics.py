@@ -1,0 +1,196 @@
+"""Counters, wall-clock timers, and value summaries behind one registry.
+
+The paper's evaluation is an accounting exercise (page I/Os attributed to
+updates vs. queries); :class:`~repro.storage.iostats.IOStats` covers that
+ledger.  Everything else an experiment wants to know -- how long a phase
+took, how the per-operation latency is distributed, how often the buffer
+pool hit -- funnels through a :class:`MetricsRegistry`.
+
+Design constraints:
+
+* **Default-off.**  The global registry starts disabled; a disabled registry
+  turns every recording call into a cheap early return and :meth:`timer`
+  into a shared no-op context manager, so instrumented hot paths cost a
+  single branch when observability is not requested.
+* **JSON-ready.**  :meth:`MetricsRegistry.to_dict` renders the whole
+  registry as plain dicts/floats for ``--metrics-out`` and the bench files.
+* **Deterministic.**  The registry stores what callers hand it; it never
+  consults clocks on its own (timers use ``time.perf_counter`` only inside
+  an explicitly entered span).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+
+class Summary:
+    """Streaming summary of an observed value series (count/total/min/max).
+
+    A deliberately boring histogram substitute: experiments at reproduction
+    scale want means and extremes, not bucket boundaries, and a four-slot
+    summary keeps ``observe`` allocation-free.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Summary(count={self.count}, mean={self.mean:.6g})"
+
+
+class _NullTimer:
+    """The context manager handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """A live span: observes its wall-clock duration on exit."""
+
+    __slots__ = ("_summary", "_t0")
+
+    def __init__(self, summary: Summary) -> None:
+        self._summary = summary
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._summary.observe(perf_counter() - self._t0)
+
+
+class MetricsRegistry:
+    """Named counters, timers, and value summaries for one experiment run.
+
+    Args:
+        enabled: record calls are no-ops when False (the default for the
+            process-global registry; explicit registries default to on).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, int] = {}
+        self._values: Dict[str, Summary] = {}
+        self._timers: Dict[str, Summary] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name``."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the value series ``name``."""
+        if not self.enabled:
+            return
+        summary = self._values.get(name)
+        if summary is None:
+            summary = self._values[name] = Summary()
+        summary.observe(value)
+
+    def timer(self, name: str):
+        """A context manager timing a span into the timer series ``name``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        summary = self._timers.get(name)
+        if summary is None:
+            summary = self._timers[name] = Summary()
+        return _Timer(summary)
+
+    def record_duration(self, name: str, seconds: float) -> None:
+        """Record an externally measured span into the timer series."""
+        if not self.enabled:
+            return
+        summary = self._timers.get(name)
+        if summary is None:
+            summary = self._timers[name] = Summary()
+        summary.observe(seconds)
+
+    # -- reporting -------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def value_summary(self, name: str) -> Optional[Summary]:
+        return self._values.get(name)
+
+    def timer_summary(self, name: str) -> Optional[Summary]:
+        return self._timers.get(name)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The whole registry as JSON-ready plain data."""
+        return {
+            "enabled": self.enabled,
+            "counters": dict(sorted(self._counters.items())),
+            "values": {k: s.to_dict() for k, s in sorted(self._values.items())},
+            "timers": {k: s.to_dict() for k, s in sorted(self._timers.items())},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._values.clear()
+        self._timers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(enabled={self.enabled}, "
+            f"counters={len(self._counters)}, values={len(self._values)}, "
+            f"timers={len(self._timers)})"
+        )
+
+
+#: Process-global registry: disabled until an entry point (``--metrics-out``,
+#: the bench harness) opts in, so library code can record unconditionally.
+_GLOBAL = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (disabled by default)."""
+    return _GLOBAL
+
+
+def set_enabled(enabled: bool) -> MetricsRegistry:
+    """Enable/disable the global registry; returns it for chaining."""
+    _GLOBAL.enabled = enabled
+    return _GLOBAL

@@ -12,10 +12,20 @@ so any index can be constructed over either.  Charging model:
 * ``read`` of a cached page is free; a miss charges one read and may evict
   the least-recently-used frame (charging one write if that frame is dirty);
 * ``write`` marks the frame dirty without charge; the write is charged when
-  the frame is evicted or flushed;
+  the frame is evicted, flushed, or its page is freed.  Writing a page that
+  is **not** resident first charges one read (write-back caches are
+  read-modify-write: the frame must be fetched before it can be mutated);
 * ``allocate`` charges one write (the new block reaches disk) and caches the
   page clean;
-* ``flush`` writes back every dirty frame.
+* ``flush`` writes back every dirty frame;
+* ``free`` of a dirty frame charges the deferred write-back before the page
+  is released -- the cache-less :class:`~repro.storage.pager.Pager` would
+  have charged those mutations immediately, so dropping them silently would
+  make pooled runs look cheaper than they are.
+
+The pool counts ``hits``/``misses``/``evictions``/``dirty_writebacks`` and
+exposes them via :meth:`BufferPool.metrics_dict` for ``--metrics-out`` and
+the bench files.
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ class BufferPool:
         self._frames: "OrderedDict[PageId, bool]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.dirty_writebacks = 0
 
     # -- pager-compatible interface ---------------------------------------
 
@@ -66,7 +78,13 @@ class BufferPool:
         return pid
 
     def free(self, pid: PageId) -> None:
-        self._frames.pop(pid, None)
+        dirty = self._frames.pop(pid, False)
+        if dirty and self._pager.contains(pid):
+            # The deferred write the frame was carrying comes due now: the
+            # cache-less pager charged it at mutation time, so discarding it
+            # here would undercount pooled runs relative to the paper model.
+            self._pager.write(self._pager.inspect(pid))
+            self.dirty_writebacks += 1
         self._pager.free(pid)
 
     def read(self, pid: PageId) -> Page:
@@ -85,6 +103,12 @@ class BufferPool:
             self._frames[pid] = True
             self._frames.move_to_end(pid)
         else:
+            # Write miss: a write-back cache mutates frames, not disk, so a
+            # non-resident page must be fetched (one charged read) before it
+            # can be dirtied -- installing it dirty for free would let a
+            # pooled run skip reads the pager model charges.
+            self.misses += 1
+            self._pager.read(pid)
             self._install(pid, dirty=True)
 
     def inspect(self, pid: PageId) -> Page:
@@ -105,6 +129,7 @@ class BufferPool:
             if dirty and self._pager.contains(pid):
                 self._pager.write(self._pager.inspect(pid))
                 self._frames[pid] = False
+                self.dirty_writebacks += 1
                 flushed += 1
         return flushed
 
@@ -113,13 +138,27 @@ class BufferPool:
         self._frames.move_to_end(pid)
         while len(self._frames) > self.capacity:
             victim, victim_dirty = self._frames.popitem(last=False)
+            self.evictions += 1
             if victim_dirty and self._pager.contains(victim):
                 self._pager.write(self._pager.inspect(victim))
+                self.dirty_writebacks += 1
 
     @property
     def hit_rate(self) -> float:
         accesses = self.hits + self.misses
         return self.hits / accesses if accesses else 0.0
+
+    def metrics_dict(self) -> dict:
+        """Pool telemetry as JSON-ready plain data."""
+        return {
+            "capacity": self.capacity,
+            "frames": len(self._frames),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "dirty_writebacks": self.dirty_writebacks,
+        }
 
     def __repr__(self) -> str:
         return (

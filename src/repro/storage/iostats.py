@@ -42,7 +42,24 @@ class IOCounter:
         return IOCounter(self.reads + other.reads, self.writes + other.writes)
 
     def __sub__(self, other: "IOCounter") -> "IOCounter":
-        return IOCounter(self.reads - other.reads, self.writes - other.writes)
+        """Counter delta; raises rather than silently going negative.
+
+        Deltas (``after - before``) are how the driver and builder attribute
+        I/O to a phase; a negative component means the counters were reset
+        between the two snapshots and the attribution is garbage.
+        """
+        reads = self.reads - other.reads
+        writes = self.writes - other.writes
+        if reads < 0 or writes < 0:
+            raise ValueError(
+                f"IOCounter delta went negative ({reads}r/{writes}w): the "
+                "counters were reset between snapshots, so this delta is "
+                "meaningless"
+            )
+        return IOCounter(reads, writes)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"reads": self.reads, "writes": self.writes, "total": self.total}
 
 
 class IOStats:
@@ -97,6 +114,15 @@ class IOStats:
         """A copy of the counter for ``name`` (zero if never touched)."""
         return self._counter(name).copy()
 
+    def live(self, name: str) -> IOCounter:
+        """The **mutable** counter for ``name``, updated in place.
+
+        For per-event delta tracking in hot loops: reading ``live(cat).total``
+        before and after an operation avoids the copy that :meth:`counter`
+        makes.  Callers must not mutate the returned counter.
+        """
+        return self._counter(name)
+
     def reads(self, name: Optional[str] = None) -> int:
         if name is not None:
             return self._counter(name).reads
@@ -113,6 +139,13 @@ class IOStats:
     def snapshot(self) -> Dict[str, IOCounter]:
         """An immutable view of all counters at this instant."""
         return {name: counter.copy() for name, counter in self._counters.items()}
+
+    def to_dict(self) -> Dict[str, Dict[str, int]]:
+        """All counters as JSON-ready plain data, sorted by category."""
+        return {
+            name: counter.to_dict()
+            for name, counter in sorted(self._counters.items())
+        }
 
     def reset(self) -> None:
         self._counters.clear()

@@ -111,5 +111,14 @@ class Pager:
         """Number of pages released over the pager's lifetime."""
         return self._freed
 
+    def metrics_dict(self) -> Dict[str, object]:
+        """Store telemetry (page counts + the per-category I/O ledger)."""
+        return {
+            "page_size": self.page_size,
+            "page_count": self.page_count,
+            "freed_count": self.freed_count,
+            "io": self.stats.to_dict(),
+        }
+
     def __repr__(self) -> str:
         return f"Pager(pages={self.page_count}, page_size={self.page_size})"

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.builder import CTRTreeBuilder
@@ -23,6 +24,7 @@ from repro.core.params import CTParams
 from repro.citysim.trace import TraceRecord
 from repro.rtree.alpha import AlphaTree
 from repro.rtree.lazy import LazyRTree
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.rtree.rtree import RTree
 from repro.storage.iostats import IOCategory, IOCounter
 from repro.storage.pager import Pager
@@ -100,6 +102,7 @@ class RunResult:
     result_count: int = 0
     update_io: IOCounter = field(default_factory=IOCounter)
     query_io: IOCounter = field(default_factory=IOCounter)
+    wall_clock_s: float = 0.0
 
     @property
     def update_ios(self) -> int:
@@ -121,6 +124,21 @@ class RunResult:
     def ios_per_query(self) -> float:
         return self.query_ios / self.n_queries if self.n_queries else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """The run ledger as JSON-ready plain data (bench/metrics schema)."""
+        return {
+            "kind": self.kind,
+            "n_updates": self.n_updates,
+            "n_queries": self.n_queries,
+            "result_count": self.result_count,
+            "update_io": self.update_io.to_dict(),
+            "query_io": self.query_io.to_dict(),
+            "ios_per_update": self.ios_per_update,
+            "ios_per_query": self.ios_per_query,
+            "total_ios": self.total_ios,
+            "wall_clock_s": self.wall_clock_s,
+        }
+
     def __repr__(self) -> str:
         return (
             f"RunResult({self.kind}: {self.n_updates}u/{self.n_queries}q, "
@@ -132,19 +150,37 @@ class RunResult:
 class SimulationDriver:
     """Replays a merged update/query timeline against one index."""
 
-    def __init__(self, index: AnyIndex, pager: Pager, kind: str = "index") -> None:
+    def __init__(
+        self,
+        index: AnyIndex,
+        pager: Pager,
+        kind: str = "index",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.index = index
         self.pager = pager
         self.kind = kind
+        #: Observability sink; defaults to the process-global registry,
+        #: which is disabled unless an entry point opted in.
+        self.metrics = metrics if metrics is not None else get_registry()
         #: Last known position per object (the baselines' update() needs the
         #: old point; the driver is the "server" that knows it).
         self.positions: Dict[int, Point] = {}
 
-    def load(self, positions: Mapping[int, Point]) -> None:
-        """Initial bulk of current positions, charged as BUILD I/O."""
+    def load(
+        self, positions: Mapping[int, Point], now: Optional[float] = None
+    ) -> None:
+        """Initial bulk of current positions, charged as BUILD I/O.
+
+        ``now`` is the timestamp of the position snapshot (e.g.
+        ``Trace.load_time``).  Passing it matters for the CT-R-tree: its
+        internal clock ticks by one per ``now``-less operation, so a large
+        untimed load would fast-forward the adaptation clock past the first
+        online updates.
+        """
         with self.pager.stats.category(IOCategory.BUILD):
             for oid, point in positions.items():
-                self.index.insert(oid, point)
+                self.index.insert(oid, point, now=now)
                 self.positions[oid] = tuple(point)
 
     def adopt(self, positions: Mapping[int, Point]) -> None:
@@ -156,34 +192,76 @@ class SimulationDriver:
         updates: Iterable[TraceRecord],
         queries: Sequence[RangeQuery] = (),
     ) -> RunResult:
-        """Execute both streams in timestamp order; returns the I/O ledger."""
-        stats = self.pager.stats
-        update_before = stats.counter(IOCategory.UPDATE)
-        query_before = stats.counter(IOCategory.QUERY)
-        result = RunResult(kind=self.kind)
+        """Execute both streams in timestamp order; returns the I/O ledger.
 
-        # The third tuple slot is a tiebreaker so heapq.merge never compares
-        # the (unorderable) event payloads on equal timestamps.
+        On equal timestamps the update is applied before the query runs (the
+        tag slot below breaks the tie), so a query always observes the state
+        as of its own instant.
+        """
+        stats = self.pager.stats
+        metrics = self.metrics
+        obs_on = metrics.enabled
+        # Live (mutable) counters: per-event deltas without per-event copies.
+        update_live = stats.live(IOCategory.UPDATE)
+        query_live = stats.live(IOCategory.QUERY)
+        update_before = update_live.copy()
+        query_before = query_live.copy()
+        result = RunResult(kind=self.kind)
+        run_t0 = perf_counter()
+
+        # The tag slot orders updates before queries on equal timestamps; the
+        # third slot is a tiebreaker so heapq.merge never compares the
+        # (unorderable) event payloads.
         update_events = ((r.t, 0, i, r) for i, r in enumerate(updates))
         query_events = ((q.t, 1, i, q) for i, q in enumerate(queries))
         for t, tag, _seq, event in heapq.merge(update_events, query_events):
             if tag == 0:
                 record: TraceRecord = event
+                if obs_on:
+                    event_t0 = perf_counter()
+                    io_before = update_live.total
                 with stats.category(IOCategory.UPDATE):
                     old = self.positions.get(record.oid)
                     if old is None:
                         self.index.insert(record.oid, record.point, now=t)
                     else:
                         self.index.update(record.oid, old, record.point, now=t)
-                self.positions[record.oid] = record.point
+                # Normalize exactly like load(): positions must compare equal
+                # across both ingestion paths (a list-vs-tuple mismatch would
+                # make the baselines' delete-by-old-point miss).
+                self.positions[record.oid] = tuple(record.point)
                 result.n_updates += 1
+                if obs_on:
+                    metrics.observe(
+                        "driver.update.latency_s", perf_counter() - event_t0
+                    )
+                    metrics.observe(
+                        "driver.update.ios", update_live.total - io_before
+                    )
             else:
                 query: RangeQuery = event
+                if obs_on:
+                    event_t0 = perf_counter()
+                    io_before = query_live.total
                 with stats.category(IOCategory.QUERY):
                     matches = self.index.range_search(query.rect)
                 result.result_count += len(matches)
                 result.n_queries += 1
+                if obs_on:
+                    metrics.observe(
+                        "driver.query.latency_s", perf_counter() - event_t0
+                    )
+                    metrics.observe(
+                        "driver.query.ios", query_live.total - io_before
+                    )
 
-        result.update_io = stats.counter(IOCategory.UPDATE) - update_before
-        result.query_io = stats.counter(IOCategory.QUERY) - query_before
+        result.wall_clock_s = perf_counter() - run_t0
+        result.update_io = update_live.copy() - update_before
+        result.query_io = query_live.copy() - query_before
+        if obs_on:
+            metrics.inc(f"driver.{self.kind}.updates", result.n_updates)
+            metrics.inc(f"driver.{self.kind}.queries", result.n_queries)
+            metrics.record_duration(
+                f"driver.{self.kind}.run_s", result.wall_clock_s
+            )
         return result

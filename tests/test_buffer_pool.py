@@ -93,11 +93,87 @@ class TestWriteBack:
         pool.free(pid)
         assert pool.flush() == 0  # dirty frame gone with the page
 
+    def test_free_dirty_frame_charges_writeback(self):
+        """The deferred write comes due when the page is released: the
+        cache-less pager charged the mutation immediately, so dropping it
+        would undercount pooled runs."""
+        pager = Pager()
+        pool = BufferPool(pager, capacity=4)
+        page = RawPage("d")
+        pid = pool.allocate(page)
+        pool.write(page)  # dirty, deferred
+        writes_before = pager.stats.writes()
+        pool.free(pid)
+        assert pager.stats.writes() == writes_before + 1
+        assert pool.dirty_writebacks == 1
+
+    def test_free_clean_frame_is_uncharged(self):
+        pager = Pager()
+        pool = BufferPool(pager, capacity=4)
+        pid = pool.allocate(RawPage("c"))  # cached clean
+        writes_before = pager.stats.writes()
+        pool.free(pid)
+        assert pager.stats.writes() == writes_before
+        assert pool.dirty_writebacks == 0
+
+    def test_write_miss_charges_read(self):
+        """Write-back caches are read-modify-write: dirtying a non-resident
+        page must fetch it first."""
+        pager = Pager()
+        page = RawPage("cold")
+        pager.allocate(page)
+        pool = BufferPool(pager, capacity=2)
+        reads_before = pager.stats.reads()
+        pool.write(page)  # not resident
+        assert pager.stats.reads() == reads_before + 1
+        assert pool.misses == 1
+        # Now resident and dirty: a second write is absorbed ...
+        pool.write(page)
+        assert pager.stats.reads() == reads_before + 1
+        # ... and the deferred write surfaces on flush.
+        assert pool.flush() == 1
+
     def test_hit_rate(self, pool):
         pid = pool.allocate(RawPage())
         pool.read(pid)
         pool.read(pid)
         assert pool.hit_rate == 1.0
+
+
+class TestTelemetry:
+    def test_eviction_counters(self):
+        pager = Pager()
+        pool = BufferPool(pager, capacity=1)
+        page_a = RawPage("a")
+        pool.allocate(page_a)
+        pool.write(page_a)           # dirty
+        pool.allocate(RawPage("b"))  # evicts dirty a
+        pool.allocate(RawPage("c"))  # evicts clean b
+        assert pool.evictions == 2
+        assert pool.dirty_writebacks == 1
+
+    def test_flush_counts_writebacks(self):
+        pager = Pager()
+        pool = BufferPool(pager, capacity=4)
+        page = RawPage()
+        pool.allocate(page)
+        pool.write(page)
+        pool.flush()
+        assert pool.dirty_writebacks == 1
+
+    def test_metrics_dict_schema(self):
+        pager = Pager()
+        pool = BufferPool(pager, capacity=2)
+        pid = pool.allocate(RawPage())
+        pool.read(pid)
+        d = pool.metrics_dict()
+        assert d["capacity"] == 2
+        assert d["frames"] == 1
+        assert d["hits"] == 1
+        assert d["misses"] == 0
+        assert d["hit_rate"] == 1.0
+        assert d["evictions"] == 0
+        assert d["dirty_writebacks"] == 0
 
 
 class TestPagerParity:

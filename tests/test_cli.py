@@ -73,6 +73,61 @@ class TestCompare:
         code = main(["compare", str(trace_file), "--history", "99"])
         assert code == 1
 
+    def test_metrics_out_dumps_observability_json(self, trace_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        code = main([
+            "compare", str(trace_file), "--history", "30", "--ratio", "20",
+            "--buffer-pool", "16", "--metrics-out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        # The acceptance triple: cache telemetry, build phase timings, shape.
+        ct = payload["indexes"]["ct"]
+        assert 0.0 <= ct["buffer_pool"]["hit_rate"] <= 1.0
+        timers = payload["registry"]["timers"]
+        assert "build.phase1_qs_mining_s" in timers
+        assert "build.phase3_traffic_merge_s" in timers
+        assert ct["tree_stats"]["qs_region_count"] >= 0
+        assert ct["tree_stats"]["height"] >= 1
+        assert ct["run"]["ios_per_update"] >= 0.0
+        # The command must switch the global registry back off on its way out.
+        from repro.obs import get_registry
+
+        assert get_registry().enabled is False
+
+    def test_metrics_out_without_pool_omits_cache(self, trace_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        code = main([
+            "compare", str(trace_file), "--history", "30", "--ratio", "20",
+            "--metrics-out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["indexes"]["rtree"]["buffer_pool"] is None
+
+
+class TestBuildMetrics:
+    def test_build_metrics_out(self, trace_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "b.json"
+        code = main([
+            "build", str(trace_file), "--history", "30",
+            "--metrics-out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["build"]["phase_timings"]) == {
+            "phase1_qs_mining", "phase2_graph",
+            "phase3_traffic_merge", "phase4_tree_load",
+        }
+        assert payload["tree_stats"]["size"] == payload["build"]["object_count"]
+        assert payload["pager"]["io"]["build"]["total"] > 0
+
 
 class TestExperimentAndParams:
     def test_params(self, capsys):

@@ -89,6 +89,72 @@ class TestDriver:
         result = driver.run(updates, queries)
         assert result.result_count == 1
 
+    def test_equal_timestamp_update_applies_before_query(self):
+        """On a timestamp tie the update wins: the query sees the new state."""
+        driver, _pager = self.make_driver()
+        driver.load({0: (1.0, 1.0)})
+        updates = [TraceRecord(oid=0, point=(50.0, 50.0), t=10.0)]
+        at_new = [RangeQuery(rect=Rect((49, 49), (51, 51)), t=10.0)]
+        result = driver.run(updates, at_new)
+        assert result.result_count == 1  # found at the updated location
+
+        driver2, _ = self.make_driver()
+        driver2.load({0: (1.0, 1.0)})
+        at_old = [RangeQuery(rect=Rect((0, 0), (2, 2)), t=10.0)]
+        result2 = driver2.run(updates, at_old)
+        assert result2.result_count == 0  # old location already vacated
+
+    def test_load_passes_timestamp_to_index(self, rng):
+        """load(now=...) must not fast-forward the CT-R-tree's clock."""
+        histories = {
+            oid: dwell_trail(rng, [(100 + 10 * oid, 100)], dwell_reports=25)
+            for oid in range(5)
+        }
+        pager = Pager()
+        index = make_index(IndexKind.CT, pager, DOMAIN, histories=histories)
+        driver = SimulationDriver(index, pager, IndexKind.CT)
+        driver.load({oid: (100.0 + 10 * oid, 100.0) for oid in range(5)}, now=42.0)
+        assert index._clock == 42.0  # not 5.0 (one untimed tick per object)
+
+    def test_run_normalizes_positions_like_load(self):
+        """Both ingestion paths must store hashable, comparable tuples."""
+        driver, _pager = self.make_driver()
+        driver.load({0: [1.0, 1.0]})  # list input
+        assert driver.positions[0] == (1.0, 1.0)
+        driver.run([TraceRecord(oid=0, point=[2.0, 2.0], t=1.0)], [])
+        assert driver.positions[0] == (2.0, 2.0)
+        assert isinstance(driver.positions[0], tuple)
+        # A second update keyed off the stored old position must succeed.
+        result = driver.run([TraceRecord(oid=0, point=[3.0, 3.0], t=2.0)], [])
+        assert result.n_updates == 1
+        assert driver.index.search_point((3.0, 3.0)) == [0]
+
+    def test_run_records_metrics_when_enabled(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        pager = Pager()
+        index = make_index(IndexKind.LAZY, pager, DOMAIN)
+        driver = SimulationDriver(index, pager, IndexKind.LAZY, metrics=registry)
+        driver.load({0: (1.0, 1.0)})
+        driver.run(
+            [TraceRecord(oid=0, point=(2.0, 2.0), t=1.0)],
+            [RangeQuery(rect=Rect((0, 0), (5, 5)), t=2.0)],
+        )
+        assert registry.counter_value("driver.lazy.updates") == 1
+        assert registry.counter_value("driver.lazy.queries") == 1
+        assert registry.value_summary("driver.update.ios").count == 1
+        assert registry.value_summary("driver.update.ios").total > 0
+        assert registry.value_summary("driver.query.latency_s").count == 1
+        assert registry.timer_summary("driver.lazy.run_s").count == 1
+
+    def test_run_reports_wall_clock(self):
+        driver, _pager = self.make_driver()
+        driver.load({0: (1.0, 1.0)})
+        result = driver.run([TraceRecord(oid=0, point=(2.0, 2.0), t=1.0)], [])
+        assert result.wall_clock_s > 0.0
+        assert result.to_dict()["wall_clock_s"] == result.wall_clock_s
+
     def test_consecutive_runs_accumulate_separately(self):
         driver, _pager = self.make_driver()
         driver.load({0: (1.0, 1.0)})

@@ -1,5 +1,7 @@
 """Unit tests for I/O accounting."""
 
+import pytest
+
 from repro.storage.iostats import IOCategory, IOCounter, IOStats
 
 
@@ -12,11 +14,48 @@ class TestIOCounter:
         assert (a + b).reads == 7
         assert (a - b).writes == 4
 
+    def test_sub_refuses_negative_delta(self):
+        """A negative delta means the counters were reset between the two
+        snapshots; the driver's attribution must fail loudly, not go negative."""
+        with pytest.raises(ValueError, match="reset"):
+            IOCounter(1, 5) - IOCounter(2, 1)
+        with pytest.raises(ValueError, match="negative"):
+            IOCounter(5, 1) - IOCounter(1, 2)
+
+    def test_sub_reset_scenario_raises(self):
+        stats = IOStats()
+        with stats.category(IOCategory.UPDATE):
+            stats.record_read(3)
+        before = stats.counter(IOCategory.UPDATE)
+        stats.reset()  # mid-run reset
+        with pytest.raises(ValueError):
+            stats.counter(IOCategory.UPDATE) - before
+
+    def test_to_dict(self):
+        assert IOCounter(2, 3).to_dict() == {"reads": 2, "writes": 3, "total": 5}
+
     def test_copy_is_independent(self):
         a = IOCounter(1, 1)
         b = a.copy()
         b.reads += 1
         assert a.reads == 1
+
+    def test_live_counter_tracks_in_place(self):
+        stats = IOStats()
+        live = stats.live(IOCategory.QUERY)
+        with stats.category(IOCategory.QUERY):
+            stats.record_read()
+            stats.record_write()
+        assert live.total == 2
+        assert stats.live(IOCategory.QUERY) is live
+
+    def test_stats_to_dict(self):
+        stats = IOStats()
+        with stats.category(IOCategory.BUILD):
+            stats.record_write(2)
+        assert stats.to_dict() == {
+            "build": {"reads": 0, "writes": 2, "total": 2}
+        }
 
 
 class TestIOStats:
