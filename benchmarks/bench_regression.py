@@ -11,7 +11,11 @@ writes ``BENCH_driver.json`` in a stable schema:
 * ``metrics_overhead``: the same workload replayed with the metrics registry
   disabled vs. enabled, plus a direct micro-measurement of the disabled
   (no-op) hook cost -- demonstrating that default-off observability leaves
-  the hot path untouched (<5% of a driver run).
+  the hot path untouched (<5% of a driver run);
+* ``engine``: the execution-engine levers -- the lazy and CT runs replayed
+  through a coalescing update buffer (batched per-op update I/O must stay at
+  or below unbatched), and a sharded run whose merged ledger and per-shard
+  breakdown pin the space-partitioned router's accounting.
 
 I/O counts and tree shapes are deterministic given ``--seed``; wall clocks
 are hardware-dependent and exist for trend-watching, not for diffing.
@@ -34,6 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.engine import FlushPolicy, ShardedIndex, UpdateBuffer  # noqa: E402
 from repro.experiments.harness import build_workload  # noqa: E402
 from repro.obs import MetricsRegistry, set_enabled, tree_stats  # noqa: E402
 from repro.storage import BufferPool, Pager  # noqa: E402
@@ -44,23 +49,40 @@ from repro.workload import (  # noqa: E402
     make_index,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+ENGINE_BATCH = 64
+ENGINE_SHARDS = 4
 
 
-def run_kind(bundle, kind, *, pool_frames, metrics=None):
+def run_kind(bundle, kind, *, pool_frames, metrics=None, batch=0, shards=1):
     """Build ``kind`` fresh, replay the bundle's workload; returns the pieces."""
-    pager = Pager()
-    pool = BufferPool(pager, capacity=pool_frames) if pool_frames else None
-    store = pool if pool is not None else pager
     histories = bundle.histories() if kind == IndexKind.CT else None
-    index = make_index(
-        kind,
-        store,
-        bundle.domain,
-        histories=histories,
-        query_rate=bundle.scale.base_update_rate / 100.0,
-    )
-    driver = SimulationDriver(index, store, kind, metrics=metrics)
+    if shards > 1:
+        index = ShardedIndex(
+            kind,
+            bundle.domain,
+            shards,
+            histories=histories,
+            query_rate=bundle.scale.base_update_rate / 100.0,
+            pool_frames=pool_frames,
+        )
+        store = index.pager
+        pool = None
+    else:
+        pager = Pager()
+        pool = BufferPool(pager, capacity=pool_frames) if pool_frames else None
+        store = pool if pool is not None else pager
+        index = make_index(
+            kind,
+            store,
+            bundle.domain,
+            histories=histories,
+            query_rate=bundle.scale.base_update_rate / 100.0,
+        )
+    buffer = UpdateBuffer(FlushPolicy(batch_size=batch)) if batch else None
+    driver = SimulationDriver(index, store, kind, metrics=metrics,
+                              update_buffer=buffer)
     driver.load(bundle.current(), now=bundle.trace.load_time(bundle.scale.n_history))
     t_start, t_end = bundle.trace.online_span(bundle.scale.n_history)
     queries = QueryWorkload(
@@ -176,6 +198,46 @@ def main(argv=None) -> int:
         f"of run, enabled {overhead['enabled_overhead_pct']:+.1f}%"
     )
 
+    # Engine levers: batched updates (lazy + CT) and a sharded run.
+    engine = {"batch_size": ENGINE_BATCH, "shards": ENGINE_SHARDS, "batched": {}}
+    for kind in (IndexKind.LAZY, IndexKind.CT):
+        batched_result, _, _ = run_kind(
+            bundle, kind, pool_frames=0, batch=ENGINE_BATCH
+        )
+        unbatched = indexes[kind]["ios_per_update"]
+        engine["batched"][kind] = {
+            "ios_per_update": batched_result.ios_per_update,
+            "ios_per_query": batched_result.ios_per_query,
+            "unbatched_ios_per_update": unbatched,
+            "n_coalesced": batched_result.n_coalesced,
+            "n_flushes": batched_result.n_flushes,
+            "n_applied": batched_result.n_applied,
+        }
+        print(
+            f"  batched {IndexKind.LABELS[kind]:<12} "
+            f"{batched_result.ios_per_update:8.2f} I/O/upd "
+            f"(unbatched {unbatched:.2f}, "
+            f"coalesced {batched_result.n_coalesced})"
+        )
+    sharded_result, sharded_index, _ = run_kind(
+        bundle, IndexKind.LAZY, pool_frames=0, shards=ENGINE_SHARDS
+    )
+    engine["sharded"] = {
+        "kind": IndexKind.LAZY,
+        "ios_per_update": sharded_result.ios_per_update,
+        "ios_per_query": sharded_result.ios_per_query,
+        "unsharded_ios_per_update": indexes[IndexKind.LAZY]["ios_per_update"],
+        "cross_shard_moves": sharded_index.cross_shard_moves,
+        "merged": sharded_index.merged_result().to_dict(),
+        "engine": sharded_index.engine_dict(),
+    }
+    print(
+        f"  sharded {IndexKind.LABELS[IndexKind.LAZY]:<12} "
+        f"{sharded_result.ios_per_update:8.2f} I/O/upd over "
+        f"{ENGINE_SHARDS} shards "
+        f"({sharded_index.cross_shard_moves} cross-shard moves)"
+    )
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_regression.py",
@@ -189,6 +251,7 @@ def main(argv=None) -> int:
         },
         "indexes": indexes,
         "metrics_overhead": overhead,
+        "engine": engine,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",

@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro.citysim import City, CitySimulator, Trace
 from repro.core.builder import CTRTreeBuilder
 from repro.core.params import CTParams, SimulationParams, format_table1
+from repro.engine import FlushPolicy, ShardedIndex, UpdateBuffer
 from repro.obs import get_registry, set_enabled, tree_stats
 from repro.storage import BufferPool, Pager
 from repro.workload import (
@@ -90,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--buffer-pool", type=int, default=0, metavar="FRAMES",
                          help="run every index over an LRU buffer pool of this "
                               "many frames (0 = paper accounting, no cache)")
+    compare.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="space-partition the domain into N shards, one "
+                              "pager + index per shard (1 = unsharded)")
+    compare.add_argument("--batch", type=int, default=0, metavar="SIZE",
+                         help="buffer updates in a coalescing memtable and "
+                              "group-apply every SIZE distinct objects "
+                              "(flushed before each query; 0 = unbatched)")
     compare.add_argument("--metrics-out", metavar="JSON",
                          help="enable metrics and dump the registry, per-index "
                               "tree stats, run ledgers, and buffer-pool "
@@ -231,23 +239,50 @@ def cmd_compare(args: argparse.Namespace) -> int:
         t_start, t_end
     )
     pooled = args.buffer_pool > 0
+    sharded = args.shards > 1
+    batched = args.batch > 0
     print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})")
     if pooled:
         print(f"buffer pool: {args.buffer_pool} frames (LRU, write-back)")
+    if sharded or batched:
+        parts = []
+        if sharded:
+            parts.append(f"{args.shards} shards (static space partition)")
+        if batched:
+            parts.append(f"batch {args.batch} (coalescing update buffer)")
+        print(f"engine: {', '.join(parts)}")
     print()
     header = f"{'index':<12} {'update I/O':>12} {'query I/O':>10} {'total':>10}"
     if pooled:
         header += f" {'hit rate':>9}"
+    if batched:
+        header += f" {'coalesced':>10}"
     print(header)
     print("-" * len(header))
     per_index: dict = {}
     for kind in IndexKind.ALL:
-        pager = Pager()
-        store = BufferPool(pager, capacity=args.buffer_pool) if pooled else pager
-        index = make_index(
-            kind, store, domain, histories=histories, query_rate=query_rate
+        if sharded:
+            index = ShardedIndex(
+                kind,
+                domain,
+                args.shards,
+                histories=histories if kind == IndexKind.CT else None,
+                query_rate=query_rate,
+                pool_frames=args.buffer_pool,
+            )
+            store = index.pager
+            store_metrics = store.metrics_dict
+        else:
+            pager = Pager()
+            store = BufferPool(pager, capacity=args.buffer_pool) if pooled else pager
+            index = make_index(
+                kind, store, domain, histories=histories, query_rate=query_rate
+            )
+            store_metrics = pager.metrics_dict
+        buffer = (
+            UpdateBuffer(FlushPolicy(batch_size=args.batch)) if batched else None
         )
-        driver = SimulationDriver(index, store, kind)
+        driver = SimulationDriver(index, store, kind, update_buffer=buffer)
         driver.load(current, now=load_time)
         result = driver.run(stream, queries)
         line = (
@@ -256,13 +291,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
         if pooled:
             line += f" {store.hit_rate:>8.1%}"
+        if batched:
+            line += f" {result.n_coalesced:>10,}"
         print(line)
         if args.metrics_out:
             per_index[kind] = {
                 "run": result.to_dict(),
                 "tree_stats": tree_stats(index),
-                "pager": pager.metrics_dict(),
-                "buffer_pool": store.metrics_dict() if pooled else None,
+                "pager": store_metrics(),
+                "buffer_pool": (
+                    store.metrics_dict() if pooled and not sharded else None
+                ),
+                "engine": {
+                    "shards": args.shards,
+                    "batch": args.batch,
+                    "sharded": index.engine_dict() if sharded else None,
+                    "buffer": (
+                        buffer.stats.to_dict() if buffer is not None else None
+                    ),
+                },
             }
     if args.metrics_out:
         if not _write_metrics(
@@ -270,6 +317,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
             {
                 "command": "compare",
                 "buffer_pool_frames": args.buffer_pool,
+                "shards": args.shards,
+                "batch": args.batch,
                 "n_updates": len(stream),
                 "n_queries": len(queries),
                 "indexes": per_index,

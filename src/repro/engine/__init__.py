@@ -1,0 +1,77 @@
+"""The execution engine: index contracts, registry, batching, sharding.
+
+The seam every scaling lever plugs into.  Four layers sit below it
+(geometry/params, storage, index structures, workload replay); the engine
+formalizes how they compose:
+
+* :mod:`repro.engine.protocol` -- the :class:`SpatialIndex` contract the
+  four evaluated structures (and future ones) conform to;
+* :mod:`repro.engine.registry` -- index construction by kind
+  (``IndexKind``/``make_index`` live here now; ``workload.driver``
+  re-exports them);
+* :mod:`repro.engine.buffer` -- the memtable-style batched update executor
+  (coalescing, size/time-horizon flush policies);
+* :mod:`repro.engine.sharded` -- the space-partitioned router with per-shard
+  pagers and merged ledgers;
+* :mod:`repro.engine.results` -- :class:`RunResult` and per-shard merging.
+"""
+
+from repro.engine.buffer import FlushPolicy, FlushStats, PendingUpdate, UpdateBuffer
+from repro.engine.protocol import (
+    Introspectable,
+    LinearIndex,
+    PageStore,
+    SpatialIndex,
+    UpdatableIndex,
+    conforms_to_spatial,
+)
+from repro.engine.registry import (
+    IndexKind,
+    IndexOptions,
+    IndexSpec,
+    available_kinds,
+    delete_object,
+    get_spec,
+    index_label,
+    make_index,
+    register_index,
+    unregister_index,
+)
+from repro.engine.results import RunResult, merge_results
+from repro.engine.sharded import (
+    Shard,
+    ShardedIndex,
+    ShardedStore,
+    ShardIOStats,
+    SpacePartition,
+)
+
+__all__ = [
+    "FlushPolicy",
+    "FlushStats",
+    "PendingUpdate",
+    "UpdateBuffer",
+    "Introspectable",
+    "LinearIndex",
+    "PageStore",
+    "SpatialIndex",
+    "UpdatableIndex",
+    "conforms_to_spatial",
+    "IndexKind",
+    "IndexOptions",
+    "IndexSpec",
+    "available_kinds",
+    "delete_object",
+    "get_spec",
+    "index_label",
+    "make_index",
+    "register_index",
+    "unregister_index",
+    "RunResult",
+    "merge_results",
+    "Shard",
+    "ShardedIndex",
+    "ShardedStore",
+    "ShardIOStats",
+    "SpacePartition",
+]

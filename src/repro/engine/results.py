@@ -1,0 +1,107 @@
+"""Run ledgers: per-run I/O accounting and per-shard ledger merging.
+
+:class:`RunResult` is the quantity every figure in the paper plots -- update
+and query page I/O for one driven index.  It historically lived in
+``workload.driver``; it moved here so the sharded engine can merge per-shard
+ledgers without importing the driver (the driver re-exports it for
+back-compat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.storage.iostats import IOCounter
+
+
+@dataclass
+class RunResult:
+    """I/O accounting for one driver run."""
+
+    kind: str
+    n_updates: int = 0
+    n_queries: int = 0
+    result_count: int = 0
+    update_io: IOCounter = field(default_factory=IOCounter)
+    query_io: IOCounter = field(default_factory=IOCounter)
+    wall_clock_s: float = 0.0
+    #: Batched execution: how many times the update buffer drained, how many
+    #: incoming updates were absorbed by coalescing (never applied), and how
+    #: many index operations the flushes actually performed.  All zero for
+    #: unbatched runs.
+    n_flushes: int = 0
+    n_coalesced: int = 0
+    n_applied: int = 0
+
+    @property
+    def update_ios(self) -> int:
+        return self.update_io.total
+
+    @property
+    def query_ios(self) -> int:
+        return self.query_io.total
+
+    @property
+    def total_ios(self) -> int:
+        return self.update_ios + self.query_ios
+
+    @property
+    def ios_per_update(self) -> float:
+        return self.update_ios / self.n_updates if self.n_updates else 0.0
+
+    @property
+    def ios_per_query(self) -> float:
+        return self.query_ios / self.n_queries if self.n_queries else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The run ledger as JSON-ready plain data (bench/metrics schema)."""
+        return {
+            "kind": self.kind,
+            "n_updates": self.n_updates,
+            "n_queries": self.n_queries,
+            "result_count": self.result_count,
+            "update_io": self.update_io.to_dict(),
+            "query_io": self.query_io.to_dict(),
+            "ios_per_update": self.ios_per_update,
+            "ios_per_query": self.ios_per_query,
+            "total_ios": self.total_ios,
+            "wall_clock_s": self.wall_clock_s,
+            "n_flushes": self.n_flushes,
+            "n_coalesced": self.n_coalesced,
+            "n_applied": self.n_applied,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.kind}: {self.n_updates}u/{self.n_queries}q, "
+            f"update={self.update_ios} query={self.query_ios} "
+            f"total={self.total_ios} I/Os)"
+        )
+
+
+def merge_results(
+    results: Iterable[RunResult], kind: Optional[str] = None
+) -> RunResult:
+    """Merge per-shard ledgers into one.
+
+    Counters add; ``n_queries`` adds *fan-outs* (a range query touching two
+    shards counts once per shard it visited), which is the honest per-shard
+    work measure.  Wall clocks add too -- the engine replays shards in one
+    process; a parallel deployment would take the max instead.
+    """
+    items: List[RunResult] = list(results)
+    if not items:
+        raise ValueError("cannot merge zero RunResults")
+    merged = RunResult(kind=kind if kind is not None else items[0].kind)
+    for item in items:
+        merged.n_updates += item.n_updates
+        merged.n_queries += item.n_queries
+        merged.result_count += item.result_count
+        merged.update_io = merged.update_io + item.update_io
+        merged.query_io = merged.query_io + item.query_io
+        merged.wall_clock_s += item.wall_clock_s
+        merged.n_flushes += item.n_flushes
+        merged.n_coalesced += item.n_coalesced
+        merged.n_applied += item.n_applied
+    return merged

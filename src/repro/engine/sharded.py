@@ -1,0 +1,400 @@
+"""The sharded engine: a space-partitioned router over per-shard indexes.
+
+MOIST-style scaling lever: moving objects are partitioned by a **static
+space partition** (equal-width slabs along the domain's widest axis), with
+one pager and one index per shard.  Updates route to the shard owning the
+object's position; an object crossing a slab boundary is deleted from its
+old shard and inserted into the new one; range queries fan out to every
+shard whose slab intersects the query rectangle and merge the results.
+
+Accounting: every shard pager charges a **shared** ledger (so the driver's
+per-run `RunResult` is exactly comparable to an unsharded run) *and* its own
+per-shard ledger (so hot shards are visible).  Both ledgers attribute I/O to
+the same category scope -- the shard stats share the shared ledger's
+category stack.
+
+The router itself satisfies the :class:`~repro.engine.protocol.SpatialIndex`
+protocol, so the simulation driver, the update buffer, and the snapshot
+layer treat a 4-shard engine exactly like a single tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.geometry import Point, Rect
+from repro.core.params import CTParams
+from repro.engine.protocol import PageStore, SpatialIndex, position_of
+from repro.engine.registry import IndexOptions, get_spec
+from repro.engine.results import RunResult, merge_results
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.iostats import IOCategory, IOStats
+from repro.storage.page import Page, PageId
+from repro.storage.pager import Pager
+
+
+class SpacePartition:
+    """Equal-width slabs along the domain's widest axis.
+
+    Static by design (the paper's premise is that object *behaviour* is
+    stable; MOIST likewise fixes the grid): routing is a constant-time
+    arithmetic map, and a point outside the domain clamps into the nearest
+    edge slab rather than erroring.
+    """
+
+    def __init__(self, domain: Rect, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.domain = domain
+        self.n_shards = n_shards
+        extents = tuple(h - l for l, h in zip(domain.lo, domain.hi))
+        self.axis = max(range(len(extents)), key=lambda d: extents[d])
+        self._lo = domain.lo[self.axis]
+        self._width = extents[self.axis] or 1.0
+
+    def shard_of(self, point: Sequence[float]) -> int:
+        frac = (point[self.axis] - self._lo) / self._width
+        return min(self.n_shards - 1, max(0, int(frac * self.n_shards)))
+
+    def region(self, sid: int) -> Rect:
+        if not 0 <= sid < self.n_shards:
+            raise ValueError(f"shard id {sid} out of range")
+        lo = list(self.domain.lo)
+        hi = list(self.domain.hi)
+        step = self._width / self.n_shards
+        lo[self.axis] = self._lo + sid * step
+        hi[self.axis] = self._lo + (sid + 1) * step
+        return Rect(tuple(lo), tuple(hi))
+
+    def intersecting(self, rect: Rect) -> List[int]:
+        """Shard ids whose slab intersects ``rect`` (always non-empty)."""
+        step = self._width / self.n_shards
+        first = int(math.floor((rect.lo[self.axis] - self._lo) / step))
+        last = int(math.floor((rect.hi[self.axis] - self._lo) / step))
+        first = min(self.n_shards - 1, max(0, first))
+        last = min(self.n_shards - 1, max(0, last))
+        return list(range(first, last + 1))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_shards": self.n_shards,
+            "axis": self.axis,
+            "domain": [list(self.domain.lo), list(self.domain.hi)],
+        }
+
+
+class ShardIOStats(IOStats):
+    """A per-shard ledger that mirrors every charge into the shared ledger.
+
+    The category *stack* is shared with the engine-wide ledger, so an
+    ``IOStats.category`` scope entered on either object attributes both
+    ledgers identically -- per-shard and merged figures always agree on
+    update/query/build attribution.
+    """
+
+    def __init__(self, shared: IOStats) -> None:
+        super().__init__()
+        self._shared = shared
+        self._stack = shared._stack  # shared category scope (by reference)
+
+    def record_read(self, count: int = 1) -> None:
+        super().record_read(count)
+        self._shared.record_read(count)
+
+    def record_write(self, count: int = 1) -> None:
+        super().record_write(count)
+        self._shared.record_write(count)
+
+
+@dataclass
+class Shard:
+    """One slab of the space partition with its private storage and index."""
+
+    sid: int
+    region: Rect
+    pager: Pager
+    store: PageStore
+    index: SpatialIndex
+    n_updates: int = 0
+    n_queries: int = 0
+    result_count: int = 0
+
+    def run_result(self, kind: str) -> RunResult:
+        """This shard's ledger as a :class:`RunResult` (UPDATE/QUERY scopes)."""
+        stats = self.pager.stats
+        return RunResult(
+            kind=f"{kind}/shard{self.sid}",
+            n_updates=self.n_updates,
+            n_queries=self.n_queries,
+            result_count=self.result_count,
+            update_io=stats.counter(IOCategory.UPDATE),
+            query_io=stats.counter(IOCategory.QUERY),
+        )
+
+
+class ShardedStore:
+    """Pager facade over the per-shard stores: one stats ledger, merged
+    telemetry.  Satisfies what the driver and the CLI need from a "pager"
+    (``stats``, ``page_count``, ``metrics_dict``); direct page access goes
+    through the shards."""
+
+    def __init__(self, shards: Sequence[Shard], stats: IOStats) -> None:
+        self._shards = list(shards)
+        self._stats = stats
+
+    @property
+    def stats(self) -> IOStats:
+        return self._stats
+
+    @property
+    def page_size(self) -> int:
+        return self._shards[0].pager.page_size
+
+    @property
+    def page_count(self) -> int:
+        return sum(shard.pager.page_count for shard in self._shards)
+
+    @property
+    def hit_rate(self) -> float:
+        """Aggregate LRU hit rate across pooled shards (0.0 unpooled)."""
+        hits = misses = 0
+        for shard in self._shards:
+            pool = shard.store if isinstance(shard.store, BufferPool) else None
+            if pool is not None:
+                hits += pool.hits
+                misses += pool.misses
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def iter_pids(self) -> Iterator[Tuple[int, PageId]]:
+        for shard in self._shards:
+            for pid in shard.pager.iter_pids():
+                yield shard.sid, pid
+
+    def inspect(self, sid: int, pid: PageId) -> Page:
+        return self._shards[sid].pager.inspect(pid)
+
+    def metrics_dict(self) -> Dict[str, object]:
+        return {
+            "n_shards": len(self._shards),
+            "page_count": self.page_count,
+            "io": self._stats.to_dict(),
+            "shards": [
+                {
+                    "sid": shard.sid,
+                    "pager": shard.pager.metrics_dict(),
+                    "buffer_pool": (
+                        shard.store.metrics_dict()
+                        if isinstance(shard.store, BufferPool)
+                        else None
+                    ),
+                }
+                for shard in self._shards
+            ],
+        }
+
+
+class ShardedIndex:
+    """A :class:`SpatialIndex` router over a static space partition.
+
+    Args:
+        kind: registered index kind to build per shard.
+        domain: the full data domain (partitioned into slabs).
+        n_shards: number of slabs.
+        histories: CT-only history profile; trails are routed to the shard
+            owning their most recent sample, so each shard mines qs-regions
+            from the objects it will load.
+        pool_frames: wrap each shard's pager in an LRU buffer pool of this
+            many frames (0 = paper accounting).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        domain: Rect,
+        n_shards: int,
+        *,
+        max_entries: int = 20,
+        ct_params: Optional[CTParams] = None,
+        histories: Optional[Mapping[int, Sequence[Tuple[Point, float]]]] = None,
+        query_rate: float = 50.0,
+        adaptive: bool = True,
+        split: str = "quadratic",
+        pool_frames: int = 0,
+        page_size: int = 4096,
+    ) -> None:
+        self.kind = kind
+        self.domain = domain
+        spec = get_spec(kind)
+        self._spec = spec
+        self.partition = SpacePartition(domain, n_shards)
+        self._stats = IOStats()
+        #: Object id -> owning shard id (the router's own secondary index;
+        #: uncharged, like the structures' parent-pointer metadata).
+        self._owner: Dict[int, int] = {}
+        self.cross_shard_moves = 0
+
+        routed = self._route_histories(histories)
+        self.shards: List[Shard] = []
+        for sid in range(n_shards):
+            region = self.partition.region(sid)
+            pager = Pager(page_size=page_size, stats=ShardIOStats(self._stats))
+            store: PageStore = (
+                BufferPool(pager, capacity=pool_frames) if pool_frames else pager
+            )
+            options = IndexOptions(
+                max_entries=max_entries,
+                ct_params=ct_params,
+                histories=routed[sid] if spec.needs_histories else None,
+                query_rate=query_rate,
+                adaptive=adaptive,
+                split=split,
+            )
+            index = spec.factory(store, region, options)
+            self.shards.append(
+                Shard(sid=sid, region=region, pager=pager, store=store, index=index)
+            )
+        self._store = ShardedStore(self.shards, self._stats)
+
+    def _route_histories(
+        self,
+        histories: Optional[Mapping[int, Sequence[Tuple[Point, float]]]],
+    ) -> List[Dict[int, Sequence[Tuple[Point, float]]]]:
+        routed: List[Dict[int, Sequence[Tuple[Point, float]]]] = [
+            {} for _ in range(self.partition.n_shards)
+        ]
+        if histories:
+            for oid, trail in histories.items():
+                if not trail:
+                    continue
+                sid = self.partition.shard_of(trail[-1][0])
+                routed[sid][oid] = trail
+        return routed
+
+    # -- SpatialIndex surface ------------------------------------------------
+
+    @property
+    def pager(self) -> ShardedStore:
+        return self._store
+
+    @property
+    def n_shards(self) -> int:
+        return self.partition.n_shards
+
+    def __len__(self) -> int:
+        return sum(len(shard.index) for shard in self.shards)
+
+    def insert(
+        self, obj_id: int, point: Sequence[float], now: Optional[float] = None
+    ) -> PageId:
+        pos = position_of(point)
+        shard = self.shards[self.partition.shard_of(pos)]
+        pid = shard.index.insert(obj_id, pos, now=now)
+        self._owner[obj_id] = shard.sid
+        shard.n_updates += 1
+        return pid
+
+    def update(
+        self,
+        obj_id: int,
+        old_point: Sequence[float],
+        new_point: Sequence[float],
+        now: Optional[float] = None,
+    ) -> PageId:
+        new_pos = position_of(new_point)
+        old_sid = self._owner.get(obj_id)
+        if old_sid is None:
+            raise KeyError(f"object {obj_id} is not indexed")
+        new_sid = self.partition.shard_of(new_pos)
+        if new_sid == old_sid:
+            shard = self.shards[old_sid]
+            pid = shard.index.update(obj_id, old_point, new_pos, now=now)
+            shard.n_updates += 1
+            return pid
+        # Boundary crossing: remove from the old shard, insert into the new.
+        old_shard = self.shards[old_sid]
+        old_pos = None if old_point is None else position_of(old_point)
+        self._spec.delete(old_shard.index, obj_id, old_pos, now)
+        old_shard.n_updates += 1
+        self.cross_shard_moves += 1
+        new_shard = self.shards[new_sid]
+        pid = new_shard.index.insert(obj_id, new_pos, now=now)
+        new_shard.n_updates += 1
+        self._owner[obj_id] = new_sid
+        return pid
+
+    def delete(
+        self,
+        obj_id: int,
+        old_point: Optional[Sequence[float]] = None,
+        now: Optional[float] = None,
+    ) -> bool:
+        sid = self._owner.get(obj_id)
+        if sid is None:
+            return False
+        pos = None if old_point is None else position_of(old_point)
+        removed = self._spec.delete(self.shards[sid].index, obj_id, pos, now)
+        if removed:
+            del self._owner[obj_id]
+        return bool(removed)
+
+    def range_search(self, rect: Rect) -> List[Tuple[int, Point]]:
+        """Fan out to intersecting shards; each object lives in exactly one
+        shard, so concatenation is duplicate-free."""
+        results: List[Tuple[int, Point]] = []
+        for sid in self.partition.intersecting(rect):
+            shard = self.shards[sid]
+            matches = shard.index.range_search(rect)
+            shard.n_queries += 1
+            shard.result_count += len(matches)
+            results.extend(matches)
+        return results
+
+    # -- aggregated telemetry ------------------------------------------------
+
+    @property
+    def lazy_hits(self) -> int:
+        return sum(getattr(s.index, "lazy_hits", 0) or 0 for s in self.shards)
+
+    @property
+    def relocations(self) -> int:
+        return sum(getattr(s.index, "relocations", 0) or 0 for s in self.shards)
+
+    def shard_results(self) -> List[RunResult]:
+        """Per-shard ledgers (UPDATE/QUERY categories of each shard pager)."""
+        return [shard.run_result(self.kind) for shard in self.shards]
+
+    def merged_result(self) -> RunResult:
+        """All shard ledgers merged into one (query counts are fan-outs)."""
+        return merge_results(
+            self.shard_results(), kind=f"{self.kind}x{self.n_shards}"
+        )
+
+    def owner_of(self, obj_id: int) -> Optional[int]:
+        return self._owner.get(obj_id)
+
+    def engine_dict(self) -> Dict[str, object]:
+        """Engine telemetry for metrics/bench documents."""
+        return {
+            "kind": self.kind,
+            "partition": self.partition.to_dict(),
+            "cross_shard_moves": self.cross_shard_moves,
+            "objects": len(self),
+            "shards": [
+                {
+                    "sid": shard.sid,
+                    "region": [list(shard.region.lo), list(shard.region.hi)],
+                    "objects": len(shard.index),
+                    "run": shard.run_result(self.kind).to_dict(),
+                }
+                for shard in self.shards
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIndex(kind={self.kind!r}, shards={self.n_shards}, "
+            f"objects={len(self)}, cross_moves={self.cross_shard_moves})"
+        )

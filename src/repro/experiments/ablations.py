@@ -34,8 +34,8 @@ from repro.rtree.lazy import LazyRTree
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.iostats import IOCategory
 from repro.storage.pager import Pager
+from repro.engine import IndexKind, make_index
 from repro.workload import QueryWorkload, SimulationDriver, UpdateStream
-from repro.workload.driver import IndexKind
 
 BASELINE_RATIO = 100.0
 
@@ -193,8 +193,6 @@ def run_buffer_pool(
         for cached in (False, True):
             pager = Pager()
             store = BufferPool(pager, capacity=capacity) if cached else pager
-            from repro.workload.driver import make_index  # local: avoid cycle
-
             index = make_index(
                 kind,
                 store,  # type: ignore[arg-type]
@@ -300,8 +298,6 @@ def run_mobility_models(scale: str = "small", seed: int = 0) -> ExperimentResult
         row: Dict[str, object] = {"model": model_name}
         for kind in (IndexKind.LAZY, IndexKind.CT):
             pager = Pager()
-            from repro.workload.driver import make_index
-
             index = make_index(
                 kind,
                 pager,

@@ -22,6 +22,7 @@ from repro.citysim import City, CitySimulator, Trace
 from repro.core.builder import BuildReport
 from repro.core.geometry import Rect
 from repro.core.params import CTParams
+from repro.engine import FlushPolicy, ShardedIndex, UpdateBuffer
 from repro.experiments.scales import Scale, get_scale
 from repro.obs import tree_stats
 from repro.storage.buffer_pool import BufferPool
@@ -106,11 +107,13 @@ class IndexRun:
 
     result: RunResult
     index: object
-    pager: Pager
+    pager: object
     build_report: Optional[BuildReport] = None
     #: The LRU pool the index ran over, when ``run_index_on`` was asked for
     #: one (None = paper accounting, every access charged).
     pool: Optional[BufferPool] = None
+    #: The coalescing update buffer, when ``run_index_on`` ran batched.
+    buffer: Optional[UpdateBuffer] = None
 
     @property
     def lazy_hits(self) -> Optional[int]:
@@ -136,6 +139,9 @@ def run_index_on(
     max_entries: int = 20,
     builder_query_rate: Optional[float] = None,
     buffer_pool: Optional[int] = None,
+    shards: int = 1,
+    batch: int = 0,
+    batch_horizon: Optional[float] = None,
 ) -> IndexRun:
     """Build ``kind`` over the bundle and replay updates + queries.
 
@@ -151,10 +157,13 @@ def run_index_on(
     ``buffer_pool`` wraps the pager in an LRU :class:`BufferPool` of that
     many frames (the ablation substrate); None keeps the paper's cache-less
     accounting.
+
+    ``shards > 1`` runs the engine's space-partitioned router (one pager and
+    index per shard, ledgers merged); ``batch > 0`` runs batched updates
+    through a coalescing :class:`UpdateBuffer` of that size
+    (``batch_horizon`` adds a time-based flush trigger).  Both compose with
+    every index kind and with ``buffer_pool``.
     """
-    pager = Pager()
-    pool = BufferPool(pager, capacity=buffer_pool) if buffer_pool else None
-    store = pool if pool is not None else pager
     stream = bundle.update_stream(skip=skip, object_ids=object_ids)
     histories = bundle.histories(object_ids)
     current = bundle.current(object_ids)
@@ -164,17 +173,41 @@ def run_index_on(
     effective_query_rate = _resolve_query_rate(full_duration, query_rate, query_count)
     if builder_query_rate is None:
         builder_query_rate = bundle.scale.base_update_rate / 100.0
-    index = make_index(
-        kind,
-        store,
-        bundle.domain,
-        max_entries=max_entries,
-        ct_params=ct_params,
-        histories=histories if kind == IndexKind.CT else None,
-        query_rate=builder_query_rate,
-        adaptive=adaptive,
+    pool: Optional[BufferPool] = None
+    if shards > 1:
+        index = ShardedIndex(
+            kind,
+            bundle.domain,
+            shards,
+            max_entries=max_entries,
+            ct_params=ct_params,
+            histories=histories if kind == IndexKind.CT else None,
+            query_rate=builder_query_rate,
+            adaptive=adaptive,
+            pool_frames=buffer_pool or 0,
+        )
+        store = index.pager
+        pager = store
+    else:
+        pager = Pager()
+        pool = BufferPool(pager, capacity=buffer_pool) if buffer_pool else None
+        store = pool if pool is not None else pager
+        index = make_index(
+            kind,
+            store,
+            bundle.domain,
+            max_entries=max_entries,
+            ct_params=ct_params,
+            histories=histories if kind == IndexKind.CT else None,
+            query_rate=builder_query_rate,
+            adaptive=adaptive,
+        )
+    buffer = (
+        UpdateBuffer(FlushPolicy(batch_size=batch, horizon=batch_horizon))
+        if batch or batch_horizon is not None
+        else None
     )
-    driver = SimulationDriver(index, store, kind)
+    driver = SimulationDriver(index, store, kind, update_buffer=buffer)
     driver.load(current, now=bundle.trace.load_time(bundle.scale.n_history))
 
     # Queries span the full online window even when updates are thinned: the
@@ -185,7 +218,7 @@ def run_index_on(
     )
     queries: List[RangeQuery] = workload.between(t_start, t_end) if t_end > t_start else []
     result = driver.run(stream, queries)
-    return IndexRun(result=result, index=index, pager=pager, pool=pool)
+    return IndexRun(result=result, index=index, pager=pager, pool=pool, buffer=buffer)
 
 
 def _resolve_query_rate(

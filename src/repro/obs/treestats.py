@@ -44,6 +44,9 @@ def tree_stats(index) -> Dict[str, object]:
     ``lazy_hits``/``relocations`` tallies.
     """
     outer = index
+    if hasattr(index, "shards") and hasattr(index, "partition"):
+        # The engine's sharded router: aggregate the per-shard probes.
+        return _sharded_stats(index)
     if not hasattr(index, "root_pid") and hasattr(index, "tree"):
         # Wrapper indexes (the lazy-R-tree) delegate the paged tree itself.
         index = index.tree
@@ -116,3 +119,38 @@ def tree_stats(index) -> Dict[str, object]:
             stats[tally] = value
 
     return stats
+
+
+def _sharded_stats(index) -> Dict[str, object]:
+    """Aggregate probe over a sharded engine: per-shard stats plus sums.
+
+    Sums what adds (sizes, node/entry counts, tally counters), maxes what
+    does not (height), and keeps the per-shard breakdown so skew -- the
+    failure mode of a static partition -- stays visible.
+    """
+    per_shard = [tree_stats(shard.index) for shard in index.shards]
+    sizes = [int(s.get("size", 0)) for s in per_shard]
+    aggregated: Dict[str, object] = {
+        "sharded": True,
+        "kind": getattr(index, "kind", "?"),
+        "n_shards": len(per_shard),
+        "size": sum(sizes),
+        "height": max((int(s.get("height", 0)) for s in per_shard), default=0),
+        "node_count": sum(int(s.get("node_count", 0)) for s in per_shard),
+        "leaf_count": sum(int(s.get("leaf_count", 0)) for s in per_shard),
+        "entry_count": sum(int(s.get("entry_count", 0)) for s in per_shard),
+        "cross_shard_moves": getattr(index, "cross_shard_moves", 0),
+        "shard_sizes": sizes,
+        "shard_skew": (
+            max(sizes) / (sum(sizes) / len(sizes)) if sizes and sum(sizes) else 0.0
+        ),
+        "shards": per_shard,
+    }
+    for tally in ("lazy_hits", "relocations"):
+        if any(tally in s for s in per_shard):
+            aggregated[tally] = sum(int(s.get(tally, 0)) for s in per_shard)
+    if any("qs_region_count" in s for s in per_shard):
+        aggregated["qs_region_count"] = sum(
+            int(s.get("qs_region_count", 0)) for s in per_shard
+        )
+    return aggregated

@@ -8,24 +8,30 @@ process and shipping a snapshot to another is exactly this).
 
 Format (version 1): one JSON object with
 
+* ``kind``: the registry tag the generic :func:`save_index`/:func:`load_index`
+  dispatch on (``rtree``/``lazy``/``alpha``/``ct``/``sharded``);
 * ``pager``: page size, next page id, and every live page tagged by type;
 * ``index``: structure-specific metadata (root page, counters, parameters,
   hash directory, buffer-tree table ...).
 
-Only data is stored -- never code -- so snapshots are safe to exchange.
+A sharded engine snapshots as **one** versioned document embedding one
+sub-document per shard plus the partition geometry and the object->shard
+routing table.  Only data is stored -- never code -- so snapshots are safe
+to exchange.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.core.ctrtree import CTNode, CTRTree
 from repro.core.geometry import Rect
 from repro.core.overflow import DataPage, NodeBuffer, QSEntry
 from repro.core.params import CTParams
 from repro.hashindex.hashindex import BucketPage, HashIndex
+from repro.rtree.alpha import AlphaTree
 from repro.rtree.lazy import LazyRTree
 from repro.rtree.node import Entry, RTreeNode
 from repro.rtree.rtree import RTree
@@ -225,32 +231,59 @@ def _decode_rtree(data: Dict, pager: Pager) -> RTree:
     return tree
 
 
+# -- public API: plain RTree (and the alpha variant's inner tree) -------------
+
+
+def _rtree_document(tree: RTree) -> Dict:
+    return {
+        "version": FORMAT_VERSION,
+        "structure": "rtree",
+        "kind": "rtree",
+        "pager": _encode_pager(tree.pager),
+        "index": {"tree": _encode_rtree_config(tree)},
+    }
+
+
+def _load_rtree_document(document: Dict) -> RTree:
+    pager = _decode_pager(document["pager"])
+    tree = _decode_rtree(document["index"]["tree"], pager)
+    pager.stats.reset()
+    return tree
+
+
+def save_rtree(tree: RTree, path: Union[str, Path]) -> Path:
+    """Snapshot a traditional R-tree (no secondary hash index)."""
+    return _write_document(_rtree_document(tree), path)
+
+
+def load_rtree(path: Union[str, Path]) -> RTree:
+    return _load_rtree_document(_read_document(path, expected="rtree"))
+
+
 # -- public API: LazyRTree ----------------------------------------------------
 
 
-def save_lazy_rtree(tree: LazyRTree, path: Union[str, Path]) -> Path:
-    """Snapshot a lazy-R-tree (or alpha-tree) with its hash index."""
-    document = {
+def _lazy_document(tree: LazyRTree) -> Dict:
+    return {
         "version": FORMAT_VERSION,
         "structure": "lazy_rtree",
+        # The kind tag distinguishes the alpha-tree (same page layout, but
+        # the class re-applies loose-MBR behaviour and must round-trip).
+        "kind": "alpha" if isinstance(tree, AlphaTree) else "lazy",
         "pager": _encode_pager(tree.pager),
         "index": {
             "tree": _encode_rtree_config(tree.tree),
             "hash": _encode_hash(tree.hash),
         },
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document), encoding="utf-8")
-    return path
 
 
-def load_lazy_rtree(path: Union[str, Path]) -> LazyRTree:
-    document = _read_document(path, expected="lazy_rtree")
+def _load_lazy_document(document: Dict) -> LazyRTree:
     pager = _decode_pager(document["pager"])
     inner = _decode_rtree(document["index"]["tree"], pager)
     hash_index = _decode_hash(document["index"]["hash"], pager)
-    tree = LazyRTree.__new__(LazyRTree)
+    cls = AlphaTree if document.get("kind") == "alpha" else LazyRTree
+    tree = cls.__new__(cls)
     tree.tree = inner
     tree.hash = hash_index
     tree.lazy_hits = 0
@@ -260,15 +293,24 @@ def load_lazy_rtree(path: Union[str, Path]) -> LazyRTree:
     return tree
 
 
+def save_lazy_rtree(tree: LazyRTree, path: Union[str, Path]) -> Path:
+    """Snapshot a lazy-R-tree (or alpha-tree) with its hash index."""
+    return _write_document(_lazy_document(tree), path)
+
+
+def load_lazy_rtree(path: Union[str, Path]) -> LazyRTree:
+    return _load_lazy_document(_read_document(path, expected="lazy_rtree"))
+
+
 # -- public API: CTRTree -------------------------------------------------------
 
 
-def save_ctrtree(tree: CTRTree, path: Union[str, Path]) -> Path:
-    """Snapshot a CT-R-tree: structural pages, chains, buffers, hash index."""
+def _ctrtree_document(tree: CTRTree) -> Dict:
     params = tree.params
-    document = {
+    return {
         "version": FORMAT_VERSION,
         "structure": "ctrtree",
+        "kind": "ct",
         "pager": _encode_pager(tree.pager),
         "index": {
             "root_pid": tree.root_pid,
@@ -297,14 +339,14 @@ def save_ctrtree(tree: CTRTree, path: Union[str, Path]) -> Path:
             },
         },
     }
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document), encoding="utf-8")
-    return path
 
 
-def load_ctrtree(path: Union[str, Path]) -> CTRTree:
-    document = _read_document(path, expected="ctrtree")
+def save_ctrtree(tree: CTRTree, path: Union[str, Path]) -> Path:
+    """Snapshot a CT-R-tree: structural pages, chains, buffers, hash index."""
+    return _write_document(_ctrtree_document(tree), path)
+
+
+def _load_ctrtree_document(document: Dict) -> CTRTree:
     meta = document["index"]
     pager = _decode_pager(document["pager"])
 
@@ -343,13 +385,192 @@ def load_ctrtree(path: Union[str, Path]) -> CTRTree:
     return tree
 
 
-def _read_document(path: Union[str, Path], expected: str) -> Dict:
+def load_ctrtree(path: Union[str, Path]) -> CTRTree:
+    return _load_ctrtree_document(_read_document(path, expected="ctrtree"))
+
+
+# -- public API: the sharded engine -------------------------------------------
+
+
+def _sharded_document(index) -> Dict:
+    """One versioned document for a whole sharded engine.
+
+    Embeds one per-shard sub-document (built by the inner kind's document
+    builder) plus the partition geometry and the object->shard routing
+    table, so a restore rebuilds byte-identical shard contents *and* the
+    router state.
+    """
+    inner_kind = index.kind
+    if inner_kind not in _DOCUMENT_BUILDERS:
+        raise SnapshotError(
+            f"sharded engine over kind {inner_kind!r} has no snapshot support"
+        )
+    build = _DOCUMENT_BUILDERS[inner_kind]
+    return {
+        "version": FORMAT_VERSION,
+        "structure": "sharded",
+        "kind": "sharded",
+        "inner_kind": inner_kind,
+        "partition": index.partition.to_dict(),
+        "owner": {str(oid): sid for oid, sid in index._owner.items()},
+        "cross_shard_moves": index.cross_shard_moves,
+        "shards": [build(shard.index) for shard in index.shards],
+    }
+
+
+def _load_sharded_document(document: Dict):
+    from repro.engine.registry import get_spec
+    from repro.engine.sharded import (
+        Shard,
+        ShardedIndex,
+        ShardedStore,
+        ShardIOStats,
+        SpacePartition,
+    )
+    from repro.storage.iostats import IOStats
+
+    inner_kind = document["inner_kind"]
+    loader = _DOCUMENT_LOADERS.get(inner_kind)
+    if loader is None:
+        raise SnapshotError(f"unknown sharded inner kind {inner_kind!r}")
+    partition_meta = document["partition"]
+    domain = Rect(
+        tuple(partition_meta["domain"][0]), tuple(partition_meta["domain"][1])
+    )
+    partition = SpacePartition(domain, int(partition_meta["n_shards"]))
+
+    index = ShardedIndex.__new__(ShardedIndex)
+    index.kind = inner_kind
+    index.domain = domain
+    index._spec = get_spec(inner_kind)
+    index.partition = partition
+    shared = IOStats()
+    index._stats = shared
+    index._owner = {int(oid): int(sid) for oid, sid in document["owner"].items()}
+    index.cross_shard_moves = int(document.get("cross_shard_moves", 0))
+    index.shards = []
+    for sid, sub_document in enumerate(document["shards"]):
+        inner = loader(sub_document)
+        pager = inner.pager
+        # Re-parent the restored pager onto the engine's shared ledger so
+        # per-shard and merged accounting resume exactly like a fresh build.
+        pager.stats = ShardIOStats(shared)
+        index.shards.append(
+            Shard(
+                sid=sid,
+                region=partition.region(sid),
+                pager=pager,
+                store=pager,
+                index=inner,
+            )
+        )
+    index._store = ShardedStore(index.shards, shared)
+    return index
+
+
+def save_sharded(index, path: Union[str, Path]) -> Path:
+    """Snapshot a sharded engine as one versioned document."""
+    return _write_document(_sharded_document(index), path)
+
+
+def load_sharded(path: Union[str, Path]):
+    return _load_sharded_document(_read_document(path, expected="sharded"))
+
+
+# -- generic dispatch ----------------------------------------------------------
+
+_DOCUMENT_BUILDERS: Dict[str, Callable] = {
+    "rtree": _rtree_document,
+    "lazy": _lazy_document,
+    "alpha": _lazy_document,
+    "ct": _ctrtree_document,
+    "sharded": _sharded_document,
+}
+
+_DOCUMENT_LOADERS: Dict[str, Callable] = {
+    "rtree": _load_rtree_document,
+    "lazy": _load_lazy_document,
+    "alpha": _load_lazy_document,
+    "ct": _load_ctrtree_document,
+    "sharded": _load_sharded_document,
+}
+
+#: Pre-kind-tag documents carry only a structure string; map it to a kind.
+_STRUCTURE_TO_KIND = {
+    "rtree": "rtree",
+    "lazy_rtree": "lazy",
+    "ctrtree": "ct",
+    "sharded": "sharded",
+}
+
+
+def index_kind_of(index) -> str:
+    """The snapshot kind tag for a live index instance."""
+    # Order matters: AlphaTree subclasses LazyRTree.
+    if isinstance(index, CTRTree):
+        return "ct"
+    if isinstance(index, AlphaTree):
+        return "alpha"
+    if isinstance(index, LazyRTree):
+        return "lazy"
+    if isinstance(index, RTree):
+        return "rtree"
+    if hasattr(index, "shards") and hasattr(index, "partition"):
+        return "sharded"
+    raise SnapshotError(f"cannot snapshot index type {type(index).__name__}")
+
+
+def save_index(index, path: Union[str, Path], *, kind: Optional[str] = None) -> Path:
+    """Snapshot any supported index; dispatches on its ``kind`` tag."""
+    tag = kind if kind is not None else index_kind_of(index)
+    builder = _DOCUMENT_BUILDERS.get(tag)
+    if builder is None:
+        raise SnapshotError(
+            f"no snapshot support for kind {tag!r}; "
+            f"known: {sorted(_DOCUMENT_BUILDERS)}"
+        )
+    return _write_document(builder(index), path)
+
+
+def load_index(path: Union[str, Path]):
+    """Load any snapshot; dispatches on the document's ``kind`` tag.
+
+    Documents written before the kind tag existed are dispatched by their
+    ``structure`` string, so old snapshots keep loading.
+    """
+    document = _read_any_document(path)
+    tag = document.get("kind") or _STRUCTURE_TO_KIND.get(document.get("structure", ""))
+    loader = _DOCUMENT_LOADERS.get(tag or "")
+    if loader is None:
+        raise SnapshotError(
+            f"snapshot kind {tag!r} (structure "
+            f"{document.get('structure')!r}) is not loadable"
+        )
+    return loader(document)
+
+
+# -- document I/O --------------------------------------------------------------
+
+
+def _write_document(document: Dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+def _read_any_document(path: Union[str, Path]) -> Dict:
     try:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise SnapshotError(f"not a snapshot file: {exc}") from exc
     if document.get("version") != FORMAT_VERSION:
         raise SnapshotError(f"unsupported snapshot version {document.get('version')!r}")
+    return document
+
+
+def _read_document(path: Union[str, Path], expected: str) -> Dict:
+    document = _read_any_document(path)
     if document.get("structure") != expected:
         raise SnapshotError(
             f"snapshot holds a {document.get('structure')!r}, expected {expected!r}"

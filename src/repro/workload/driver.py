@@ -5,146 +5,42 @@ timestamp order and executes both against an index, attributing page I/O to
 ``IOCategory.UPDATE`` / ``IOCategory.QUERY`` -- the two quantities every
 figure in the paper plots.
 
-All four evaluated structures expose the same surface (``insert``,
-``update``, ``delete``, ``range_search``), so one driver serves the
-traditional R-tree, the lazy-R-tree, the alpha-tree, and the CT-R-tree.
+Every structure conforming to the :class:`~repro.engine.protocol.SpatialIndex`
+protocol can be driven -- the four evaluated trees, and the engine's sharded
+router over any of them.  Passing an :class:`~repro.engine.UpdateBuffer`
+switches the driver to batched execution: updates are coalesced in memory
+and group-applied per flush, with a mandatory flush before every query so
+query results are identical to an unbatched run.
+
+``IndexKind``, ``make_index`` and ``RunResult`` moved to :mod:`repro.engine`
+(the registry owns construction now); they are re-exported here unchanged
+for backward compatibility.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
-from repro.core.builder import CTRTreeBuilder
+# Back-compat re-exports: these lived here before the engine layer existed.
+from repro.engine.registry import IndexKind, make_index  # noqa: F401
+from repro.engine.results import RunResult  # noqa: F401
+from repro.engine.buffer import UpdateBuffer
+from repro.engine.protocol import PageStore, SpatialIndex
 from repro.core.ctrtree import CTRTree
-from repro.core.geometry import Point, Rect
-from repro.core.params import CTParams
+from repro.core.geometry import Point
 from repro.citysim.trace import TraceRecord
 from repro.rtree.alpha import AlphaTree
 from repro.rtree.lazy import LazyRTree
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.rtree.rtree import RTree
-from repro.storage.iostats import IOCategory, IOCounter
-from repro.storage.pager import Pager
+from repro.storage.iostats import IOCategory
 from repro.workload.queries import RangeQuery
 
+#: Historical alias; the engine protocol supersedes it (kept for callers
+#: that annotated against the old union).
 AnyIndex = Union[RTree, LazyRTree, AlphaTree, CTRTree]
-
-
-class IndexKind:
-    """The four structures of the paper's evaluation (Section 4.2)."""
-
-    RTREE = "rtree"
-    LAZY = "lazy"
-    ALPHA = "alpha"
-    CT = "ct"
-
-    ALL = (RTREE, LAZY, ALPHA, CT)
-
-    LABELS = {
-        RTREE: "R-tree",
-        LAZY: "lazy-R-tree",
-        ALPHA: "alpha-tree",
-        CT: "CT-R-tree",
-    }
-
-
-def make_index(
-    kind: str,
-    pager: Pager,
-    domain: Rect,
-    *,
-    max_entries: int = 20,
-    ct_params: Optional[CTParams] = None,
-    histories: Optional[Mapping[int, Sequence]] = None,
-    query_rate: float = 50.0,
-    adaptive: bool = True,
-    split: str = "quadratic",
-) -> AnyIndex:
-    """Construct one of the four evaluated indexes on ``pager``.
-
-    The CT-R-tree additionally needs the history profile (``histories``) to
-    mine its qs-regions; the baselines ignore it.
-    """
-    params = ct_params if ct_params is not None else CTParams()
-    if kind == IndexKind.RTREE:
-        return RTree(pager, max_entries=max_entries, split=split)
-    if kind == IndexKind.LAZY:
-        return LazyRTree(pager, max_entries=max_entries, split=split)
-    if kind == IndexKind.ALPHA:
-        return AlphaTree(
-            pager, max_entries=max_entries, split=split, alpha=params.alpha
-        )
-    if kind == IndexKind.CT:
-        if histories is None:
-            raise ValueError("the CT-R-tree needs a history profile to build from")
-        builder = CTRTreeBuilder(
-            params,
-            query_rate=query_rate,
-            max_entries=max_entries,
-            split=split,
-            adaptive=adaptive,
-        )
-        tree, _ = builder.build(pager, domain, histories)
-        return tree
-    raise ValueError(f"unknown index kind {kind!r}; choose from {IndexKind.ALL}")
-
-
-@dataclass
-class RunResult:
-    """I/O accounting for one driver run."""
-
-    kind: str
-    n_updates: int = 0
-    n_queries: int = 0
-    result_count: int = 0
-    update_io: IOCounter = field(default_factory=IOCounter)
-    query_io: IOCounter = field(default_factory=IOCounter)
-    wall_clock_s: float = 0.0
-
-    @property
-    def update_ios(self) -> int:
-        return self.update_io.total
-
-    @property
-    def query_ios(self) -> int:
-        return self.query_io.total
-
-    @property
-    def total_ios(self) -> int:
-        return self.update_ios + self.query_ios
-
-    @property
-    def ios_per_update(self) -> float:
-        return self.update_ios / self.n_updates if self.n_updates else 0.0
-
-    @property
-    def ios_per_query(self) -> float:
-        return self.query_ios / self.n_queries if self.n_queries else 0.0
-
-    def to_dict(self) -> Dict[str, object]:
-        """The run ledger as JSON-ready plain data (bench/metrics schema)."""
-        return {
-            "kind": self.kind,
-            "n_updates": self.n_updates,
-            "n_queries": self.n_queries,
-            "result_count": self.result_count,
-            "update_io": self.update_io.to_dict(),
-            "query_io": self.query_io.to_dict(),
-            "ios_per_update": self.ios_per_update,
-            "ios_per_query": self.ios_per_query,
-            "total_ios": self.total_ios,
-            "wall_clock_s": self.wall_clock_s,
-        }
-
-    def __repr__(self) -> str:
-        return (
-            f"RunResult({self.kind}: {self.n_updates}u/{self.n_queries}q, "
-            f"update={self.update_ios} query={self.query_ios} "
-            f"total={self.total_ios} I/Os)"
-        )
 
 
 class SimulationDriver:
@@ -152,10 +48,11 @@ class SimulationDriver:
 
     def __init__(
         self,
-        index: AnyIndex,
-        pager: Pager,
+        index: SpatialIndex,
+        pager: PageStore,
         kind: str = "index",
         metrics: Optional[MetricsRegistry] = None,
+        update_buffer: Optional[UpdateBuffer] = None,
     ) -> None:
         self.index = index
         self.pager = pager
@@ -163,6 +60,9 @@ class SimulationDriver:
         #: Observability sink; defaults to the process-global registry,
         #: which is disabled unless an entry point opted in.
         self.metrics = metrics if metrics is not None else get_registry()
+        #: Batched execution: when set, updates buffer + coalesce here and
+        #: group-apply on flush (size/time policy, and always before a query).
+        self.update_buffer = update_buffer
         #: Last known position per object (the baselines' update() needs the
         #: old point; the driver is the "server" that knows it).
         self.positions: Dict[int, Point] = {}
@@ -196,11 +96,15 @@ class SimulationDriver:
 
         On equal timestamps the update is applied before the query runs (the
         tag slot below breaks the tie), so a query always observes the state
-        as of its own instant.
+        as of its own instant.  With an update buffer, "applied" means
+        "buffered": the pending batch is flushed before the query executes,
+        so the observed state is identical either way.
         """
         stats = self.pager.stats
         metrics = self.metrics
         obs_on = metrics.enabled
+        buffer = self.update_buffer
+        buffer_stats_before = buffer.stats.copy() if buffer is not None else None
         # Live (mutable) counters: per-event deltas without per-event copies.
         update_live = stats.live(IOCategory.UPDATE)
         query_live = stats.live(IOCategory.QUERY)
@@ -222,7 +126,11 @@ class SimulationDriver:
                     io_before = update_live.total
                 with stats.category(IOCategory.UPDATE):
                     old = self.positions.get(record.oid)
-                    if old is None:
+                    if buffer is not None:
+                        buffer.put(record.oid, old, record.point, t)
+                        if buffer.should_flush(t):
+                            buffer.flush(self.index)
+                    elif old is None:
                         self.index.insert(record.oid, record.point, now=t)
                     else:
                         self.index.update(record.oid, old, record.point, now=t)
@@ -242,6 +150,12 @@ class SimulationDriver:
                 query: RangeQuery = event
                 if obs_on:
                     event_t0 = perf_counter()
+                # Read-your-writes: drain the pending batch (charged as
+                # update I/O -- it is deferred update work) before serving.
+                if buffer is not None and len(buffer):
+                    with stats.category(IOCategory.UPDATE):
+                        buffer.flush(self.index)
+                if obs_on:
                     io_before = query_live.total
                 with stats.category(IOCategory.QUERY):
                     matches = self.index.range_search(query.rect)
@@ -255,9 +169,21 @@ class SimulationDriver:
                         "driver.query.ios", query_live.total - io_before
                     )
 
+        # End of stream: apply whatever is still pending so the index (and
+        # any snapshot taken of it) reflects every consumed update.
+        if buffer is not None and len(buffer):
+            with stats.category(IOCategory.UPDATE):
+                buffer.flush(self.index)
+
         result.wall_clock_s = perf_counter() - run_t0
         result.update_io = update_live.copy() - update_before
         result.query_io = query_live.copy() - query_before
+        if buffer is not None and buffer_stats_before is not None:
+            result.n_flushes = buffer.stats.flushes - buffer_stats_before.flushes
+            result.n_coalesced = (
+                buffer.stats.coalesced - buffer_stats_before.coalesced
+            )
+            result.n_applied = buffer.stats.applied - buffer_stats_before.applied
         if obs_on:
             metrics.inc(f"driver.{self.kind}.updates", result.n_updates)
             metrics.inc(f"driver.{self.kind}.queries", result.n_queries)

@@ -109,6 +109,43 @@ class TestCompare:
         payload = json.loads(out.read_text())
         assert payload["indexes"]["rtree"]["buffer_pool"] is None
 
+    def test_sharded_batched_matches_plain_results(self, trace_file, tmp_path, capsys):
+        """The engine levers must not change what queries return."""
+        import json
+
+        plain_out = tmp_path / "plain.json"
+        engine_out = tmp_path / "engine.json"
+        for out, extra in (
+            (plain_out, []),
+            (engine_out, ["--shards", "4", "--batch", "64"]),
+        ):
+            code = main([
+                "compare", str(trace_file), "--history", "30", "--ratio", "20",
+                "--metrics-out", str(out), *extra,
+            ])
+            assert code == 0
+        plain = json.loads(plain_out.read_text())
+        engine = json.loads(engine_out.read_text())
+        assert engine["shards"] == 4 and engine["batch"] == 64
+        out = capsys.readouterr().out
+        assert "4 shards" in out and "batch 64" in out
+        for kind in ("rtree", "lazy", "alpha", "ct"):
+            plain_run = plain["indexes"][kind]["run"]
+            engine_run = engine["indexes"][kind]["run"]
+            assert engine_run["result_count"] == plain_run["result_count"], kind
+            assert engine_run["n_queries"] == plain_run["n_queries"]
+            engine_meta = engine["indexes"][kind]["engine"]
+            assert engine_meta["sharded"]["partition"]["n_shards"] == 4
+            assert engine_meta["buffer"]["flushes"] > 0
+            assert engine_run["n_applied"] + engine_run["n_coalesced"] == (
+                engine_run["n_updates"]
+            )
+            # sharded tree stats aggregate the per-shard probes
+            stats = engine["indexes"][kind]["tree_stats"]
+            assert stats["sharded"] is True
+            assert stats["n_shards"] == 4
+            assert stats["size"] == sum(stats["shard_sizes"])
+
 
 class TestBuildMetrics:
     def test_build_metrics_out(self, trace_file, tmp_path, capsys):
