@@ -6,6 +6,8 @@ Commands:
 * ``build``      -- mine qs-regions from a trace and report the CT-R-tree;
 * ``experiment`` -- run one of the paper's tables/figures at a chosen scale;
 * ``compare``    -- race the four index structures on a trace;
+* ``recover``    -- rebuild an index from a ``--wal-dir`` directory after a
+  crash (newest valid checkpoint + WAL tail replay);
 * ``params``     -- print Table 1.
 
 Every command is deterministic given ``--seed``.
@@ -102,6 +104,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable metrics and dump the registry, per-index "
                               "tree stats, run ledgers, and buffer-pool "
                               "telemetry to this JSON file")
+    compare.add_argument("--wal-dir", metavar="DIR", default=None,
+                         help="write-ahead-log every update before applying it; "
+                              "each index gets DIR/<kind>/ with its own WAL "
+                              "segments and checkpoints (sharded runs log "
+                              "per shard under DIR/<kind>/shard-NN/)")
+    compare.add_argument("--sync-policy", default="group:8",
+                         metavar="always|group:N|onflush",
+                         help="WAL sync policy: fsync every append, group-"
+                              "commit every N appends, or only at buffer "
+                              "flushes (default: group:8)")
+    compare.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                         help="take an automatic checkpoint every N applied "
+                              "updates (0 = only the post-load baseline and "
+                              "the final checkpoint)")
+
+    recover = sub.add_parser(
+        "recover", help="recover an index from a WAL directory after a crash"
+    )
+    recover.add_argument("dir", help="durability directory (as given to --wal-dir, "
+                                     "plus the index kind subdirectory)")
+    recover.add_argument("--save", metavar="SNAPSHOT",
+                         help="write the recovered index to a JSON snapshot file")
+    recover.add_argument("--no-repair", action="store_true",
+                         help="do not trim torn tails or delete covered "
+                              "segments/stale tmp files after replay")
 
     report = sub.add_parser("report", help="run every experiment, write one markdown report")
     report.add_argument("-o", "--output", default="report.md")
@@ -241,6 +268,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     pooled = args.buffer_pool > 0
     sharded = args.shards > 1
     batched = args.batch > 0
+    walled = args.wal_dir is not None
     print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})")
     if pooled:
         print(f"buffer pool: {args.buffer_pool} frames (LRU, write-back)")
@@ -251,6 +279,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
         if batched:
             parts.append(f"batch {args.batch} (coalescing update buffer)")
         print(f"engine: {', '.join(parts)}")
+    if walled:
+        line = f"durability: WAL under {args.wal_dir} (sync {args.sync_policy}"
+        if args.checkpoint_every:
+            line += f", checkpoint every {args.checkpoint_every} updates"
+        print(line + ")")
     print()
     header = f"{'index':<12} {'update I/O':>12} {'query I/O':>10} {'total':>10}"
     if pooled:
@@ -282,9 +315,25 @@ def cmd_compare(args: argparse.Namespace) -> int:
         buffer = (
             UpdateBuffer(FlushPolicy(batch_size=args.batch)) if batched else None
         )
-        driver = SimulationDriver(index, store, kind, update_buffer=buffer)
+        durability = None
+        if walled:
+            from repro.durability import DurabilityManager
+
+            durability = DurabilityManager(
+                f"{args.wal_dir}/{kind}",
+                sync=args.sync_policy,
+                checkpoint_every=args.checkpoint_every,
+            )
+        driver = SimulationDriver(
+            index, store, kind, update_buffer=buffer, durability=durability
+        )
         driver.load(current, now=load_time)
         result = driver.run(stream, queries)
+        if durability is not None:
+            # Final checkpoint: the run's end state is durable without a
+            # replay; the WAL keeps only the (empty) tail past it.
+            durability.checkpoint()
+            durability.close()
         line = (
             f"{IndexKind.LABELS[kind]:<12} {result.update_ios:>12,} "
             f"{result.query_ios:>10,} {result.total_ios:>10,}"
@@ -310,6 +359,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
                         buffer.stats.to_dict() if buffer is not None else None
                     ),
                 },
+                "durability": (
+                    durability.metrics_dict() if durability is not None else None
+                ),
             }
     if args.metrics_out:
         if not _write_metrics(
@@ -319,12 +371,50 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "buffer_pool_frames": args.buffer_pool,
                 "shards": args.shards,
                 "batch": args.batch,
+                "wal_dir": args.wal_dir,
+                "sync_policy": args.sync_policy if walled else None,
+                "checkpoint_every": args.checkpoint_every if walled else None,
                 "n_updates": len(stream),
                 "n_queries": len(queries),
                 "indexes": per_index,
             },
         ):
             return 1
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.durability import RecoveryError, recover
+
+    try:
+        index, report = recover(args.dir, repair=not args.no_repair)
+    except RecoveryError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"checkpoint:     #{report.checkpoint_ordinal} "
+          f"(kind {report.kind or '?'}, covers seq {report.checkpoint_seq})")
+    print(f"replayed:       {report.records_replayed} records")
+    print(f"skipped:        {report.records_skipped} records")
+    print(f"truncated:      {report.segments_truncated} segments"
+          + (f", {report.tmp_files_removed} tmp files"
+             if report.tmp_files_removed else ""))
+    if report.torn_tail:
+        print("torn tail:      yes (trimmed)" if not args.no_repair
+              else "torn tail:      yes")
+    if report.corrupt_segments:
+        print(f"corrupt:        {report.corrupt_segments} segments")
+    if report.missing_segments:
+        print(f"missing:        segments {report.missing_segments}")
+    if report.gap_at_seq:
+        print(f"ledger ends:    seq {report.gap_at_seq - 1}")
+    print(f"replay time:    {report.replay_s:.3f}s")
+    print(f"objects:        {len(index)}")
+    print(f"index:          {index!r}")
+    if args.save:
+        from repro.storage.snapshot import save_index
+
+        path = save_index(index, args.save)
+        print(f"snapshot:       {path}")
     return 0
 
 
@@ -347,6 +437,7 @@ COMMANDS = {
     "build": cmd_build,
     "experiment": cmd_experiment,
     "compare": cmd_compare,
+    "recover": cmd_recover,
     "params": cmd_params,
     "report": cmd_report,
 }

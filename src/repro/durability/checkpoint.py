@@ -1,0 +1,205 @@
+"""Atomic checkpoints: a snapshot document plus the WAL position it covers.
+
+A checkpoint file is one JSON envelope::
+
+    {
+      "version": 1,
+      "ordinal": 3,              # monotone checkpoint counter
+      "covered_seq": 1207,       # every WAL record with seq <= this is
+                                 # reflected in the embedded snapshot
+      "kind": "lazy",            # the snapshot's registry kind tag
+      "snapshot": { ... }        # storage.snapshot document, verbatim
+    }
+
+The embedded snapshot reuses :func:`repro.storage.snapshot.build_document`
+/ :func:`load_document` -- the kind-tag dispatch table is shared, so every
+index the snapshot layer supports (including the sharded engine's
+one-document form) checkpoints for free.
+
+Writes are atomic (tmp file + fsync + ``os.replace``): a crash mid-write
+leaves the previous checkpoint intact, and recovery skips damaged or
+half-decoded files by falling back to the next-newest valid one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.storage.snapshot import SnapshotError, build_document, load_document
+
+CHECKPOINT_VERSION = 1
+CHECKPOINT_PREFIX = "checkpoint-"
+CHECKPOINT_SUFFIX = ".json"
+
+
+class CheckpointError(RuntimeError):
+    """Raised when no usable checkpoint can be read or written."""
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata of one checkpoint file (the envelope minus the snapshot)."""
+
+    path: Path
+    ordinal: int
+    covered_seq: int
+    kind: str
+
+
+def checkpoint_path(directory: Union[str, Path], ordinal: int) -> Path:
+    return Path(directory) / f"{CHECKPOINT_PREFIX}{ordinal:08d}{CHECKPOINT_SUFFIX}"
+
+
+def list_checkpoints(directory: Union[str, Path]) -> List[Tuple[int, Path]]:
+    """``(ordinal, path)`` for every checkpoint file, oldest first.
+
+    ``*.tmp`` leftovers from a crashed write are not checkpoints and are
+    ignored here (recovery's repair pass deletes them).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        name = path.name
+        if name.startswith(CHECKPOINT_PREFIX) and name.endswith(CHECKPOINT_SUFFIX):
+            stem = name[len(CHECKPOINT_PREFIX) : -len(CHECKPOINT_SUFFIX)]
+            try:
+                found.append((int(stem), path))
+            except ValueError:
+                continue
+    return sorted(found)
+
+
+def next_ordinal(directory: Union[str, Path]) -> int:
+    existing = list_checkpoints(directory)
+    return (existing[-1][0] + 1) if existing else 1
+
+
+def write_checkpoint(
+    index,
+    directory: Union[str, Path],
+    *,
+    covered_seq: int,
+    ordinal: Optional[int] = None,
+    kind: Optional[str] = None,
+    retain: int = 2,
+    fault=None,
+) -> CheckpointInfo:
+    """Atomically publish a checkpoint of ``index``.
+
+    ``covered_seq`` is the caller's promise that every WAL record with a
+    sequence number at or below it is applied in ``index`` -- the caller
+    (the :class:`~repro.durability.manager.DurabilityManager`) only
+    checkpoints at quiescent points (update buffer drained).
+
+    ``retain`` older checkpoints are kept as fallbacks for a checkpoint
+    file that itself turns out damaged.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if ordinal is None:
+        ordinal = next_ordinal(directory)
+    snapshot = build_document(index, kind=kind)
+    envelope = {
+        "version": CHECKPOINT_VERSION,
+        "ordinal": ordinal,
+        "covered_seq": covered_seq,
+        "kind": snapshot.get("kind"),
+        "snapshot": snapshot,
+    }
+    path = checkpoint_path(directory, ordinal)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(envelope))
+        fh.flush()
+        os.fsync(fh.fileno())
+    if fault is not None:
+        fault.before_checkpoint_replace(tmp)
+    os.replace(tmp, path)
+    _apply_retention(directory, keep_from=ordinal, retain=retain)
+    return CheckpointInfo(
+        path=path,
+        ordinal=ordinal,
+        covered_seq=covered_seq,
+        kind=str(envelope["kind"]),
+    )
+
+
+def _apply_retention(directory: Path, *, keep_from: int, retain: int) -> int:
+    """Keep the newest checkpoint plus ``retain`` fallbacks; drop the rest."""
+    removed = 0
+    older = [
+        (ordinal, path)
+        for ordinal, path in list_checkpoints(directory)
+        if ordinal < keep_from
+    ]
+    for ordinal, path in older[: max(0, len(older) - retain)]:
+        path.unlink()
+        removed += 1
+    return removed
+
+
+def read_checkpoint(path: Union[str, Path]):
+    """Decode one checkpoint file -> ``(index, CheckpointInfo)``.
+
+    Raises :class:`SnapshotError` for any damage (truncated JSON, wrong
+    version, undecodable snapshot) so recovery can fall back.
+    """
+    path = Path(path)
+    try:
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"not a checkpoint file: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise SnapshotError("checkpoint envelope must be an object")
+    if envelope.get("version") != CHECKPOINT_VERSION:
+        raise SnapshotError(
+            f"unsupported checkpoint version {envelope.get('version')!r}"
+        )
+    try:
+        covered_seq = int(envelope["covered_seq"])
+        ordinal = int(envelope["ordinal"])
+        snapshot = envelope["snapshot"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed checkpoint envelope: {exc}") from exc
+    index = load_document(snapshot)
+    info = CheckpointInfo(
+        path=path,
+        ordinal=ordinal,
+        covered_seq=covered_seq,
+        kind=str(envelope.get("kind")),
+    )
+    return index, info
+
+
+def load_latest_checkpoint(directory: Union[str, Path]):
+    """The newest *valid* checkpoint -> ``(index, CheckpointInfo)`` or
+    ``None`` when the directory holds no usable checkpoint.
+
+    Damaged files (torn writes that predate the atomic writer, bit rot) are
+    skipped, newest-first, instead of aborting recovery.
+    """
+    for _ordinal, path in reversed(list_checkpoints(directory)):
+        try:
+            return read_checkpoint(path)
+        except SnapshotError:
+            continue
+    return None
+
+
+def clean_stale_tmp(directory: Union[str, Path]) -> int:
+    """Delete ``*.tmp`` leftovers from crashed checkpoint/snapshot writes."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for path in directory.iterdir():
+        if path.name.endswith(".tmp"):
+            path.unlink()
+            removed += 1
+    return removed

@@ -1,0 +1,151 @@
+"""Deterministic fault injection for the durability test suite.
+
+Two families of faults, both reproducible given the same arguments:
+
+* **Live crash points** -- a :class:`FaultInjector` threaded into a
+  :class:`~repro.durability.wal.WriteAheadLog` (and the checkpoint writer)
+  counts physical events and raises :class:`InjectedCrash` at a chosen one,
+  optionally leaving a torn partial frame behind, exactly as a process
+  death mid-``write(2)`` would.
+* **Post-mortem file surgery** -- helpers that damage an existing WAL
+  directory the way real-world failures do: :func:`tear_tail` (partial last
+  write), :func:`corrupt_record` (bit rot under a valid length prefix),
+  :func:`drop_segment` (lost file).
+
+The recovery suite uses both to assert the invariant *crash anywhere ->
+the recovered index answers queries identically to an uncrashed run over
+the durable prefix*.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.durability.wal import _HEADER, list_segments, segment_path
+
+
+class InjectedCrash(RuntimeError):
+    """The deterministic stand-in for a process death (never caught by the
+    durability layer itself -- only the test harness expects it)."""
+
+
+class FaultInjector:
+    """Counts WAL events and crashes at a configured point.
+
+    Args:
+        crash_on_append: crash on the Nth physical frame write (1-based);
+            ``torn_bytes`` of the frame are written first, so ``torn_bytes=0``
+            models a crash before the write and a small positive value
+            models a torn write.
+        torn_bytes: how much of the crashing frame reaches the file.
+        crash_on_sync: crash on the Nth fsync, before it happens (records
+            staged by group commit since the last sync are lost).
+        crash_on_checkpoint_replace: crash after the checkpoint tmp file is
+            fully written but before the atomic rename publishes it.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_on_append: Optional[int] = None,
+        torn_bytes: int = 0,
+        crash_on_sync: Optional[int] = None,
+        crash_on_checkpoint_replace: bool = False,
+    ) -> None:
+        if torn_bytes < 0:
+            raise ValueError("torn_bytes must be >= 0")
+        self.crash_on_append = crash_on_append
+        self.torn_bytes = torn_bytes
+        self.crash_on_sync = crash_on_sync
+        self.crash_on_checkpoint_replace = crash_on_checkpoint_replace
+        self.appends = 0
+        self.syncs = 0
+
+    # -- hooks the WAL calls ---------------------------------------------
+
+    def write_frame(self, fh, frame: bytes) -> None:
+        self.appends += 1
+        if self.crash_on_append is not None and self.appends >= self.crash_on_append:
+            torn = frame[: self.torn_bytes]
+            if torn:
+                fh.write(torn)
+            # What a dying process leaves behind is whatever the OS already
+            # had; flush so the torn prefix is really in the file.
+            fh.flush()
+            raise InjectedCrash(
+                f"crash at append #{self.appends} "
+                f"({len(torn)}/{len(frame)} bytes written)"
+            )
+        fh.write(frame)
+
+    def before_sync(self) -> None:
+        self.syncs += 1
+        if self.crash_on_sync is not None and self.syncs >= self.crash_on_sync:
+            raise InjectedCrash(f"crash at fsync #{self.syncs}")
+
+    def before_checkpoint_replace(self, tmp_path: Path) -> None:
+        if self.crash_on_checkpoint_replace:
+            raise InjectedCrash(
+                f"crash before publishing checkpoint {tmp_path.name}"
+            )
+
+
+# -- post-mortem file surgery --------------------------------------------------
+
+
+def _last_segment(directory: Union[str, Path]) -> Path:
+    segments = list_segments(directory)
+    if not segments:
+        raise FileNotFoundError(f"no WAL segments in {directory}")
+    return segments[-1][1]
+
+
+def tear_tail(directory: Union[str, Path], nbytes: int = 5) -> Path:
+    """Truncate the newest segment by ``nbytes``, modelling a torn write."""
+    path = _last_segment(directory)
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(max(0, size - nbytes))
+    return path
+
+
+def corrupt_record(
+    directory: Union[str, Path], record_index: int, *, flip: int = 0xFF
+) -> Path:
+    """XOR one payload byte of the ``record_index``-th record (0-based) in
+    the newest segment, leaving the length prefix intact -- the CRC, not the
+    framing, must catch it."""
+    path = _last_segment(directory)
+    data = bytearray(path.read_bytes())
+    offset = 0
+    index = 0
+    while offset + _HEADER.size <= len(data):
+        length, _crc = _HEADER.unpack_from(data, offset)
+        payload_at = offset + _HEADER.size
+        if payload_at + length > len(data):
+            break
+        if index == record_index:
+            data[payload_at] ^= flip
+            path.write_bytes(bytes(data))
+            return path
+        index += 1
+        offset = payload_at + length
+    raise IndexError(
+        f"segment {path.name} has only {index} complete records; "
+        f"cannot corrupt record {record_index}"
+    )
+
+
+def drop_segment(directory: Union[str, Path], number: Optional[int] = None) -> Path:
+    """Delete one segment file (default: the oldest), modelling a lost file."""
+    directory = Path(directory)
+    if number is None:
+        segments = list_segments(directory)
+        if not segments:
+            raise FileNotFoundError(f"no WAL segments in {directory}")
+        number = segments[0][0]
+    path = segment_path(directory, number)
+    os.unlink(path)
+    return path

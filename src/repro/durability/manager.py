@@ -1,0 +1,251 @@
+"""The durability manager: one WAL-per-index (or per shard) + checkpoints.
+
+The :class:`DurabilityManager` is the single object the driver, the update
+buffer and the CLI hold.  It owns:
+
+* the write-ahead log(s) -- a flat segment directory for a single index,
+  or one ``shard-NN/`` log per shard of a
+  :class:`~repro.engine.sharded.ShardedIndex`, stamped from one **global**
+  sequence so recovery's merged replay is totally ordered (the same
+  merged-ledger idea the engine uses for per-shard I/O accounting);
+* checkpointing -- atomic snapshots via the generic kind-tag dispatch,
+  recording the covered WAL sequence, retiring obsolete segments, and
+  (optionally) firing automatically every ``checkpoint_every`` applied
+  records;
+* the acknowledgement rule -- logging happens *before* the in-memory state
+  change (the update buffer calls :meth:`log_insert`/:meth:`log_update`
+  before it buffers; the driver logs before it applies).
+
+The manager satisfies the :class:`~repro.engine.buffer.UpdateLog` protocol,
+so ``UpdateBuffer(wal=manager)`` wires buffered runs for free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.durability.checkpoint import (
+    CheckpointInfo,
+    next_ordinal,
+    write_checkpoint,
+)
+from repro.durability.recovery import SHARD_DIR_PREFIX
+from repro.durability.wal import SyncPolicy, WalOp, WalStats, WriteAheadLog
+
+
+def _position(point: Optional[Sequence[float]]) -> Optional[Tuple[float, ...]]:
+    return None if point is None else tuple(point)
+
+
+class DurabilityManager:
+    """WAL + checkpoint orchestration for one index behind one directory.
+
+    Args:
+        directory: where segments and checkpoints live (created if missing).
+        sync: WAL sync policy (``always`` / ``group:N`` / ``onflush``).
+        checkpoint_every: fire an automatic checkpoint once this many data
+            records have been noted applied since the last one (0 = only
+            explicit :meth:`checkpoint` calls).
+        segment_bytes: WAL segment rotation threshold.
+        retain: older checkpoints kept as fallbacks.
+        fault: optional :class:`~repro.durability.faults.FaultInjector`
+            threaded through every WAL write/fsync and checkpoint publish.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        sync: Union[str, SyncPolicy] = "group:8",
+        checkpoint_every: int = 0,
+        segment_bytes: int = 1 << 20,
+        retain: int = 2,
+        fault=None,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_policy = SyncPolicy.parse(sync)
+        self.checkpoint_every = checkpoint_every
+        self.segment_bytes = segment_bytes
+        self.retain = retain
+        self._fault = fault
+        self._index = None
+        self._kind: Optional[str] = None
+        self._wals: Dict[int, WriteAheadLog] = {}
+        self._router = None  # SpacePartition of a sharded index
+        self._seq = 0
+        self._applied_since_checkpoint = 0
+        self.last_checkpoint: Optional[CheckpointInfo] = None
+        self.checkpoints_taken = 0
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, index, *, kind: Optional[str] = None) -> "DurabilityManager":
+        """Bind to ``index``; a sharded engine gets one log per shard."""
+        if self._wals:
+            raise RuntimeError("DurabilityManager is already attached")
+        self._index = index
+        self._kind = kind
+        if hasattr(index, "partition") and hasattr(index, "shards"):
+            self._router = index.partition
+            for sid in range(index.partition.n_shards):
+                self._wals[sid] = self._open_wal(
+                    self.directory / f"{SHARD_DIR_PREFIX}{sid:02d}"
+                )
+        else:
+            self._wals[0] = self._open_wal(self.directory)
+        # Continue the global sequence past anything already on disk.
+        self._seq = max(wal.last_seq for wal in self._wals.values())
+        return self
+
+    def _open_wal(self, directory: Path) -> WriteAheadLog:
+        return WriteAheadLog(
+            directory,
+            sync=self.sync_policy,
+            segment_bytes=self.segment_bytes,
+            fault=self._fault,
+        )
+
+    @property
+    def attached(self) -> bool:
+        return bool(self._wals)
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def _wal_for(self, point: Optional[Sequence[float]]) -> WriteAheadLog:
+        if not self._wals:
+            raise RuntimeError("DurabilityManager.attach was never called")
+        if self._router is None or point is None:
+            return next(iter(self._wals.values()))
+        return self._wals[self._router.shard_of(point)]
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- the UpdateLog surface (what the buffer and driver call) ---------
+
+    def log_insert(self, oid: int, point: Sequence[float], t: float) -> int:
+        return self._wal_for(point).append(
+            WalOp.INSERT, oid=oid, point=_position(point), t=t,
+            seq=self._next_seq(),
+        )
+
+    def log_update(
+        self,
+        oid: int,
+        old_point: Sequence[float],
+        point: Sequence[float],
+        t: float,
+    ) -> int:
+        # Routed by the *new* position: replay goes through the router,
+        # which re-derives any cross-shard move from its restored owner map.
+        return self._wal_for(point).append(
+            WalOp.UPDATE, oid=oid, point=_position(point),
+            old_point=_position(old_point), t=t, seq=self._next_seq(),
+        )
+
+    def log_delete(
+        self, oid: int, old_point: Optional[Sequence[float]], t: Optional[float]
+    ) -> int:
+        return self._wal_for(old_point).append(
+            WalOp.DELETE, oid=oid, old_point=_position(old_point), t=t,
+            seq=self._next_seq(),
+        )
+
+    def log_flush(self) -> None:
+        """Mark a buffer drain; ``onflush`` syncs commit here."""
+        for wal in self._wals.values():
+            wal.append(WalOp.FLUSH, seq=self._next_seq())
+
+    # -- checkpointing ---------------------------------------------------
+
+    def note_applied(self, n: int) -> None:
+        """Tell the manager ``n`` logged records reached the index."""
+        self._applied_since_checkpoint += n
+
+    def maybe_checkpoint(self) -> Optional[CheckpointInfo]:
+        """Checkpoint if the automatic threshold has been crossed.
+
+        The driver calls this only at quiescent points (no buffered-but-
+        unapplied records), which is what makes ``covered_seq = last_seq``
+        truthful.
+        """
+        if (
+            self.checkpoint_every
+            and self._applied_since_checkpoint >= self.checkpoint_every
+        ):
+            return self.checkpoint()
+        return None
+
+    def checkpoint(self) -> CheckpointInfo:
+        """Atomically snapshot the index, then retire covered segments."""
+        if self._index is None:
+            raise RuntimeError("DurabilityManager.attach was never called")
+        covered = self._seq
+        info = write_checkpoint(
+            self._index,
+            self.directory,
+            covered_seq=covered,
+            ordinal=next_ordinal(self.directory),
+            kind=self._kind,
+            retain=self.retain,
+            fault=self._fault,
+        )
+        # The marker makes the checkpoint visible in the log itself; the
+        # truncation pass then drops every segment the snapshot covers.
+        for wal in self._wals.values():
+            wal.append(WalOp.CHECKPOINT, seq=self._next_seq())
+            wal.sync()
+            wal.truncate_covered(covered)
+        self.last_checkpoint = info
+        self.checkpoints_taken += 1
+        self._applied_since_checkpoint = 0
+        return info
+
+    # -- telemetry / lifecycle -------------------------------------------
+
+    @property
+    def stats(self) -> WalStats:
+        merged = WalStats()
+        for wal in self._wals.values():
+            merged = merged.merge(wal.stats)
+        return merged
+
+    def metrics_dict(self) -> Dict[str, object]:
+        return {
+            "directory": str(self.directory),
+            "sync_policy": self.sync_policy.spec(),
+            "checkpoint_every": self.checkpoint_every,
+            "last_seq": self._seq,
+            "checkpoints_taken": self.checkpoints_taken,
+            "covered_seq": (
+                self.last_checkpoint.covered_seq if self.last_checkpoint else 0
+            ),
+            "wal": self.stats.to_dict(),
+            "shards": (
+                None if self._router is None else self._router.n_shards
+            ),
+        }
+
+    def close(self) -> None:
+        for wal in self._wals.values():
+            wal.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurabilityManager(dir={str(self.directory)!r}, "
+            f"sync={self.sync_policy.spec()!r}, last_seq={self._seq}, "
+            f"checkpoints={self.checkpoints_taken})"
+        )

@@ -16,7 +16,13 @@ formalizes how they compose:
 * :mod:`repro.engine.results` -- :class:`RunResult` and per-shard merging.
 """
 
-from repro.engine.buffer import FlushPolicy, FlushStats, PendingUpdate, UpdateBuffer
+from repro.engine.buffer import (
+    FlushPolicy,
+    FlushStats,
+    PendingUpdate,
+    UpdateBuffer,
+    UpdateLog,
+)
 from repro.engine.protocol import (
     Introspectable,
     LinearIndex,
@@ -51,6 +57,7 @@ __all__ = [
     "FlushStats",
     "PendingUpdate",
     "UpdateBuffer",
+    "UpdateLog",
     "Introspectable",
     "LinearIndex",
     "PageStore",

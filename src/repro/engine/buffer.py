@@ -27,10 +27,32 @@ the incoming timestamp).  Either alone or both together.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.geometry import Point
 from repro.engine.protocol import SpatialIndex, position_of
+
+
+@runtime_checkable
+class UpdateLog(Protocol):
+    """What the buffer needs from a write-ahead log.
+
+    Satisfied by :class:`repro.durability.manager.DurabilityManager` (the
+    protocol lives here so the engine layer never imports durability --
+    dependency points outward, durability -> engine).
+    """
+
+    def log_insert(self, oid: int, point: Sequence[float], t: float) -> int: ...
+
+    def log_update(
+        self,
+        oid: int,
+        old_point: Sequence[float],
+        point: Sequence[float],
+        t: float,
+    ) -> int: ...
+
+    def log_flush(self) -> None: ...
 
 
 @dataclass(frozen=True)
@@ -115,10 +137,26 @@ class FlushStats:
 
 
 class UpdateBuffer:
-    """Coalescing memtable for location updates against one index."""
+    """Coalescing memtable for location updates against one index.
 
-    def __init__(self, policy: Optional[FlushPolicy] = None) -> None:
+    Args:
+        policy: when to drain (size and/or time-horizon triggers).
+        wal: optional write-ahead log.  When set, every update is logged
+            **before** it is buffered -- the acknowledgement a caller gets
+            from :meth:`put` then implies the update survives a crash (per
+            the log's sync policy), even though the index has not applied
+            it yet.  Coalescing does not thin the log: each superseded
+            update was individually acknowledged, so each is individually
+            recoverable.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[FlushPolicy] = None,
+        wal: Optional[UpdateLog] = None,
+    ) -> None:
         self.policy = policy if policy is not None else FlushPolicy()
+        self.wal = wal
         self._pending: Dict[int, PendingUpdate] = {}
         self._seq = 0
         self.stats = FlushStats()
@@ -145,10 +183,19 @@ class UpdateBuffer:
     ) -> None:
         """Buffer a location update; supersedes any pending one for ``oid``.
 
-        ``old_point`` is the position currently applied in the index (None if
-        the object is not indexed yet); callers pass their own ledger's view,
-        which is exact because anything pending here was never applied.
+        ``old_point`` is the position the caller's ledger holds -- the last
+        *acknowledged* position, which on replay is exactly the state the
+        log reproduces record by record (so logging the caller's view keeps
+        the traditional R-tree's delete-by-old-point correct during both
+        coalesced apply and replay).
         """
+        if self.wal is not None:
+            # Log before acknowledging; a crash after this line loses
+            # nothing that put() promised.
+            if old_point is None:
+                self.wal.log_insert(oid, point, t)
+            else:
+                self.wal.log_update(oid, old_point, point, t)
         self.stats.buffered += 1
         self._seq += 1
         existing = self._pending.get(oid)
@@ -177,18 +224,31 @@ class UpdateBuffer:
         index (the CT-R-tree's adaptation clock) observes the same monotone
         ``now`` sequence an unbatched run would; ties preserve arrival order.
         Returns the number of index operations performed.
+
+        Exception safety: each pending entry is removed only after *its*
+        apply succeeds.  If the index raises mid-batch, the failed and
+        still-unapplied updates stay pending -- a retry (or a WAL replay
+        after a crash) sees them again instead of silently losing them.
         """
         if not self._pending:
             return 0
         batch: List[PendingUpdate] = sorted(
             self._pending.values(), key=lambda u: (u.t, u.seq)
         )
-        self._pending = {}
-        for update in batch:
-            if update.old_point is None:
-                index.insert(update.oid, update.point, now=update.t)
-            else:
-                index.update(update.oid, update.old_point, update.point, now=update.t)
-        self.stats.applied += len(batch)
+        applied = 0
+        try:
+            for update in batch:
+                if update.old_point is None:
+                    index.insert(update.oid, update.point, now=update.t)
+                else:
+                    index.update(
+                        update.oid, update.old_point, update.point, now=update.t
+                    )
+                del self._pending[update.oid]
+                applied += 1
+        finally:
+            self.stats.applied += applied
         self.stats.flushes += 1
-        return len(batch)
+        if self.wal is not None:
+            self.wal.log_flush()
+        return applied

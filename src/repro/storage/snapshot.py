@@ -23,6 +23,7 @@ to exchange.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
@@ -520,8 +521,13 @@ def index_kind_of(index) -> str:
     raise SnapshotError(f"cannot snapshot index type {type(index).__name__}")
 
 
-def save_index(index, path: Union[str, Path], *, kind: Optional[str] = None) -> Path:
-    """Snapshot any supported index; dispatches on its ``kind`` tag."""
+def build_document(index, *, kind: Optional[str] = None) -> Dict:
+    """The snapshot document for ``index`` as plain data (not yet written).
+
+    The durability layer's checkpoints embed this document inside their own
+    envelope (WAL position, ordinal) instead of writing a bare snapshot
+    file; both paths share one builder table.
+    """
     tag = kind if kind is not None else index_kind_of(index)
     builder = _DOCUMENT_BUILDERS.get(tag)
     if builder is None:
@@ -529,16 +535,17 @@ def save_index(index, path: Union[str, Path], *, kind: Optional[str] = None) -> 
             f"no snapshot support for kind {tag!r}; "
             f"known: {sorted(_DOCUMENT_BUILDERS)}"
         )
-    return _write_document(builder(index), path)
+    return builder(index)
 
 
-def load_index(path: Union[str, Path]):
-    """Load any snapshot; dispatches on the document's ``kind`` tag.
-
-    Documents written before the kind tag existed are dispatched by their
-    ``structure`` string, so old snapshots keep loading.
-    """
-    document = _read_any_document(path)
+def load_document(document: Dict):
+    """Materialize an index from a snapshot document (inverse of
+    :func:`build_document`); dispatches on the ``kind`` tag with the same
+    pre-tag fallback as :func:`load_index`."""
+    if not isinstance(document, dict):
+        raise SnapshotError(
+            f"snapshot document must be an object, got {type(document).__name__}"
+        )
     tag = document.get("kind") or _STRUCTURE_TO_KIND.get(document.get("structure", ""))
     loader = _DOCUMENT_LOADERS.get(tag or "")
     if loader is None:
@@ -549,21 +556,52 @@ def load_index(path: Union[str, Path]):
     return loader(document)
 
 
+def save_index(index, path: Union[str, Path], *, kind: Optional[str] = None) -> Path:
+    """Snapshot any supported index; dispatches on its ``kind`` tag."""
+    return _write_document(build_document(index, kind=kind), path)
+
+
+def load_index(path: Union[str, Path]):
+    """Load any snapshot; dispatches on the document's ``kind`` tag.
+
+    Documents written before the kind tag existed are dispatched by their
+    ``structure`` string, so old snapshots keep loading.
+    """
+    return load_document(_read_any_document(path))
+
+
 # -- document I/O --------------------------------------------------------------
 
 
 def _write_document(document: Dict, path: Union[str, Path]) -> Path:
+    """Write atomically: tmp file, flush + fsync, then ``os.replace``.
+
+    A crash at any instant leaves either the previous file intact or the
+    new one fully published -- never a truncated snapshot.  A stale
+    ``*.tmp`` from an earlier crash is simply overwritten.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document), encoding="utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(document))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
     return path
 
 
 def _read_any_document(path: Union[str, Path]) -> Dict:
     try:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        # Truncated writes, torn tails and bit rot all surface here; give
+        # callers one distinct error to catch instead of raw decode errors.
         raise SnapshotError(f"not a snapshot file: {exc}") from exc
+    if not isinstance(document, dict):
+        raise SnapshotError(
+            f"snapshot document must be an object, got {type(document).__name__}"
+        )
     if document.get("version") != FORMAT_VERSION:
         raise SnapshotError(f"unsupported snapshot version {document.get('version')!r}")
     return document

@@ -12,6 +12,14 @@ switches the driver to batched execution: updates are coalesced in memory
 and group-applied per flush, with a mandatory flush before every query so
 query results are identical to an unbatched run.
 
+Passing a :class:`~repro.durability.DurabilityManager` makes the replay
+crash-safe: every update is written to the manager's WAL *before* it is
+applied (or buffered), a baseline checkpoint is taken after :meth:`load`,
+and further checkpoints fire automatically at the manager's
+``checkpoint_every`` cadence -- always at quiescent points (no
+buffered-but-unapplied records), so a checkpoint's covered WAL position is
+truthful.
+
 ``IndexKind``, ``make_index`` and ``RunResult`` moved to :mod:`repro.engine`
 (the registry owns construction now); they are re-exported here unchanged
 for backward compatibility.
@@ -53,6 +61,7 @@ class SimulationDriver:
         kind: str = "index",
         metrics: Optional[MetricsRegistry] = None,
         update_buffer: Optional[UpdateBuffer] = None,
+        durability=None,
     ) -> None:
         self.index = index
         self.pager = pager
@@ -63,6 +72,18 @@ class SimulationDriver:
         #: Batched execution: when set, updates buffer + coalesce here and
         #: group-apply on flush (size/time policy, and always before a query).
         self.update_buffer = update_buffer
+        #: Durability: a :class:`~repro.durability.DurabilityManager`; the
+        #: driver attaches it to the index (per-shard WALs for a sharded
+        #: engine) and hands it to the buffer so logging precedes
+        #: acknowledgement on both execution paths.
+        self.durability = durability
+        if durability is not None:
+            if not durability.attached:
+                # The snapshot layer derives the kind tag from the instance
+                # (index_kind_of), so no kind needs to be plumbed here.
+                durability.attach(index)
+            if update_buffer is not None and update_buffer.wal is None:
+                update_buffer.wal = durability
         #: Last known position per object (the baselines' update() needs the
         #: old point; the driver is the "server" that knows it).
         self.positions: Dict[int, Point] = {}
@@ -82,6 +103,10 @@ class SimulationDriver:
             for oid, point in positions.items():
                 self.index.insert(oid, point, now=now)
                 self.positions[oid] = tuple(point)
+        # The bulk is not logged record-by-record; a baseline checkpoint
+        # makes it durable wholesale, so recovery always has a floor state.
+        if self.durability is not None:
+            self.durability.checkpoint()
 
     def adopt(self, positions: Mapping[int, Point]) -> None:
         """Register positions already loaded (e.g. by the CT builder)."""
@@ -104,6 +129,7 @@ class SimulationDriver:
         metrics = self.metrics
         obs_on = metrics.enabled
         buffer = self.update_buffer
+        durability = self.durability
         buffer_stats_before = buffer.stats.copy() if buffer is not None else None
         # Live (mutable) counters: per-event deltas without per-event copies.
         update_live = stats.live(IOCategory.UPDATE)
@@ -127,13 +153,31 @@ class SimulationDriver:
                 with stats.category(IOCategory.UPDATE):
                     old = self.positions.get(record.oid)
                     if buffer is not None:
+                        # put() writes the WAL record itself (before it
+                        # acknowledges) when the buffer carries a log.
                         buffer.put(record.oid, old, record.point, t)
                         if buffer.should_flush(t):
-                            buffer.flush(self.index)
-                    elif old is None:
-                        self.index.insert(record.oid, record.point, now=t)
+                            applied = buffer.flush(self.index)
+                            if durability is not None:
+                                durability.note_applied(applied)
                     else:
-                        self.index.update(record.oid, old, record.point, now=t)
+                        if durability is not None:
+                            if old is None:
+                                durability.log_insert(record.oid, record.point, t)
+                            else:
+                                durability.log_update(
+                                    record.oid, old, record.point, t
+                                )
+                        if old is None:
+                            self.index.insert(record.oid, record.point, now=t)
+                        else:
+                            self.index.update(record.oid, old, record.point, now=t)
+                        if durability is not None:
+                            durability.note_applied(1)
+                # Checkpoints fire only at quiescent points: nothing is
+                # pending here unless the buffer chose not to flush yet.
+                if durability is not None and (buffer is None or not len(buffer)):
+                    durability.maybe_checkpoint()
                 # Normalize exactly like load(): positions must compare equal
                 # across both ingestion paths (a list-vs-tuple mismatch would
                 # make the baselines' delete-by-old-point miss).
@@ -154,7 +198,10 @@ class SimulationDriver:
                 # update I/O -- it is deferred update work) before serving.
                 if buffer is not None and len(buffer):
                     with stats.category(IOCategory.UPDATE):
-                        buffer.flush(self.index)
+                        applied = buffer.flush(self.index)
+                    if durability is not None:
+                        durability.note_applied(applied)
+                        durability.maybe_checkpoint()
                 if obs_on:
                     io_before = query_live.total
                 with stats.category(IOCategory.QUERY):
@@ -173,7 +220,10 @@ class SimulationDriver:
         # any snapshot taken of it) reflects every consumed update.
         if buffer is not None and len(buffer):
             with stats.category(IOCategory.UPDATE):
-                buffer.flush(self.index)
+                applied = buffer.flush(self.index)
+            if durability is not None:
+                durability.note_applied(applied)
+                durability.maybe_checkpoint()
 
         result.wall_clock_s = perf_counter() - run_t0
         result.update_io = update_live.copy() - update_before

@@ -1,0 +1,132 @@
+"""Tests for atomic checkpoints: publish, retention, fallback, cleanup."""
+
+import json
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.durability import (
+    CheckpointInfo,
+    FaultInjector,
+    InjectedCrash,
+    clean_stale_tmp,
+    list_checkpoints,
+    load_latest_checkpoint,
+    next_ordinal,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.engine import IndexKind, ShardedIndex, make_index
+from repro.storage.pager import Pager
+from repro.storage.snapshot import SnapshotError
+from tests.conftest import brute_force_range, random_points
+
+DOMAIN = Rect((0.0, 0.0), (100.0, 100.0))
+
+
+def built_index(rng, n=12, kind=IndexKind.LAZY):
+    if kind == "sharded":
+        index = ShardedIndex(IndexKind.LAZY, DOMAIN, 4)
+    else:
+        index = make_index(kind, Pager(), DOMAIN)
+    positions = random_points(rng, n)
+    for oid, point in positions.items():
+        index.insert(oid, point, now=0.0)
+    return index, positions
+
+
+class TestWriteAndRead:
+    def test_round_trip_preserves_queries(self, rng, tmp_path):
+        index, positions = built_index(rng)
+        info = write_checkpoint(index, tmp_path, covered_seq=17)
+        assert (info.ordinal, info.covered_seq, info.kind) == (1, 17, "lazy")
+        loaded, read_info = read_checkpoint(info.path)
+        assert read_info == info
+        rect = Rect((10.0, 10.0), (80.0, 80.0))
+        got = sorted(oid for oid, _ in loaded.range_search(rect))
+        assert got == brute_force_range(positions, rect)
+
+    def test_sharded_round_trip(self, rng, tmp_path):
+        index, positions = built_index(rng, kind="sharded")
+        info = write_checkpoint(index, tmp_path, covered_seq=3)
+        assert info.kind == "sharded"
+        loaded, _ = load_latest_checkpoint(tmp_path)
+        rect = Rect((0.0, 0.0), (60.0, 60.0))
+        got = sorted(oid for oid, _ in loaded.range_search(rect))
+        assert got == brute_force_range(positions, rect)
+
+    def test_ordinals_increment(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        assert next_ordinal(tmp_path) == 1
+        write_checkpoint(index, tmp_path, covered_seq=1, retain=10)
+        write_checkpoint(index, tmp_path, covered_seq=2, retain=10)
+        assert next_ordinal(tmp_path) == 3
+        assert [n for n, _ in list_checkpoints(tmp_path)] == [1, 2]
+
+    def test_no_tmp_leftover_after_publish(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        write_checkpoint(index, tmp_path, covered_seq=1)
+        assert not any(p.name.endswith(".tmp") for p in tmp_path.iterdir())
+
+
+class TestRetention:
+    def test_keeps_newest_plus_fallbacks(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        for seq in range(1, 7):
+            write_checkpoint(index, tmp_path, covered_seq=seq, retain=2)
+        # Newest (6) plus two fallbacks (4, 5).
+        assert [n for n, _ in list_checkpoints(tmp_path)] == [4, 5, 6]
+
+    def test_retain_zero_keeps_only_newest(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        for seq in range(1, 4):
+            write_checkpoint(index, tmp_path, covered_seq=seq, retain=0)
+        assert [n for n, _ in list_checkpoints(tmp_path)] == [3]
+
+
+class TestDamageFallback:
+    def test_crash_before_replace_preserves_previous(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        good = write_checkpoint(index, tmp_path, covered_seq=5)
+        fault = FaultInjector(crash_on_checkpoint_replace=True)
+        with pytest.raises(InjectedCrash):
+            write_checkpoint(index, tmp_path, covered_seq=9, fault=fault)
+        assert any(p.name.endswith(".tmp") for p in tmp_path.iterdir())
+        _, info = load_latest_checkpoint(tmp_path)
+        assert info.ordinal == good.ordinal
+        assert info.covered_seq == 5
+        assert clean_stale_tmp(tmp_path) == 1
+
+    def test_damaged_newest_falls_back_to_older(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        write_checkpoint(index, tmp_path, covered_seq=5, retain=5)
+        bad = write_checkpoint(index, tmp_path, covered_seq=9, retain=5)
+        # Truncate the newest file mid-JSON (a pre-atomic-writer tear).
+        data = bad.path.read_bytes()
+        bad.path.write_bytes(data[: len(data) // 2])
+        loaded, info = load_latest_checkpoint(tmp_path)
+        assert info.ordinal == 1
+        assert info.covered_seq == 5
+
+    def test_read_rejects_garbage(self, rng, tmp_path):
+        path = tmp_path / "checkpoint-00000001.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            read_checkpoint(path)
+        path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            read_checkpoint(path)
+        path.write_text(
+            json.dumps({"version": 99, "ordinal": 1, "covered_seq": 0}),
+            encoding="utf-8",
+        )
+        with pytest.raises(SnapshotError):
+            read_checkpoint(path)
+
+    def test_empty_directory_has_no_checkpoint(self, tmp_path):
+        assert load_latest_checkpoint(tmp_path) is None
+        assert list_checkpoints(tmp_path / "missing") == []
+
+    def test_info_is_metadata_only(self):
+        fields = set(CheckpointInfo.__dataclass_fields__)
+        assert fields == {"path", "ordinal", "covered_seq", "kind"}

@@ -147,6 +147,70 @@ class TestCompare:
             assert stats["size"] == sum(stats["shard_sizes"])
 
 
+class TestDurabilityCli:
+    def test_compare_with_wal_dir_reports_durability(
+        self, trace_file, tmp_path, capsys
+    ):
+        import json
+
+        wal_dir = tmp_path / "wal"
+        out = tmp_path / "m.json"
+        code = main([
+            "compare", str(trace_file), "--history", "30", "--ratio", "20",
+            "--wal-dir", str(wal_dir), "--sync-policy", "group:4",
+            "--checkpoint-every", "50", "--metrics-out", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "durability: WAL under" in printed
+        payload = json.loads(out.read_text())
+        assert payload["sync_policy"] == "group:4"
+        assert payload["checkpoint_every"] == 50
+        for kind in ("rtree", "lazy", "alpha", "ct"):
+            durability = payload["indexes"][kind]["durability"]
+            assert durability["wal"]["appends"] > 0
+            assert durability["wal"]["fsyncs"] > 0
+            # Each kind logs into its own subdirectory and the run closes
+            # with a checkpoint (plus the post-load baseline).
+            assert durability["checkpoints_taken"] >= 2
+            assert (wal_dir / kind).is_dir()
+
+    def test_recover_round_trips_a_crashed_compare(
+        self, trace_file, tmp_path, capsys
+    ):
+        wal_dir = tmp_path / "wal"
+        code = main([
+            "compare", str(trace_file), "--history", "30", "--ratio", "20",
+            "--wal-dir", str(wal_dir), "--sync-policy", "always",
+        ])
+        assert code == 0
+        capsys.readouterr()
+        # Damage the lazy kind's log the way a crash would, then recover.
+        from repro.durability import tear_tail
+
+        tear_tail(wal_dir / "lazy", nbytes=3)
+        snapshot = tmp_path / "recovered.json"
+        code = main([
+            "recover", str(wal_dir / "lazy"), "--save", str(snapshot),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint:" in out
+        assert "replayed:" in out
+        assert "objects:" in out
+        assert snapshot.exists()
+        from repro.storage.snapshot import load_index
+
+        assert len(load_index(snapshot)) > 0
+
+    def test_recover_without_state_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        code = main(["recover", str(empty)])
+        assert code == 1
+        assert "recovery failed" in capsys.readouterr().err
+
+
 class TestBuildMetrics:
     def test_build_metrics_out(self, trace_file, tmp_path, capsys):
         import json

@@ -239,6 +239,84 @@ class TestUpdateBuffer:
         assert buffer.stats.applied == 3
         assert buffer.stats.to_dict()["buffered"] == 3
 
+    def test_flush_keeps_unapplied_updates_on_failure(self):
+        # Regression: flush used to clear the whole batch up front, so an
+        # index raising mid-batch silently lost the failed + remaining
+        # updates.  Now each entry leaves the buffer only after *its* apply.
+        class _ExplodingIndex(_RecordingIndex):
+            def update(self, oid, old, new, now=None):
+                if oid == 2:
+                    raise RuntimeError("page fault")
+                return super().update(oid, old, new, now=now)
+
+        buffer = UpdateBuffer(FlushPolicy(batch_size=100))
+        index = _ExplodingIndex()
+        for oid in (1, 2, 3):
+            buffer.put(oid, (0.0, 0.0), (float(oid), 0.0), t=float(oid))
+        with pytest.raises(RuntimeError):
+            buffer.flush(index)
+        # oid 1 applied; 2 (failed) and 3 (never reached) are still pending.
+        assert buffer.stats.applied == 1
+        assert buffer.pending_for(1) is None
+        assert buffer.pending_for(2) is not None
+        assert buffer.pending_for(3) is not None
+        # A retry against a healed index drains the rest exactly once.
+        applied = buffer.flush(_RecordingIndex())
+        assert applied == 2
+        assert len(buffer) == 0
+
+
+class _RecordingLog:
+    """An UpdateLog double that records the acknowledgement order."""
+
+    def __init__(self):
+        self.events = []
+        self._seq = 0
+
+    def log_insert(self, oid, point, t):
+        self._seq += 1
+        self.events.append(("ins", oid, tuple(point), t))
+        return self._seq
+
+    def log_update(self, oid, old_point, point, t):
+        self._seq += 1
+        self.events.append(("upd", oid, tuple(point), t))
+        return self._seq
+
+    def log_flush(self):
+        self.events.append(("flush",))
+
+
+class TestBufferWal:
+    def test_put_logs_before_buffering(self):
+        from repro.engine import UpdateLog
+
+        log = _RecordingLog()
+        assert isinstance(log, UpdateLog)
+        buffer = UpdateBuffer(FlushPolicy(batch_size=100), wal=log)
+        buffer.put(1, None, (1.0, 1.0), t=0.0)
+        buffer.put(1, (1.0, 1.0), (2.0, 2.0), t=1.0)
+        # Coalescing thins the buffer but never the log: both updates were
+        # individually acknowledged, so both are individually recoverable.
+        assert len(buffer) == 1
+        assert [e[0] for e in log.events] == ["ins", "upd"]
+        buffer.flush(_RecordingIndex())
+        assert log.events[-1] == ("flush",)
+
+    def test_crashing_log_rejects_the_update(self):
+        class _CrashingLog(_RecordingLog):
+            def log_update(self, oid, old_point, point, t):
+                raise RuntimeError("disk gone")
+
+        buffer = UpdateBuffer(FlushPolicy(batch_size=100), wal=_CrashingLog())
+        buffer.put(1, None, (1.0, 1.0), t=0.0)
+        with pytest.raises(RuntimeError):
+            buffer.put(1, (1.0, 1.0), (2.0, 2.0), t=1.0)
+        # The failed update was never acknowledged, so it must not pend:
+        # the buffer still holds the last *logged* state.
+        assert buffer.pending_for(1).point == (1.0, 1.0)
+        assert buffer.stats.buffered == 1
+
 
 class TestMergeResults:
     def test_counters_and_io_sum(self):

@@ -1,0 +1,125 @@
+"""Snapshot durability under the fault harness (satellite of the WAL work).
+
+Covers the failure modes the atomic snapshot writer and the checkpoint
+fallback chain exist for: torn files, stale ``*.tmp`` leftovers, and a
+checkpoint whose covered WAL position disagrees with the log on disk.
+"""
+
+import json
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.durability import (
+    DurabilityManager,
+    clean_stale_tmp,
+    recover,
+    write_checkpoint,
+)
+from repro.engine import IndexKind, make_index
+from repro.storage.pager import Pager
+from repro.storage.snapshot import SnapshotError, load_index, save_index
+from tests.conftest import brute_force_range, random_points
+
+DOMAIN = Rect((0.0, 0.0), (100.0, 100.0))
+
+
+def built_index(rng, n=10):
+    index = make_index(IndexKind.LAZY, Pager(), DOMAIN)
+    positions = random_points(rng, n)
+    for oid, point in positions.items():
+        index.insert(oid, point, now=0.0)
+    return index, positions
+
+
+class TestAtomicSnapshotWrites:
+    def test_save_leaves_no_tmp(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        path = tmp_path / "snap.json"
+        save_index(index, path)
+        assert path.exists()
+        assert not (tmp_path / "snap.json.tmp").exists()
+
+    def test_overwrite_is_all_or_nothing(self, rng, tmp_path):
+        # A stale tmp from a (simulated) earlier crash must not poison a
+        # later save: the writer replaces it and publishes atomically.
+        index, positions = built_index(rng)
+        path = tmp_path / "snap.json"
+        save_index(index, path)
+        (tmp_path / "snap.json.tmp").write_text("{ torn garb", encoding="utf-8")
+        save_index(index, path)
+        loaded = load_index(path)
+        rect = Rect((0.0, 0.0), (70.0, 70.0))
+        got = sorted(oid for oid, _ in loaded.range_search(rect))
+        assert got == brute_force_range(positions, rect)
+
+    def test_torn_snapshot_raises_snapshot_error(self, rng, tmp_path):
+        index, _ = built_index(rng)
+        path = tmp_path / "snap.json"
+        save_index(index, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])  # partial read / torn write
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_binary_junk_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(b"\x80\x81\x82\xff garbage")
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+    def test_non_object_document_raises(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(["not", "a", "snapshot"]), encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            load_index(path)
+
+
+class TestCheckpointWalMismatch:
+    def _durable_run(self, rng, directory, n_updates=12):
+        index, positions = built_index(rng)
+        manager = DurabilityManager(directory, sync="always")
+        manager.attach(index)
+        manager.checkpoint()
+        ledger = dict(positions)
+        for i in range(n_updates):
+            oid = i % len(positions)
+            new = (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0))
+            manager.log_update(oid, ledger[oid], new, float(i + 1))
+            index.update(oid, ledger[oid], new, now=float(i + 1))
+            ledger[oid] = new
+        return index, ledger, manager
+
+    def test_checkpoint_ahead_of_wal_replays_nothing(self, rng, tmp_path):
+        # The checkpoint claims to cover *more* than the log holds (its
+        # truncation pass ran, the successor checkpoint file was lost).
+        # Everything on disk is covered: replay must be empty, not wrong.
+        index, ledger, manager = self._durable_run(rng, tmp_path)
+        write_checkpoint(index, tmp_path, covered_seq=manager.last_seq + 100)
+        recovered, report = recover(tmp_path)
+        assert report.records_replayed == 0
+        rect = Rect((0.0, 0.0), (100.0, 100.0))
+        got = sorted(oid for oid, _ in recovered.range_search(rect))
+        assert got == brute_force_range(ledger, rect)
+
+    def test_wal_ahead_of_checkpoint_replays_the_gap(self, rng, tmp_path):
+        # The opposite skew: the newest checkpoint is older than the log
+        # (its covered_seq trails); recovery replays exactly the tail.
+        _, ledger, _ = self._durable_run(rng, tmp_path, n_updates=12)
+        # The only checkpoint is the baseline (covered_seq 0); the log
+        # holds 1 marker + 12 updates past it.
+        recovered, report = recover(tmp_path)
+        assert report.checkpoint_seq == 0
+        assert report.records_replayed == 12
+        rect = Rect((0.0, 0.0), (100.0, 100.0))
+        got = sorted(oid for oid, _ in recovered.range_search(rect))
+        assert got == brute_force_range(ledger, rect)
+
+    def test_stale_tmp_is_removed_by_repair(self, rng, tmp_path):
+        self._durable_run(rng, tmp_path)
+        stale = tmp_path / "checkpoint-00000099.json.tmp"
+        stale.write_text("{ half-written", encoding="utf-8")
+        _, report = recover(tmp_path)
+        assert report.tmp_files_removed == 1
+        assert not stale.exists()
+        assert clean_stale_tmp(tmp_path) == 0  # nothing left behind

@@ -1,0 +1,233 @@
+"""Tests for the write-ahead log: framing, sync policies, rotation, scans."""
+
+import os
+import zlib
+
+import pytest
+
+from repro.durability import (
+    FaultInjector,
+    InjectedCrash,
+    SyncPolicy,
+    WalOp,
+    WalRecord,
+    WriteAheadLog,
+    corrupt_record,
+    drop_segment,
+    list_segments,
+    scan_directory,
+    scan_segment,
+    tear_tail,
+)
+from repro.durability.wal import _HEADER, segment_path
+
+
+class TestRecordFraming:
+    def test_payload_round_trip(self):
+        record = WalRecord(
+            op=WalOp.UPDATE, seq=42, t=3.5, oid=7,
+            point=(1.25, 2.5), old_point=(0.5, 0.75),
+        )
+        assert WalRecord.from_payload(record.to_payload()) == record
+
+    def test_markers_omit_optional_fields(self):
+        record = WalRecord(op=WalOp.FLUSH, seq=3)
+        decoded = WalRecord.from_payload(record.to_payload())
+        assert decoded.oid is None
+        assert decoded.point is None
+        assert decoded.t is None
+
+    def test_frame_is_length_prefixed_and_crc_checked(self):
+        record = WalRecord(op=WalOp.INSERT, seq=1, oid=1, point=(1.0, 2.0), t=0.0)
+        frame = record.to_frame()
+        length, crc = _HEADER.unpack_from(frame, 0)
+        payload = frame[_HEADER.size:]
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload)
+
+    def test_undecodable_payload_raises(self):
+        from repro.durability.wal import WalError
+
+        with pytest.raises(WalError):
+            WalRecord.from_payload(b"not json at all")
+
+
+class TestSyncPolicy:
+    def test_parse_forms(self):
+        assert SyncPolicy.parse("always").mode == SyncPolicy.ALWAYS
+        assert SyncPolicy.parse("onflush").mode == SyncPolicy.ON_FLUSH
+        group = SyncPolicy.parse("group:16")
+        assert (group.mode, group.every) == (SyncPolicy.GROUP, 16)
+        assert SyncPolicy.parse("group").every == 8
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SyncPolicy.parse("sometimes")
+        with pytest.raises(ValueError):
+            SyncPolicy(mode="group", every=0)
+
+    def test_spec_round_trips(self):
+        for spec in ("always", "group:4", "onflush"):
+            assert SyncPolicy.parse(spec).spec() == spec
+
+    def test_always_fsyncs_every_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync="always")
+        for i in range(5):
+            wal.append(WalOp.INSERT, oid=i, point=(0.0, 0.0), t=float(i))
+        assert wal.stats.fsyncs == 5
+        wal.close()
+
+    def test_group_commit_amortizes_fsyncs(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync="group:4")
+        for i in range(8):
+            wal.append(WalOp.INSERT, oid=i, point=(0.0, 0.0), t=float(i))
+        assert wal.stats.fsyncs == 2
+        wal.append(WalOp.INSERT, oid=9, point=(0.0, 0.0), t=9.0)
+        wal.close()  # close drains the partial group
+        assert wal.stats.fsyncs == 3
+
+    def test_onflush_syncs_only_at_markers(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync="onflush")
+        for i in range(6):
+            wal.append(WalOp.INSERT, oid=i, point=(0.0, 0.0), t=float(i))
+        assert wal.stats.fsyncs == 0
+        wal.append(WalOp.FLUSH)
+        assert wal.stats.fsyncs == 1
+        wal.close()
+
+
+class TestWriteAheadLog:
+    def test_appends_assign_monotone_seqs(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            seqs = [
+                wal.append(WalOp.INSERT, oid=i, point=(0.0, 0.0), t=0.0)
+                for i in range(5)
+            ]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_scan_returns_records_in_order(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            for i in range(4):
+                wal.append(WalOp.UPDATE, oid=i, point=(float(i), 0.0),
+                           old_point=(0.0, 0.0), t=float(i))
+        scan = scan_directory(tmp_path)
+        assert [r.seq for r in scan.records] == [1, 2, 3, 4]
+        assert [r.oid for r in scan.records] == [0, 1, 2, 3]
+        assert not scan.torn_tail and scan.corrupt_segments == 0
+
+    def test_rotation_splits_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_bytes=128)
+        for i in range(20):
+            wal.append(WalOp.INSERT, oid=i, point=(1.0, 2.0), t=float(i))
+        wal.close()
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        assert wal.stats.rotations == len(segments) - 1
+        # All records survive across segment boundaries, in order.
+        scan = scan_directory(tmp_path)
+        assert [r.seq for r in scan.records] == list(range(1, 21))
+
+    def test_reopen_starts_fresh_segment_and_continues_seq(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(WalOp.INSERT, oid=1, point=(0.0, 0.0), t=0.0)
+            first_segment = wal.segment
+        with WriteAheadLog(tmp_path) as wal2:
+            assert wal2.segment == first_segment + 1
+            assert wal2.append(WalOp.INSERT, oid=2, point=(0.0, 0.0), t=1.0) == 2
+
+    def test_append_after_close_raises(self, tmp_path):
+        from repro.durability.wal import WalError
+
+        wal = WriteAheadLog(tmp_path)
+        wal.close()
+        with pytest.raises(WalError):
+            wal.append(WalOp.FLUSH)
+
+    def test_truncate_covered_drops_only_closed_covered_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_bytes=128, sync="always")
+        for i in range(20):
+            wal.append(WalOp.INSERT, oid=i, point=(1.0, 2.0), t=float(i))
+        segments_before = len(list_segments(tmp_path))
+        assert segments_before > 2
+        removed = wal.truncate_covered(10)
+        assert removed >= 1
+        # Every surviving record past seq 10 is still there.
+        scan = scan_directory(tmp_path)
+        assert [r.seq for r in scan.records if r.seq > 10] == list(range(11, 21))
+        wal.close()
+
+    def test_stats_count_bytes_and_appends(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(WalOp.INSERT, oid=1, point=(0.0, 0.0), t=0.0)
+            wal.append(WalOp.FLUSH)
+        assert wal.stats.appends == 2
+        total = sum(p.stat().st_size for _, p in list_segments(tmp_path))
+        assert wal.stats.bytes_written == total
+
+
+class TestDamageScans:
+    def _filled(self, tmp_path, n=6):
+        with WriteAheadLog(tmp_path, sync="always") as wal:
+            for i in range(n):
+                wal.append(WalOp.INSERT, oid=i, point=(1.0, 2.0), t=float(i))
+        return tmp_path
+
+    def test_torn_tail_detected_and_prefix_kept(self, tmp_path):
+        directory = self._filled(tmp_path)
+        tear_tail(directory, nbytes=5)
+        scan = scan_directory(directory)
+        assert scan.torn_tail
+        assert [r.seq for r in scan.records] == [1, 2, 3, 4, 5]
+
+    def test_corrupt_crc_stops_the_segment(self, tmp_path):
+        directory = self._filled(tmp_path)
+        corrupt_record(directory, 3)
+        scan = scan_directory(directory)
+        assert scan.corrupt_segments == 1
+        assert [r.seq for r in scan.records] == [1, 2, 3]
+
+    def test_missing_segment_reported(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_bytes=128)
+        for i in range(20):
+            wal.append(WalOp.INSERT, oid=i, point=(1.0, 2.0), t=float(i))
+        wal.close()
+        numbers = [n for n, _ in list_segments(tmp_path)]
+        assert len(numbers) >= 3
+        drop_segment(tmp_path, numbers[1])  # a *middle* segment
+        scan = scan_directory(tmp_path)
+        assert scan.missing_segments == [numbers[1]]
+
+    def test_partial_header_at_eof_is_torn(self, tmp_path):
+        directory = self._filled(tmp_path, n=2)
+        path = list_segments(directory)[-1][1]
+        with open(path, "ab") as fh:
+            fh.write(b"\x05\x00")  # half a header
+        scan = scan_segment(path)
+        assert scan.torn_tail
+        assert len(scan.records) == 2
+
+
+class TestFaultInjector:
+    def test_crash_on_nth_append_leaves_torn_prefix(self, tmp_path):
+        fault = FaultInjector(crash_on_append=3, torn_bytes=4)
+        wal = WriteAheadLog(tmp_path, sync="always", fault=fault)
+        wal.append(WalOp.INSERT, oid=1, point=(0.0, 0.0), t=0.0)
+        wal.append(WalOp.INSERT, oid=2, point=(0.0, 0.0), t=1.0)
+        with pytest.raises(InjectedCrash):
+            wal.append(WalOp.INSERT, oid=3, point=(0.0, 0.0), t=2.0)
+        scan = scan_segment(segment_path(tmp_path, wal.segment))
+        assert [r.oid for r in scan.records] == [1, 2]
+        assert scan.torn_tail
+
+    def test_crash_on_sync(self, tmp_path):
+        fault = FaultInjector(crash_on_sync=1)
+        wal = WriteAheadLog(tmp_path, sync="always", fault=fault)
+        with pytest.raises(InjectedCrash):
+            wal.append(WalOp.INSERT, oid=1, point=(0.0, 0.0), t=0.0)
+
+    def test_surgery_helpers_require_segments(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            tear_tail(tmp_path)
+        os.makedirs(tmp_path / "empty", exist_ok=True)
+        with pytest.raises(FileNotFoundError):
+            drop_segment(tmp_path / "empty")
