@@ -20,7 +20,12 @@ writes ``BENCH_driver.json`` in a stable schema:
   (WAL-on per-op page I/O must stay within 25% of WAL-off -- the log is a
   file append, not pager traffic), the WAL's own counters (appends, fsyncs,
   bytes, group-commit batch sizes), and a crash recovery replaying the
-  stream the run logged.
+  stream the run logged;
+* ``health``: the lazy run replayed behind the self-healing wrapper on the
+  same (drift-free) workload -- the drift monitor stays out of the way, no
+  rebuild fires, and the wrapper's steady-state per-op update I/O must stay
+  within 10% of the bare run -- plus a full ``verify_index`` pass over the
+  wrapped index at the end of the stream.
 
 I/O counts and tree shapes are deterministic given ``--seed``; wall clocks
 are hardware-dependent and exist for trend-watching, not for diffing.
@@ -54,7 +59,7 @@ from repro.workload import (  # noqa: E402
     make_index,
 )
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 ENGINE_BATCH = 64
 ENGINE_SHARDS = 4
@@ -62,7 +67,8 @@ DURABILITY_SYNC = "group:8"
 
 
 def run_kind(
-    bundle, kind, *, pool_frames, metrics=None, batch=0, shards=1, durability=None
+    bundle, kind, *, pool_frames, metrics=None, batch=0, shards=1,
+    durability=None, healing=False,
 ):
     """Build ``kind`` fresh, replay the bundle's workload; returns the pieces."""
     histories = bundle.histories() if kind == IndexKind.CT else None
@@ -87,6 +93,20 @@ def run_kind(
             bundle.domain,
             histories=histories,
             query_rate=bundle.scale.base_update_rate / 100.0,
+        )
+    if healing:
+        from repro.engine import IndexOptions
+        from repro.health import DriftMonitor, SelfHealingIndex
+
+        index = SelfHealingIndex(
+            index,
+            kind,
+            bundle.domain,
+            monitor=DriftMonitor(window=200),
+            options=IndexOptions(
+                histories=histories,
+                query_rate=bundle.scale.base_update_rate / 100.0,
+            ),
         )
     buffer = UpdateBuffer(FlushPolicy(batch_size=batch)) if batch else None
     driver = SimulationDriver(index, store, kind, metrics=metrics,
@@ -295,6 +315,42 @@ def main(argv=None) -> int:
         f"replayed {report.records_replayed} in {report.replay_s:.3f}s)"
     )
 
+    # Health: the lazy run once more behind the self-healing wrapper.  The
+    # workload has no mid-run behaviour shift, so the drift monitor should
+    # never push past HEALTHY and no rebuild fires: what is left is the
+    # steady-state cost of the wrapper itself (I/O deltas per update, a
+    # window roll every N ops) -- the gate CI enforces is <=10% per-op
+    # update I/O over the bare run.  The verifier then sweeps the whole
+    # wrapped index as the `repro verify` smoke's in-process twin.
+    from repro.health import verify_index
+
+    heal_result, heal_index, _ = run_kind(
+        bundle, IndexKind.LAZY, pool_frames=0, healing=True
+    )
+    verdict = verify_index(heal_index)
+    heal_off = indexes[IndexKind.LAZY]["ios_per_update"]
+    health = {
+        "kind": IndexKind.LAZY,
+        "ios_per_update": heal_result.ios_per_update,
+        "heal_off_ios_per_update": heal_off,
+        "overhead_pct": (
+            (heal_result.ios_per_update - heal_off) / heal_off * 100.0
+            if heal_off else 0.0
+        ),
+        "wall_clock_s": heal_result.wall_clock_s,
+        "verify_ok": verdict.ok,
+        "verify_violations": len(verdict.violations),
+        "verify_checked_objects": verdict.checked_objects,
+        "health": heal_index.health_dict(),
+    }
+    print(
+        f"  self-heal {IndexKind.LABELS[IndexKind.LAZY]:<10} "
+        f"{heal_result.ios_per_update:8.2f} I/O/upd wrapped "
+        f"(off {heal_off:.2f}, state {heal_index.health_state}, "
+        f"{heal_index.cutovers} cutovers, "
+        f"verify {'OK' if verdict.ok else 'FAILED'})"
+    )
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_regression.py",
@@ -310,6 +366,7 @@ def main(argv=None) -> int:
         "metrics_overhead": overhead,
         "engine": engine,
         "durability": durability,
+        "health": health,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",

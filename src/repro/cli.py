@@ -8,6 +8,8 @@ Commands:
 * ``compare``    -- race the four index structures on a trace;
 * ``recover``    -- rebuild an index from a ``--wal-dir`` directory after a
   crash (newest valid checkpoint + WAL tail replay);
+* ``verify``     -- structurally verify (fsck) a snapshot file or a
+  durability directory, optionally repairing recoverable violations;
 * ``params``     -- print Table 1.
 
 Every command is deterministic given ``--seed``.
@@ -118,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="take an automatic checkpoint every N applied "
                               "updates (0 = only the post-load baseline and "
                               "the final checkpoint)")
+    compare.add_argument("--self-heal", action="store_true",
+                         help="wrap every index in the health layer's self-"
+                              "healing wrapper: drift is monitored online and "
+                              "a DEGRADED index is rebuilt in the background "
+                              "and atomically cut over (not with --shards)")
+    compare.add_argument("--drift-window", type=int, default=200, metavar="N",
+                         help="updates per drift-monitor window when "
+                              "--self-heal is on (default: 200)")
 
     recover = sub.add_parser(
         "recover", help="recover an index from a WAL directory after a crash"
@@ -129,6 +139,19 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--no-repair", action="store_true",
                          help="do not trim torn tails or delete covered "
                               "segments/stale tmp files after replay")
+
+    verify = sub.add_parser(
+        "verify", help="structurally verify (fsck) an index snapshot or WAL dir"
+    )
+    verify.add_argument("target", help="JSON snapshot file, or a durability "
+                                       "directory (recovered first, then "
+                                       "verified)")
+    verify.add_argument("--repair", action="store_true",
+                        help="repair recoverable violations (stale hash "
+                             "entries, escaped MBRs, stale fill counters) "
+                             "and verify again")
+    verify.add_argument("--json", metavar="OUT", default=None,
+                        help="write the verify/repair reports to this JSON file")
 
     report = sub.add_parser("report", help="run every experiment, write one markdown report")
     report.add_argument("-o", "--output", default="report.md")
@@ -269,6 +292,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     sharded = args.shards > 1
     batched = args.batch > 0
     walled = args.wal_dir is not None
+    healing = getattr(args, "self_heal", False)
+    if healing and sharded:
+        print("--self-heal does not compose with --shards (the wrapper "
+              "rebuilds one structure; shard routers manage their own)",
+              file=sys.stderr)
+        return 1
     print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})")
     if pooled:
         print(f"buffer pool: {args.buffer_pool} frames (LRU, write-back)")
@@ -284,12 +313,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
         if args.checkpoint_every:
             line += f", checkpoint every {args.checkpoint_every} updates"
         print(line + ")")
+    if healing:
+        print(f"health: self-healing on (drift window {args.drift_window})")
     print()
     header = f"{'index':<12} {'update I/O':>12} {'query I/O':>10} {'total':>10}"
     if pooled:
         header += f" {'hit rate':>9}"
     if batched:
         header += f" {'coalesced':>10}"
+    if healing:
+        header += f" {'health':>14}"
     print(header)
     print("-" * len(header))
     per_index: dict = {}
@@ -324,6 +357,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 sync=args.sync_policy,
                 checkpoint_every=args.checkpoint_every,
             )
+        wrapper = None
+        if healing:
+            from repro.engine import IndexOptions
+            from repro.health import DriftMonitor, SelfHealingIndex
+
+            wrapper = SelfHealingIndex(
+                index,
+                kind,
+                domain,
+                monitor=DriftMonitor(window=args.drift_window),
+                options=IndexOptions(
+                    histories=histories if kind == IndexKind.CT else None,
+                    query_rate=query_rate,
+                ),
+                durability=durability,
+            )
+            index = wrapper
         driver = SimulationDriver(
             index, store, kind, update_buffer=buffer, durability=durability
         )
@@ -342,6 +392,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
             line += f" {store.hit_rate:>8.1%}"
         if batched:
             line += f" {result.n_coalesced:>10,}"
+        if wrapper is not None:
+            line += (
+                f" {wrapper.health_state:>9}"
+                f" x{wrapper.cutovers:<3}"
+            )
         print(line)
         if args.metrics_out:
             per_index[kind] = {
@@ -362,6 +417,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "durability": (
                     durability.metrics_dict() if durability is not None else None
                 ),
+                "health": (
+                    wrapper.health_dict() if wrapper is not None else None
+                ),
             }
     if args.metrics_out:
         if not _write_metrics(
@@ -371,6 +429,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "buffer_pool_frames": args.buffer_pool,
                 "shards": args.shards,
                 "batch": args.batch,
+                "self_heal": healing,
+                "drift_window": args.drift_window if healing else None,
                 "wal_dir": args.wal_dir,
                 "sync_policy": args.sync_policy if walled else None,
                 "checkpoint_every": args.checkpoint_every if walled else None,
@@ -407,6 +467,10 @@ def cmd_recover(args: argparse.Namespace) -> int:
         print(f"missing:        segments {report.missing_segments}")
     if report.gap_at_seq:
         print(f"ledger ends:    seq {report.gap_at_seq - 1}")
+    if report.verify_ok is not None:
+        print(f"verify:         {'ok' if report.verify_ok else 'FAILED'}"
+              + (f" ({len(report.verify_violations)} violations)"
+                 if not report.verify_ok else ""))
     print(f"replay time:    {report.replay_s:.3f}s")
     print(f"objects:        {len(index)}")
     print(f"index:          {index!r}")
@@ -416,6 +480,60 @@ def cmd_recover(args: argparse.Namespace) -> int:
         path = save_index(index, args.save)
         print(f"snapshot:       {path}")
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.health import repair_index, verify_index
+
+    if os.path.isdir(args.target):
+        from repro.durability import RecoveryError, recover
+
+        try:
+            # The verifier runs below; recovery need not run it too.
+            index, _report = recover(args.target, verify=False)
+        except RecoveryError as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"recovered:      {index!r}")
+    else:
+        from repro.storage.snapshot import SnapshotError, load_index
+
+        try:
+            index = load_index(args.target)
+        except (OSError, SnapshotError) as exc:
+            print(f"cannot load snapshot: {exc}", file=sys.stderr)
+            return 1
+        print(f"loaded:         {index!r}")
+
+    report = verify_index(index)
+    print(f"verify:         {report.summary()}")
+    for violation in report.violations:
+        print(f"  {violation}")
+    payload: dict = {"command": "verify", "target": args.target,
+                     "verify": report.to_dict(), "repair": None,
+                     "reverify": None}
+    if args.repair and not report.ok:
+        repair = repair_index(index)
+        print(f"repair:         {repair.total} fixes "
+              f"({json.dumps(repair.to_dict())})")
+        report = verify_index(index)
+        print(f"re-verify:      {report.summary()}")
+        for violation in report.violations:
+            print(f"  {violation}")
+        payload["repair"] = repair.to_dict()
+        payload["reverify"] = report.to_dict()
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write --json file: {exc}", file=sys.stderr)
+            return 1
+        print(f"report:         {args.json}")
+    return 0 if report.ok else 1
 
 
 def cmd_params(_args: argparse.Namespace) -> int:
@@ -438,6 +556,7 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "compare": cmd_compare,
     "recover": cmd_recover,
+    "verify": cmd_verify,
     "params": cmd_params,
     "report": cmd_report,
 }

@@ -188,8 +188,11 @@ class DurabilityManager:
         if self._index is None:
             raise RuntimeError("DurabilityManager.attach was never called")
         covered = self._seq
+        # A self-healing wrapper exposes the structure currently serving
+        # via ``snapshot_target``; snapshot that, not the wrapper.
+        target = getattr(self._index, "snapshot_target", self._index)
         info = write_checkpoint(
-            self._index,
+            target,
             self.directory,
             covered_seq=covered,
             ordinal=next_ordinal(self.directory),

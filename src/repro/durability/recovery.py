@@ -72,6 +72,10 @@ class RecoveryReport:
     gap_at_seq: int = 0
     tmp_files_removed: int = 0
     replay_s: float = 0.0
+    #: Post-recovery structural verification (the health layer's fsck):
+    #: None when verification was skipped or unavailable.
+    verify_ok: Optional[bool] = None
+    verify_violations: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -87,6 +91,8 @@ class RecoveryReport:
             "gap_at_seq": self.gap_at_seq,
             "tmp_files_removed": self.tmp_files_removed,
             "replay_s": self.replay_s,
+            "verify_ok": self.verify_ok,
+            "verify_violations": list(self.verify_violations),
         }
 
 
@@ -139,6 +145,7 @@ def recover(
     *,
     index_factory=None,
     repair: bool = True,
+    verify: bool = True,
 ):
     """Rebuild the index from ``directory`` -> ``(index, RecoveryReport)``.
 
@@ -152,6 +159,10 @@ def recover(
             covered segments and stale tmp files, so a fresh
             :class:`~repro.durability.manager.DurabilityManager` can take
             over the directory.
+        verify: run the health layer's structural verifier over the
+            recovered index; the verdict lands in ``report.verify_ok`` /
+            ``report.verify_violations`` (never raises -- a crash should
+            still hand back whatever state replay could assemble).
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -224,11 +235,31 @@ def recover(
                 wal_dir, covered_seq=covered, last_good_seq=last_good
             )
 
+    if verify:
+        # Function-level import: durability must stay importable without
+        # the health layer (dependency points health -> durability-free).
+        from repro.health.verify import verify_index
+
+        try:
+            verdict = verify_index(index, kind=report.kind or None)
+        except Exception as exc:  # diagnostics must not mask recovery
+            report.verify_ok = None
+            report.verify_violations = [f"verifier crashed: {exc!r}"]
+        else:
+            report.verify_ok = verdict.ok
+            report.verify_violations = [str(v) for v in verdict.violations]
+
     report.replay_s = perf_counter() - t0
     registry = get_registry()
     if registry.enabled:
         registry.record_duration("durability.recovery.replay_s", report.replay_s)
         registry.inc("durability.recovery.records_replayed", report.records_replayed)
+        if report.verify_ok is not None:
+            registry.inc(
+                "durability.recovery.verify_ok"
+                if report.verify_ok
+                else "durability.recovery.verify_failed"
+            )
     return index, report
 
 

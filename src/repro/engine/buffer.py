@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.geometry import Point
 from repro.engine.protocol import SpatialIndex, position_of
+from repro.obs.metrics import get_registry
 
 
 @runtime_checkable
@@ -84,18 +85,29 @@ class FlushPolicy:
     def should_flush(
         self, pending: int, oldest_t: Optional[float], now: Optional[float]
     ) -> bool:
+        return self.flush_reason(pending, oldest_t, now) is not None
+
+    def flush_reason(
+        self, pending: int, oldest_t: Optional[float], now: Optional[float]
+    ) -> Optional[str]:
+        """Which trigger fires: ``"size"``, ``"horizon"``, or None.
+
+        The tag feeds :class:`FlushStats` and the ``engine.buffer.flush.*``
+        obs counters, so a run's flush mix (policy-driven vs. forced by
+        queries, stream end, or a CRITICAL health transition) is auditable.
+        """
         if pending == 0:
-            return False
+            return None
         if self.batch_size and pending >= self.batch_size:
-            return True
+            return "size"
         if (
             self.horizon is not None
             and oldest_t is not None
             and now is not None
             and now - oldest_t >= self.horizon
         ):
-            return True
-        return False
+            return "horizon"
+        return None
 
 
 @dataclass
@@ -123,16 +135,26 @@ class FlushStats:
     coalesced: int = 0
     applied: int = 0
     flushes: int = 0
+    #: Flush tally by trigger tag ("size", "horizon", "query", "final",
+    #: "critical", "manual").
+    reasons: Dict[str, int] = field(default_factory=dict)
 
     def copy(self) -> "FlushStats":
-        return FlushStats(self.buffered, self.coalesced, self.applied, self.flushes)
+        return FlushStats(
+            self.buffered,
+            self.coalesced,
+            self.applied,
+            self.flushes,
+            dict(self.reasons),
+        )
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "buffered": self.buffered,
             "coalesced": self.coalesced,
             "applied": self.applied,
             "flushes": self.flushes,
+            "reasons": dict(self.reasons),
         }
 
 
@@ -217,8 +239,12 @@ class UpdateBuffer:
     def should_flush(self, now: Optional[float] = None) -> bool:
         return self.policy.should_flush(len(self._pending), self.oldest_t, now)
 
-    def flush(self, index: SpatialIndex) -> int:
+    def flush(self, index: SpatialIndex, reason: str = "manual") -> int:
         """Apply every pending update to ``index`` in timestamp order.
+
+        ``reason`` tags why the buffer drained ("size", "horizon", "query",
+        "final", "critical", or the default "manual") in :class:`FlushStats`
+        and the ``engine.buffer.flush.<reason>`` obs counter.
 
         Applies are ordered by ``(t, arrival)`` ascending so a time-driven
         index (the CT-R-tree's adaptation clock) observes the same monotone
@@ -249,6 +275,10 @@ class UpdateBuffer:
         finally:
             self.stats.applied += applied
         self.stats.flushes += 1
+        self.stats.reasons[reason] = self.stats.reasons.get(reason, 0) + 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(f"engine.buffer.flush.{reason}")
         if self.wal is not None:
             self.wal.log_flush()
         return applied

@@ -235,6 +235,7 @@ class ShardedIndex:
         #: uncharged, like the structures' parent-pointer metadata).
         self._owner: Dict[int, int] = {}
         self.cross_shard_moves = 0
+        self.cross_shard_move_failures = 0
 
         routed = self._route_histories(histories)
         self.shards: List[Shard] = []
@@ -318,9 +319,20 @@ class ShardedIndex:
         old_pos = None if old_point is None else position_of(old_point)
         self._spec.delete(old_shard.index, obj_id, old_pos, now)
         old_shard.n_updates += 1
-        self.cross_shard_moves += 1
         new_shard = self.shards[new_sid]
-        pid = new_shard.index.insert(obj_id, new_pos, now=now)
+        try:
+            pid = new_shard.index.insert(obj_id, new_pos, now=now)
+        except Exception:
+            # Exception safety: the delete already happened, so a failed
+            # insert would silently drop the object.  Restore it to the
+            # source shard at its old position (the owner map never moved),
+            # then surface the failure.
+            self.cross_shard_move_failures += 1
+            if old_pos is not None:
+                old_shard.index.insert(obj_id, old_pos, now=now)
+                old_shard.n_updates += 1
+            raise
+        self.cross_shard_moves += 1
         new_shard.n_updates += 1
         self._owner[obj_id] = new_sid
         return pid
@@ -381,6 +393,9 @@ class ShardedIndex:
             "kind": self.kind,
             "partition": self.partition.to_dict(),
             "cross_shard_moves": self.cross_shard_moves,
+            "cross_shard_move_failures": getattr(
+                self, "cross_shard_move_failures", 0
+            ),
             "objects": len(self),
             "shards": [
                 {

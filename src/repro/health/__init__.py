@@ -1,0 +1,53 @@
+"""Index health: invariant verification, drift detection, self-healing.
+
+The CT-R-tree's advantage rests on qs-regions mined from *past* update
+history (paper Section 3); when movement patterns drift, change tolerance
+silently decays and the paper's own answer is to rebuild (Section 3.4).
+This package is the runtime-robustness layer around that observation:
+
+* :mod:`repro.health.verify` -- an fsck-style structural verifier over
+  every registered index kind, returning a typed :class:`VerifyReport`
+  with per-violation locations, plus a :func:`repair_index` pass for the
+  recoverable violation classes (stale hash entries, escaped MBRs, stale
+  fill counters, stale shard-router entries);
+* :mod:`repro.health.drift` -- an online drift monitor: windowed
+  change-tolerance estimate, qs-region residency, and per-window
+  update-I/O EWMA, with hysteresis thresholds emitting
+  :class:`HealthState` transitions (HEALTHY -> DEGRADED -> CRITICAL);
+* :mod:`repro.health.heal` -- :class:`SelfHealingIndex`, an engine
+  wrapper that on DEGRADED re-mines qs-regions from the recent trail
+  window, rebuilds a shadow index incrementally (bounded work per
+  ``advance()``), double-applies live updates to both structures,
+  verifies the shadow, then atomically cuts over -- falling back to the
+  lazy R-tree if rebuild or verification fails.
+"""
+
+from repro.health.drift import (
+    DriftMonitor,
+    DriftThresholds,
+    HealthState,
+    WindowStats,
+)
+from repro.health.heal import HealPolicy, RebuildPhase, SelfHealingIndex
+from repro.health.verify import (
+    RepairReport,
+    VerifyReport,
+    Violation,
+    repair_index,
+    verify_index,
+)
+
+__all__ = [
+    "DriftMonitor",
+    "DriftThresholds",
+    "HealthState",
+    "WindowStats",
+    "HealPolicy",
+    "RebuildPhase",
+    "SelfHealingIndex",
+    "RepairReport",
+    "VerifyReport",
+    "Violation",
+    "repair_index",
+    "verify_index",
+]

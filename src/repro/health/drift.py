@@ -1,0 +1,312 @@
+"""Online drift detection over windowed update telemetry.
+
+The change tolerance of Eq. 1 is a property of the *workload the index
+was mined for*; when movement patterns drift, the observable symptom is
+the fraction of updates the index absorbs without structural work (its
+empirical change tolerance) sliding down while per-update page I/O
+climbs.  :class:`DriftMonitor` watches exactly those signals:
+
+* **windowed change tolerance** -- the fraction of updates in the last
+  window that were non-structural (lazy hits / in-region rewrites);
+* **qs-region residency** -- the fraction of objects currently stored
+  inside qs-regions rather than overflow buffers (CT-R-tree only,
+  sampled at window close via an uncharged probe);
+* **update-I/O EWMA** -- exponentially weighted page I/O per update,
+  compared against the best (lowest) window seen since the last reset.
+
+Transitions use double hysteresis: *enter* and *exit* thresholds are
+separated (so the state does not flap around one boundary), and a
+candidate state must persist for ``confirm_windows`` consecutive windows
+before it is committed (so one noisy window cannot demote the index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class HealthState:
+    """The monitor's three-level verdict; ordered worst-last."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    CRITICAL = "critical"
+    ALL = (HEALTHY, DEGRADED, CRITICAL)
+
+    #: Numeric severity for ordering comparisons.
+    RANK = {HEALTHY: 0, DEGRADED: 1, CRITICAL: 2}
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Hysteresis bands for the state machine.
+
+    Enter thresholds are crossed going *down* in change tolerance; exit
+    thresholds sit strictly above them so recovery needs genuinely better
+    windows, not boundary noise.
+    """
+
+    #: Enter DEGRADED when the tolerance EWMA drops below this.
+    degraded_enter: float = 0.5
+    #: Return to HEALTHY only when the tolerance EWMA exceeds this.
+    degraded_exit: float = 0.65
+    #: Enter CRITICAL when the tolerance EWMA drops below this.
+    critical_enter: float = 0.2
+    #: Leave CRITICAL (back to DEGRADED) above this.
+    critical_exit: float = 0.35
+    #: DEGRADED when the I/O EWMA exceeds baseline * this factor.
+    io_degraded_factor: float = 1.5
+    #: CRITICAL when the I/O EWMA exceeds baseline * this factor.
+    io_critical_factor: float = 3.0
+    #: Consecutive windows a candidate state must persist.
+    confirm_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.critical_enter <= self.critical_exit:
+            raise ValueError("critical_exit must be >= critical_enter")
+        if not self.degraded_enter <= self.degraded_exit:
+            raise ValueError("degraded_exit must be >= degraded_enter")
+        if self.critical_enter > self.degraded_enter:
+            raise ValueError("critical_enter must be <= degraded_enter")
+        if self.confirm_windows < 1:
+            raise ValueError("confirm_windows must be at least 1")
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One closed window of update telemetry."""
+
+    index: int
+    n_updates: int
+    change_tolerance: float
+    ios_per_update: float
+    ewma_tolerance: float
+    ewma_io: float
+    residency: Optional[float]
+    state: str
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "n_updates": self.n_updates,
+            "change_tolerance": self.change_tolerance,
+            "ios_per_update": self.ios_per_update,
+            "ewma_tolerance": self.ewma_tolerance,
+            "ewma_io": self.ewma_io,
+            "residency": self.residency,
+            "state": self.state,
+        }
+
+
+class DriftMonitor:
+    """Accumulates per-update telemetry and emits health transitions.
+
+    Args:
+        window: updates per window; a window closes (and the state
+            machine steps) every ``window`` calls to :meth:`note_update`.
+        thresholds: hysteresis bands; defaults to :class:`DriftThresholds`.
+        ewma_alpha: weight of the newest window in the EWMAs.
+        residency_probe: optional zero-argument callable returning the
+            current qs-region residency fraction (or None); sampled once
+            per window close, so it may walk the tree uncharged.
+        metrics: registry for ``health.*`` counters; defaults to the
+            process-global registry (recording only when enabled).
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        *,
+        thresholds: Optional[DriftThresholds] = None,
+        ewma_alpha: float = 0.3,
+        residency_probe: Optional[Callable[[], Optional[float]]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.window = window
+        self.thresholds = thresholds if thresholds is not None else DriftThresholds()
+        self.ewma_alpha = ewma_alpha
+        self.residency_probe = residency_probe
+        self._metrics = metrics
+
+        self.state: str = HealthState.HEALTHY
+        self.windows: List[WindowStats] = []
+        #: (window index, old state, new state) log.
+        self.transitions: List[Tuple[int, str, str]] = []
+
+        self._n = 0
+        self._lazy = 0
+        self._ios = 0
+        self._ewma_tolerance: Optional[float] = None
+        self._ewma_io: Optional[float] = None
+        #: Best (lowest) per-window I/O since the last reset: the healthy
+        #: baseline the I/O factors compare against.
+        self._io_baseline: Optional[float] = None
+        self._candidate: Optional[str] = None
+        self._candidate_streak = 0
+        self._critical_pending = False
+
+    # -- feeding -----------------------------------------------------------
+
+    def note_update(self, ios: int, lazy: bool) -> Optional[Tuple[str, str]]:
+        """Record one applied update; returns ``(old, new)`` on transition.
+
+        Args:
+            ios: page I/Os this update cost.
+            lazy: True when the update was non-structural (absorbed by a
+                qs-region / same-MBR rewrite / leaf-interval hit).
+        """
+        self._n += 1
+        self._ios += ios
+        if lazy:
+            self._lazy += 1
+        if self._n >= self.window:
+            return self._close_window()
+        return None
+
+    def _close_window(self) -> Optional[Tuple[str, str]]:
+        n = self._n
+        tolerance = self._lazy / n
+        ios_per_update = self._ios / n
+        self._n = self._lazy = self._ios = 0
+
+        alpha = self.ewma_alpha
+        if self._ewma_tolerance is None:
+            self._ewma_tolerance = tolerance
+            self._ewma_io = ios_per_update
+        else:
+            self._ewma_tolerance += alpha * (tolerance - self._ewma_tolerance)
+            assert self._ewma_io is not None
+            self._ewma_io += alpha * (ios_per_update - self._ewma_io)
+        if self._io_baseline is None or ios_per_update < self._io_baseline:
+            self._io_baseline = ios_per_update
+
+        residency = self.residency_probe() if self.residency_probe else None
+        transition = self._step(self._ewma_tolerance, self._ewma_io)
+        stats = WindowStats(
+            index=len(self.windows),
+            n_updates=n,
+            change_tolerance=tolerance,
+            ios_per_update=ios_per_update,
+            ewma_tolerance=self._ewma_tolerance,
+            ewma_io=self._ewma_io,
+            residency=residency,
+            state=self.state,
+        )
+        self.windows.append(stats)
+
+        registry = self._metrics if self._metrics is not None else get_registry()
+        if registry.enabled:
+            registry.inc("health.windows")
+            registry.observe("health.window.change_tolerance", tolerance)
+            registry.observe("health.window.ios_per_update", ios_per_update)
+            if residency is not None:
+                registry.observe("health.window.residency", residency)
+            if transition is not None:
+                registry.inc("health.transitions")
+                registry.inc(f"health.transition.{transition[0]}_{transition[1]}")
+        return transition
+
+    # -- state machine -----------------------------------------------------
+
+    def _classify(self, tolerance: float, ios: float) -> str:
+        """The state the current EWMAs point at, honouring exit bands."""
+        t = self.thresholds
+        baseline = self._io_baseline if self._io_baseline else 0.0
+        io_critical = baseline > 0.0 and ios > baseline * t.io_critical_factor
+        io_degraded = baseline > 0.0 and ios > baseline * t.io_degraded_factor
+        if self.state == HealthState.CRITICAL:
+            # Exit CRITICAL only above the exit band (and calm I/O).
+            if tolerance > t.critical_exit and not io_critical:
+                if tolerance > t.degraded_exit and not io_degraded:
+                    return HealthState.HEALTHY
+                return HealthState.DEGRADED
+            return HealthState.CRITICAL
+        if tolerance < t.critical_enter or io_critical:
+            return HealthState.CRITICAL
+        if self.state == HealthState.DEGRADED:
+            # Exit DEGRADED only above the exit band (and calm I/O).
+            if tolerance > t.degraded_exit and not io_degraded:
+                return HealthState.HEALTHY
+            return HealthState.DEGRADED
+        if tolerance < t.degraded_enter or io_degraded:
+            return HealthState.DEGRADED
+        return HealthState.HEALTHY
+
+    def _step(self, tolerance: float, ios: float) -> Optional[Tuple[str, str]]:
+        target = self._classify(tolerance, ios)
+        if target == self.state:
+            self._candidate = None
+            self._candidate_streak = 0
+            return None
+        if target != self._candidate:
+            self._candidate = target
+            self._candidate_streak = 0
+        self._candidate_streak += 1
+        if self._candidate_streak < self.thresholds.confirm_windows:
+            return None
+        old = self.state
+        self.state = target
+        self._candidate = None
+        self._candidate_streak = 0
+        self.transitions.append((len(self.windows), old, target))
+        if target == HealthState.CRITICAL:
+            self._critical_pending = True
+        return (old, target)
+
+    # -- consumers ---------------------------------------------------------
+
+    def consume_critical_transition(self) -> bool:
+        """True exactly once per transition into CRITICAL (the driver's
+        flush-now trigger)."""
+        pending = self._critical_pending
+        self._critical_pending = False
+        return pending
+
+    def reset(self) -> None:
+        """Restart monitoring after a cutover: fresh EWMAs and baseline,
+        state back to HEALTHY; the window/transition history is kept."""
+        old = self.state
+        self.state = HealthState.HEALTHY
+        self._n = self._lazy = self._ios = 0
+        self._ewma_tolerance = None
+        self._ewma_io = None
+        self._io_baseline = None
+        self._candidate = None
+        self._candidate_streak = 0
+        self._critical_pending = False
+        if old != HealthState.HEALTHY:
+            self.transitions.append((len(self.windows), old, HealthState.HEALTHY))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def ewma_tolerance(self) -> Optional[float]:
+        return self._ewma_tolerance
+
+    @property
+    def ewma_io(self) -> Optional[float]:
+        return self._ewma_io
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "window": self.window,
+            "windows_closed": len(self.windows),
+            "ewma_tolerance": self._ewma_tolerance,
+            "ewma_io": self._ewma_io,
+            "io_baseline": self._io_baseline,
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftMonitor(state={self.state}, windows={len(self.windows)}, "
+            f"ewma_tolerance={self._ewma_tolerance}, ewma_io={self._ewma_io})"
+        )

@@ -43,6 +43,10 @@ def tree_stats(index) -> Dict[str, object]:
     ``buffered_objects`` and ``buffer_trees``; the lazy-R-tree reports its
     ``lazy_hits``/``relocations`` tallies.
     """
+    if hasattr(index, "inner") and hasattr(index, "health_state"):
+        # The health layer's self-healing wrapper: probe whatever structure
+        # is currently serving (post-cutover that is the rebuilt shadow).
+        return tree_stats(index.inner)
     outer = index
     if hasattr(index, "shards") and hasattr(index, "partition"):
         # The engine's sharded router: aggregate the per-shard probes.

@@ -449,6 +449,7 @@ def _load_sharded_document(document: Dict):
     index._stats = shared
     index._owner = {int(oid): int(sid) for oid, sid in document["owner"].items()}
     index.cross_shard_moves = int(document.get("cross_shard_moves", 0))
+    index.cross_shard_move_failures = 0
     index.shards = []
     for sid, sub_document in enumerate(document["shards"]):
         inner = loader(sub_document)

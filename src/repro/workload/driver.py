@@ -84,6 +84,16 @@ class SimulationDriver:
                 durability.attach(index)
             if update_buffer is not None and update_buffer.wal is None:
                 update_buffer.wal = durability
+        #: Self-healing wrapper hooks (duck-typed so the driver never
+        #: imports the health layer): a wrapped index exposes its monitor's
+        #: CRITICAL-transition flag (forced buffer flush) and the
+        #: post-cutover checkpoint request (taken at quiescent points).
+        self._healing = (
+            index
+            if hasattr(index, "checkpoint_if_due")
+            and hasattr(index, "health_state")
+            else None
+        )
         #: Last known position per object (the baselines' update() needs the
         #: old point; the driver is the "server" that knows it).
         self.positions: Dict[int, Point] = {}
@@ -130,6 +140,7 @@ class SimulationDriver:
         obs_on = metrics.enabled
         buffer = self.update_buffer
         durability = self.durability
+        healing = self._healing
         buffer_stats_before = buffer.stats.copy() if buffer is not None else None
         # Live (mutable) counters: per-event deltas without per-event copies.
         update_live = stats.live(IOCategory.UPDATE)
@@ -156,8 +167,11 @@ class SimulationDriver:
                         # put() writes the WAL record itself (before it
                         # acknowledges) when the buffer carries a log.
                         buffer.put(record.oid, old, record.point, t)
-                        if buffer.should_flush(t):
-                            applied = buffer.flush(self.index)
+                        reason = buffer.policy.flush_reason(
+                            len(buffer), buffer.oldest_t, t
+                        )
+                        if reason is not None:
+                            applied = buffer.flush(self.index, reason)
                             if durability is not None:
                                 durability.note_applied(applied)
                     else:
@@ -174,10 +188,28 @@ class SimulationDriver:
                             self.index.update(record.oid, old, record.point, now=t)
                         if durability is not None:
                             durability.note_applied(1)
+                # A transition into CRITICAL force-drains pending updates:
+                # the flag stays pending until there is actually something
+                # to drain (transitions surface at flush boundaries, when
+                # the buffer has just emptied), so the *next* buffered
+                # update is applied immediately instead of waiting out a
+                # full batch on a critically degraded index.
+                if (
+                    healing is not None
+                    and buffer is not None
+                    and len(buffer)
+                    and healing.monitor.consume_critical_transition()
+                ):
+                    with stats.category(IOCategory.UPDATE):
+                        applied = buffer.flush(self.index, "critical")
+                    if durability is not None:
+                        durability.note_applied(applied)
                 # Checkpoints fire only at quiescent points: nothing is
                 # pending here unless the buffer chose not to flush yet.
                 if durability is not None and (buffer is None or not len(buffer)):
                     durability.maybe_checkpoint()
+                if healing is not None and (buffer is None or not len(buffer)):
+                    healing.checkpoint_if_due(durability)
                 # Normalize exactly like load(): positions must compare equal
                 # across both ingestion paths (a list-vs-tuple mismatch would
                 # make the baselines' delete-by-old-point miss).
@@ -198,10 +230,12 @@ class SimulationDriver:
                 # update I/O -- it is deferred update work) before serving.
                 if buffer is not None and len(buffer):
                     with stats.category(IOCategory.UPDATE):
-                        applied = buffer.flush(self.index)
+                        applied = buffer.flush(self.index, "query")
                     if durability is not None:
                         durability.note_applied(applied)
                         durability.maybe_checkpoint()
+                if healing is not None and (buffer is None or not len(buffer)):
+                    healing.checkpoint_if_due(durability)
                 if obs_on:
                     io_before = query_live.total
                 with stats.category(IOCategory.QUERY):
@@ -220,10 +254,12 @@ class SimulationDriver:
         # any snapshot taken of it) reflects every consumed update.
         if buffer is not None and len(buffer):
             with stats.category(IOCategory.UPDATE):
-                applied = buffer.flush(self.index)
+                applied = buffer.flush(self.index, "final")
             if durability is not None:
                 durability.note_applied(applied)
                 durability.maybe_checkpoint()
+        if healing is not None:
+            healing.checkpoint_if_due(durability)
 
         result.wall_clock_s = perf_counter() - run_t0
         result.update_io = update_live.copy() - update_before

@@ -1,0 +1,152 @@
+"""Drift monitor: windows, hysteresis, confirmation, reset semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.health import DriftMonitor, DriftThresholds, HealthState
+
+
+def _feed(monitor: DriftMonitor, n: int, *, lazy_frac: float, ios: int = 2):
+    """Feed ``n`` updates with the given lazy fraction; return transitions."""
+    transitions = []
+    lazy_every = 1.0 / lazy_frac if lazy_frac > 0 else float("inf")
+    credit = 0.0
+    for _ in range(n):
+        credit += 1.0
+        lazy = lazy_frac > 0 and credit >= lazy_every
+        if lazy:
+            credit -= lazy_every
+        transition = monitor.note_update(ios, lazy)
+        if transition is not None:
+            transitions.append(transition)
+    return transitions
+
+
+def test_window_closes_every_n_updates():
+    monitor = DriftMonitor(window=10)
+    _feed(monitor, 35, lazy_frac=1.0)
+    assert len(monitor.windows) == 3
+    assert all(w.n_updates == 10 for w in monitor.windows)
+    assert monitor.windows[0].change_tolerance == 1.0
+
+
+def test_healthy_workload_stays_healthy():
+    monitor = DriftMonitor(window=20)
+    transitions = _feed(monitor, 400, lazy_frac=0.9)
+    assert transitions == []
+    assert monitor.state == HealthState.HEALTHY
+
+
+def test_degrades_then_goes_critical():
+    monitor = DriftMonitor(window=20)
+    _feed(monitor, 100, lazy_frac=0.9)
+    assert monitor.state == HealthState.HEALTHY
+    transitions = _feed(monitor, 300, lazy_frac=0.3)
+    assert (HealthState.HEALTHY, HealthState.DEGRADED) in transitions
+    assert monitor.state == HealthState.DEGRADED
+    transitions = _feed(monitor, 400, lazy_frac=0.0)
+    assert (HealthState.DEGRADED, HealthState.CRITICAL) in transitions
+    assert monitor.state == HealthState.CRITICAL
+
+
+def test_confirm_windows_filters_single_bad_window():
+    monitor = DriftMonitor(
+        window=10, thresholds=DriftThresholds(confirm_windows=2), ewma_alpha=1.0
+    )
+    _feed(monitor, 50, lazy_frac=1.0)
+    # One bad window is a candidate, not a transition.
+    transitions = _feed(monitor, 10, lazy_frac=0.0)
+    assert transitions == []
+    assert monitor.state == HealthState.HEALTHY
+    # The second consecutive bad window commits it.
+    transitions = _feed(monitor, 10, lazy_frac=0.0)
+    assert monitor.state != HealthState.HEALTHY
+    assert transitions
+
+
+def test_exit_band_hysteresis():
+    thresholds = DriftThresholds(
+        degraded_enter=0.5, degraded_exit=0.65, confirm_windows=1
+    )
+    monitor = DriftMonitor(window=10, thresholds=thresholds, ewma_alpha=1.0)
+    _feed(monitor, 20, lazy_frac=0.4)
+    assert monitor.state == HealthState.DEGRADED
+    # Between enter and exit: stays DEGRADED (no flapping at the boundary).
+    _feed(monitor, 30, lazy_frac=0.6)
+    assert monitor.state == HealthState.DEGRADED
+    # Above the exit band: recovers.
+    _feed(monitor, 30, lazy_frac=0.9)
+    assert monitor.state == HealthState.HEALTHY
+
+
+def test_io_blowup_degrades_even_when_lazy():
+    monitor = DriftMonitor(
+        window=10,
+        thresholds=DriftThresholds(io_degraded_factor=1.5, confirm_windows=1),
+        ewma_alpha=1.0,
+    )
+    _feed(monitor, 20, lazy_frac=1.0, ios=2)
+    assert monitor.state == HealthState.HEALTHY
+    _feed(monitor, 30, lazy_frac=1.0, ios=20)
+    assert monitor.state in (HealthState.DEGRADED, HealthState.CRITICAL)
+
+
+def test_consume_critical_transition_is_one_shot():
+    monitor = DriftMonitor(
+        window=10, thresholds=DriftThresholds(confirm_windows=1), ewma_alpha=1.0
+    )
+    assert monitor.consume_critical_transition() is False
+    _feed(monitor, 10, lazy_frac=1.0)
+    _feed(monitor, 40, lazy_frac=0.0)
+    assert monitor.state == HealthState.CRITICAL
+    assert monitor.consume_critical_transition() is True
+    assert monitor.consume_critical_transition() is False
+
+
+def test_reset_restores_healthy_and_keeps_history():
+    monitor = DriftMonitor(
+        window=10, thresholds=DriftThresholds(confirm_windows=1), ewma_alpha=1.0
+    )
+    _feed(monitor, 60, lazy_frac=0.0)
+    assert monitor.state != HealthState.HEALTHY
+    windows_before = len(monitor.windows)
+    monitor.reset()
+    assert monitor.state == HealthState.HEALTHY
+    assert monitor.ewma_tolerance is None and monitor.ewma_io is None
+    assert len(monitor.windows) == windows_before
+    assert monitor.transitions[-1][2] == HealthState.HEALTHY
+    assert monitor.consume_critical_transition() is False
+
+
+def test_residency_probe_sampled_per_window():
+    calls = []
+
+    def probe():
+        calls.append(1)
+        return 0.75
+
+    monitor = DriftMonitor(window=10, residency_probe=probe)
+    _feed(monitor, 30, lazy_frac=1.0)
+    assert len(calls) == 3
+    assert monitor.windows[0].residency == 0.75
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        DriftThresholds(degraded_enter=0.7, degraded_exit=0.5)
+    with pytest.raises(ValueError):
+        DriftThresholds(critical_enter=0.4, critical_exit=0.2)
+    with pytest.raises(ValueError):
+        DriftThresholds(confirm_windows=0)
+    with pytest.raises(ValueError):
+        DriftMonitor(window=0)
+
+
+def test_to_dict_round_trips_counters():
+    monitor = DriftMonitor(window=5)
+    _feed(monitor, 12, lazy_frac=1.0)
+    d = monitor.to_dict()
+    assert d["windows_closed"] == 2
+    assert d["state"] == HealthState.HEALTHY
+    assert monitor.windows[0].to_dict()["n_updates"] == 5
