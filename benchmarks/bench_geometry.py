@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Geometry micro-benchmark: the Rect hot-path kernels.
+
+Times the four predicates every R-tree descent funnels through --
+``intersects``, ``union``, ``enlargement``, ``contains_point`` -- both
+through the :class:`~repro.core.geometry.Rect` methods and through the
+flat-tuple kernels the descent loops use (``rect_intersects`` & co.), over
+a fixed-seed pair set.  The kernel and method paths perform identical
+floating-point operations, so this also cross-checks that the fast paths
+agree bit-for-bit with the objects they replace.
+
+Importable: :func:`run_geometry_bench` returns the result dict that
+``bench_regression.py`` embeds under the ``geometry`` key of
+``BENCH_driver.json``.  Wall clocks are hardware-dependent and exist for
+trend-watching; only the agreement checks are asserted.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_geometry.py [--pairs 4096]
+        [--repeat 5] [--out geometry.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.geometry import (  # noqa: E402
+    Rect,
+    rect_contains_point,
+    rect_enlargement,
+    rect_intersects,
+)
+
+DOMAIN = 1000.0
+
+
+def make_pairs(
+    n_pairs: int, seed: int = 0
+) -> List[Tuple[Rect, Rect, Tuple[float, float]]]:
+    """Fixed-seed (rect, rect, point) triples spanning hits and misses."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n_pairs):
+        ax = rng.uniform(0.0, DOMAIN - 60.0)
+        ay = rng.uniform(0.0, DOMAIN - 60.0)
+        a = Rect((ax, ay), (ax + rng.uniform(1.0, 60.0), ay + rng.uniform(1.0, 60.0)))
+        # Half the partners land near a (overlap likely), half anywhere.
+        if rng.random() < 0.5:
+            bx = ax + rng.uniform(-40.0, 40.0)
+            by = ay + rng.uniform(-40.0, 40.0)
+        else:
+            bx = rng.uniform(0.0, DOMAIN - 60.0)
+            by = rng.uniform(0.0, DOMAIN - 60.0)
+        bx = max(0.0, bx)
+        by = max(0.0, by)
+        b = Rect((bx, by), (bx + rng.uniform(1.0, 60.0), by + rng.uniform(1.0, 60.0)))
+        point = (rng.uniform(0.0, DOMAIN), rng.uniform(0.0, DOMAIN))
+        out.append((a, b, point))
+    return out
+
+
+def _best_of(fn: Callable[[], int], repeat: int) -> Tuple[float, int]:
+    """(best wall-clock seconds, ops per pass) over ``repeat`` passes."""
+    best = float("inf")
+    ops = 0
+    for _ in range(repeat):
+        t0 = perf_counter()
+        ops = fn()
+        elapsed = perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, ops
+
+
+def run_geometry_bench(n_pairs: int = 4096, repeat: int = 5) -> Dict[str, object]:
+    """Time the hot-path predicates; returns the bench-JSON ``geometry`` dict."""
+    pairs = make_pairs(n_pairs)
+
+    def method_intersects() -> int:
+        count = 0
+        for a, b, _ in pairs:
+            if a.intersects(b):
+                count += 1
+        return len(pairs)
+
+    def kernel_intersects() -> int:
+        fast = rect_intersects
+        count = 0
+        for a, b, _ in pairs:
+            if fast(a.lo, a.hi, b.lo, b.hi):
+                count += 1
+        return len(pairs)
+
+    def method_contains() -> int:
+        count = 0
+        for a, _, point in pairs:
+            if a.contains_point(point):
+                count += 1
+        return len(pairs)
+
+    def kernel_contains() -> int:
+        fast = rect_contains_point
+        count = 0
+        for a, _, point in pairs:
+            if fast(a.lo, a.hi, point):
+                count += 1
+        return len(pairs)
+
+    def method_union() -> int:
+        for a, b, _ in pairs:
+            a.union(b)
+        return len(pairs)
+
+    def method_enlargement() -> int:
+        for a, b, _ in pairs:
+            a.enlargement(b)
+        return len(pairs)
+
+    def kernel_enlargement() -> int:
+        fast = rect_enlargement
+        for a, b, _ in pairs:
+            fast(a.lo, a.hi, b.lo, b.hi, a.area)
+        return len(pairs)
+
+    timed: Dict[str, Dict[str, Callable[[], int]]] = {
+        "intersects": {"method": method_intersects, "kernel": kernel_intersects},
+        "contains_point": {"method": method_contains, "kernel": kernel_contains},
+        "union": {"method": method_union},
+        "enlargement": {"method": method_enlargement, "kernel": kernel_enlargement},
+    }
+    result: Dict[str, object] = {"n_pairs": n_pairs, "repeat": repeat, "ops": {}}
+    ops_out: Dict[str, Dict[str, float]] = {}
+    for name, variants in timed.items():
+        entry: Dict[str, float] = {}
+        for variant, fn in variants.items():
+            seconds, ops = _best_of(fn, repeat)
+            entry[f"{variant}_ns_per_op"] = seconds / ops * 1e9
+        ops_out[name] = entry
+    result["ops"] = ops_out
+    return result
+
+
+# -- agreement checks (run in the tier-1 suite; timings are not asserted) --
+
+
+def test_kernels_agree_with_methods() -> None:
+    pairs = make_pairs(512, seed=7)
+    for a, b, point in pairs:
+        assert rect_intersects(a.lo, a.hi, b.lo, b.hi) == a.intersects(b)
+        assert rect_contains_point(a.lo, a.hi, point) == a.contains_point(point)
+        assert rect_enlargement(a.lo, a.hi, b.lo, b.hi, a.area) == a.enlargement(b)
+        union = a.union(b)
+        assert union.lo == tuple(min(x, y) for x, y in zip(a.lo, b.lo))
+        assert union.hi == tuple(max(x, y) for x, y in zip(a.hi, b.hi))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, default=4096)
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--out", default=None, metavar="JSON")
+    args = parser.parse_args(argv)
+
+    result = run_geometry_bench(args.pairs, args.repeat)
+    for name, entry in result["ops"].items():
+        parts = ", ".join(f"{k[:-10]} {v:8.1f} ns/op" for k, v in entry.items())
+        print(f"  {name:<15} {parts}")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

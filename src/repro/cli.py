@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--query-rate", type=float, default=None,
                        help="anticipated query rate for Eq. 6 (default: update rate / 100)")
     build.add_argument("--city-size", type=float, default=1000.0)
+    build.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="mine Phases 1-2 across N processes "
+                            "(bit-identical to the serial build; 0 = serial)")
     build.add_argument("--save", metavar="SNAPSHOT",
                        help="write the built index to a JSON snapshot file")
     build.add_argument("--metrics-out", metavar="JSON",
@@ -128,6 +131,18 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--drift-window", type=int, default=200, metavar="N",
                          help="updates per drift-monitor window when "
                               "--self-heal is on (default: 200)")
+    compare.add_argument("--parallel", default="off",
+                         choices=("off", "thread", "process"),
+                         help="run the sharded engine on a worker pool, one "
+                              "worker per shard (process = real parallelism, "
+                              "thread = low-overhead smoke mode; implies "
+                              "sharding, see --workers; not with --wal-dir "
+                              "or --self-heal)")
+    compare.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="worker count for --parallel; each worker owns "
+                              "one shard, so this doubles as the shard count "
+                              "when --shards is not given (they must agree "
+                              "when both are)")
 
     recover = sub.add_parser(
         "recover", help="recover an index from a WAL directory after a crash"
@@ -199,8 +214,12 @@ def cmd_build(args: argparse.Namespace) -> int:
         args.query_rate if args.query_rate is not None else max(stream.rate, 1.0) / 100.0
     )
     pager = Pager()
-    builder = CTRTreeBuilder(CTParams(), query_rate=query_rate)
+    builder = CTRTreeBuilder(
+        CTParams(), query_rate=query_rate, workers=args.workers
+    )
     tree, report = builder.build(pager, _domain(args.city_size), histories, current)
+    if args.workers and args.workers > 1:
+        print(f"parallel build: {args.workers} workers (bit-identical)")
     print(f"objects:        {report.object_count}")
     print(f"phase 1 regions:{report.phase1_regions:>8}")
     print(f"phase 2 regions:{report.phase2_regions:>8}")
@@ -293,18 +312,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
     batched = args.batch > 0
     walled = args.wal_dir is not None
     healing = getattr(args, "self_heal", False)
+    parallel_mode = getattr(args, "parallel", "off")
+    parallel = parallel_mode != "off"
     if healing and sharded:
         print("--self-heal does not compose with --shards (the wrapper "
               "rebuilds one structure; shard routers manage their own)",
               file=sys.stderr)
         return 1
+    if args.workers and not parallel:
+        print("--workers needs --parallel thread|process", file=sys.stderr)
+        return 1
+    n_workers = 0
+    if parallel:
+        if walled:
+            print("--parallel does not compose with --wal-dir (WAL append "
+                  "order assumes a single applying actor; workers apply "
+                  "concurrently)", file=sys.stderr)
+            return 1
+        if healing:
+            print("--parallel does not compose with --self-heal (the "
+                  "wrapper rebuilds one structure; the worker pool degrades "
+                  "to inline on its own)", file=sys.stderr)
+            return 1
+        if args.workers > 1 and sharded and args.workers != args.shards:
+            print("--workers must equal --shards (each worker owns exactly "
+                  "one shard)", file=sys.stderr)
+            return 1
+        n_workers = args.workers if args.workers > 1 else args.shards
+        if n_workers < 2:
+            print("--parallel needs --workers N (or --shards N) with N >= 2",
+                  file=sys.stderr)
+            return 1
+        sharded = False  # the parallel router replaces the inline one
     print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})")
     if pooled:
         print(f"buffer pool: {args.buffer_pool} frames (LRU, write-back)")
-    if sharded or batched:
+    if sharded or batched or parallel:
         parts = []
         if sharded:
             parts.append(f"{args.shards} shards (static space partition)")
+        if parallel:
+            parts.append(f"parallel {parallel_mode} "
+                         f"({n_workers} workers, one shard each)")
         if batched:
             parts.append(f"batch {args.batch} (coalescing update buffer)")
         print(f"engine: {', '.join(parts)}")
@@ -327,7 +376,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print("-" * len(header))
     per_index: dict = {}
     for kind in IndexKind.ALL:
-        if sharded:
+        closer = None
+        if parallel:
+            from repro.parallel import ParallelShardedIndex
+
+            index = ParallelShardedIndex(
+                kind,
+                domain,
+                n_workers,
+                mode=parallel_mode,
+                histories=histories if kind == IndexKind.CT else None,
+                query_rate=query_rate,
+                pool_frames=args.buffer_pool,
+            )
+            closer = index
+            store = index.pager
+            store_metrics = store.metrics_dict
+        elif sharded:
             index = ShardedIndex(
                 kind,
                 domain,
@@ -404,12 +469,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "tree_stats": tree_stats(index),
                 "pager": store_metrics(),
                 "buffer_pool": (
-                    store.metrics_dict() if pooled and not sharded else None
+                    store.metrics_dict()
+                    if pooled and not sharded and not parallel
+                    else None
                 ),
                 "engine": {
-                    "shards": args.shards,
+                    "shards": n_workers if parallel else args.shards,
                     "batch": args.batch,
-                    "sharded": index.engine_dict() if sharded else None,
+                    "parallel": parallel_mode,
+                    "sharded": (
+                        index.engine_dict() if sharded or parallel else None
+                    ),
                     "buffer": (
                         buffer.stats.to_dict() if buffer is not None else None
                     ),
@@ -421,6 +491,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     wrapper.health_dict() if wrapper is not None else None
                 ),
             }
+        if closer is not None:
+            closer.close()
     if args.metrics_out:
         if not _write_metrics(
             args.metrics_out,
@@ -428,6 +500,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "command": "compare",
                 "buffer_pool_frames": args.buffer_pool,
                 "shards": args.shards,
+                "parallel": parallel_mode,
+                "workers": n_workers,
                 "batch": args.batch,
                 "self_heal": healing,
                 "drift_window": args.drift_window if healing else None,

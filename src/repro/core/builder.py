@@ -80,6 +80,10 @@ class CTRTreeBuilder:
         exhaustive: candidate generation for Phase-2 merging on the unified
             graph (None = auto by size; see ``merge_by_density``).
         adaptive: enable Appendix-A adaptation on the produced tree.
+        workers: run Phase 1 and Phase 2a across this many processes
+            (:mod:`repro.parallel.build`); 0 or 1 keeps the serial path.
+            The parallel build is bit-identical to the serial one -- only
+            wall clock changes.
     """
 
     def __init__(
@@ -91,6 +95,7 @@ class CTRTreeBuilder:
         split: str = "quadratic",
         exhaustive: Optional[bool] = None,
         adaptive: bool = True,
+        workers: int = 0,
     ) -> None:
         self.params = ct_params if ct_params is not None else CTParams()
         self.query_rate = query_rate
@@ -98,6 +103,7 @@ class CTRTreeBuilder:
         self.split = split
         self.exhaustive = exhaustive
         self.adaptive = adaptive
+        self.workers = workers
         #: Wall-clock seconds per phase of the most recent mine()/build().
         self.last_phase_timings: Dict[str, float] = {}
 
@@ -117,21 +123,57 @@ class CTRTreeBuilder:
         """
         registry = get_registry()
         timings = self.last_phase_timings = {}
+        parallel = self.workers and self.workers > 1
+        pool = None
+        if parallel:
+            # Lazy import: repro.parallel imports repro.core, not the other
+            # way around at module load.  One pool serves both parallel
+            # phases so fork start-up is paid once.
+            from repro.parallel.build import build_pool
 
-        t0 = perf_counter()
-        per_object = [
-            identify_qs_regions(trail, self.params, object_id=obj_id)
-            for obj_id, trail in histories.items()
-        ]
-        phase1_count = sum(len(regions) for regions in per_object)
-        t_max = max((trail_duration(t) for t in histories.values()), default=0.0)
-        timings["phase1_qs_mining"] = perf_counter() - t0
+            pool = build_pool(self.workers)
 
-        t0 = perf_counter()
-        graph = build_update_graph(
-            per_object, self.params.t_area, t_max, exhaustive=self.exhaustive
-        )
-        timings["phase2_graph"] = perf_counter() - t0
+        try:
+            t0 = perf_counter()
+            if parallel:
+                from repro.parallel.build import parallel_qs_regions
+
+                per_object = parallel_qs_regions(
+                    histories, self.params, self.workers, pool=pool
+                )
+            else:
+                per_object = [
+                    identify_qs_regions(trail, self.params, object_id=obj_id)
+                    for obj_id, trail in histories.items()
+                ]
+            phase1_count = sum(len(regions) for regions in per_object)
+            t_max = max(
+                (trail_duration(t) for t in histories.values()), default=0.0
+            )
+            timings["phase1_qs_mining"] = perf_counter() - t0
+
+            t0 = perf_counter()
+            if parallel:
+                from repro.core.update_graph import finish_update_graph
+                from repro.parallel.build import parallel_object_graphs
+
+                graphs = parallel_object_graphs(
+                    per_object, self.params.t_area, self.workers, pool=pool
+                )
+                graph = finish_update_graph(
+                    graphs, self.params.t_area, t_max, exhaustive=self.exhaustive
+                )
+            else:
+                graph = build_update_graph(
+                    per_object,
+                    self.params.t_area,
+                    t_max,
+                    exhaustive=self.exhaustive,
+                )
+            timings["phase2_graph"] = perf_counter() - t0
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         t0 = perf_counter()
         traffic_merges = merge_by_traffic(
@@ -141,6 +183,10 @@ class CTRTreeBuilder:
 
         for phase, seconds in timings.items():
             registry.record_duration(f"build.{phase}_s", seconds)
+        if self.workers:
+            # Recorded alongside the timings so BuildReport.phase_timings
+            # carries what the per-phase wall clocks were measured at.
+            timings["parallel_workers"] = float(self.workers)
         return graph, phase1_count, traffic_merges, t_max
 
     # -- phase 4 ---------------------------------------------------------------

@@ -25,7 +25,12 @@ import heapq
 import math
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.core.geometry import Point, Rect
+from repro.core.geometry import (
+    Point,
+    Rect,
+    rect_enlargement,
+    rect_intersects,
+)
 from repro.core.overflow import (
     OWNER_LIST,
     OWNER_QS,
@@ -205,13 +210,20 @@ class CTRTree:
     def _choose_path(self, rect: Rect) -> List[CTNode]:
         node = self._read(self._root_pid)
         path = [node]
+        rlo = rect.lo
+        rhi = rect.hi
+        enlargement_of = rect_enlargement
         while not node.is_leaf:
             best: Optional[Entry] = None
-            best_key = (float("inf"), float("inf"))
+            best_enl = float("inf")
+            best_area = float("inf")
             for entry in node.entries:
-                key = (entry.rect.enlargement(rect), entry.rect.area)
-                if key < best_key:
-                    best_key = key
+                entry_rect = entry.rect
+                area = entry_rect.area
+                enl = enlargement_of(entry_rect.lo, entry_rect.hi, rlo, rhi, area)
+                if enl < best_enl or (enl == best_enl and area < best_area):
+                    best_enl = enl
+                    best_area = area
                     best = entry
             assert best is not None, "internal structural node without entries"
             node = self._read(best.child)
@@ -640,6 +652,9 @@ class CTRTree:
         "since objects can also be stored in the internal nodes, the search
         visits the set of buffer pages at each internal node"."""
         results: List[Tuple[int, Point]] = []
+        qlo = rect.lo
+        qhi = rect.hi
+        intersects = rect_intersects
         stack = [self._root_pid]
         while stack:
             node = self._read(stack.pop())
@@ -647,14 +662,15 @@ class CTRTree:
             if node.is_leaf:
                 for qs in node.entries:
                     assert isinstance(qs, QSEntry)
-                    if qs.rect.intersects(rect):
+                    if intersects(qs.rect.lo, qs.rect.hi, qlo, qhi):
                         for pid in qs.chain:
                             page = self._pager.read(pid)
                             assert isinstance(page, DataPage)
                             results.extend(page.matches(rect))
             else:
                 for entry in node.entries:
-                    if entry.rect.intersects(rect):
+                    entry_rect = entry.rect
+                    if intersects(entry_rect.lo, entry_rect.hi, qlo, qhi):
                         stack.append(entry.child)
         return results
 

@@ -5,6 +5,18 @@ The paper develops the CT-R-tree in two dimensions but notes the algorithms
 (Section 3.1.1).  :class:`Rect` is therefore dimension-agnostic: a pair of
 coordinate tuples ``lo``/``hi``.  Rectangles are closed (boundary points are
 contained) and immutable; every operation returns a new rectangle.
+
+This module is the innermost hot path of the whole system: every
+choose-subtree descent, split evaluation and query fan-out funnels through
+``intersects``/``enlargement``/``union``/``contains_point``.  The methods
+therefore carry unrolled 2-D fast paths (the evaluated workloads are 2-D; the
+n-D general case falls through to the original loops), ``area`` is computed
+once and cached (rectangles are immutable), and the module exposes
+**flat-tuple kernels** (:func:`rect_intersects`, :func:`rect_contains_point`,
+:func:`rect_enlargement`) operating directly on ``lo``/``hi`` tuples so the
+R-tree descent loops skip per-entry method dispatch.  All fast paths perform
+the same floating-point operations in the same order as the generic paths,
+so results are bit-identical.
 """
 
 from __future__ import annotations
@@ -22,7 +34,7 @@ class Rect:
     Used for MBRs, qs-regions, and range queries alike.
     """
 
-    __slots__ = ("lo", "hi")
+    __slots__ = ("lo", "hi", "_area")
 
     def __init__(self, lo: Sequence[float], hi: Sequence[float]) -> None:
         if len(lo) != len(hi):
@@ -34,6 +46,27 @@ class Rect:
                 raise ValueError(f"degenerate bounds: lo={lo!r} hi={hi!r}")
         self.lo: Point = tuple(float(c) for c in lo)
         self.hi: Point = tuple(float(c) for c in hi)
+        self._area: Optional[float] = None
+
+    @classmethod
+    def _make(cls, lo: Point, hi: Point) -> "Rect":
+        """Trusted constructor: ``lo``/``hi`` are already canonical float
+        tuples with ``lo[i] <= hi[i]`` (coordinates taken from existing
+        rectangles).  Skips validation on the combination hot paths."""
+        rect = object.__new__(cls)
+        rect.lo = lo
+        rect.hi = hi
+        rect._area = None
+        return rect
+
+    def __getstate__(self) -> Tuple[Point, Point]:
+        # The cached area is derived state; keep pickles (and the fork-based
+        # parallel build's chunk results) minimal and canonical.
+        return (self.lo, self.hi)
+
+    def __setstate__(self, state: Tuple[Point, Point]) -> None:
+        self.lo, self.hi = state
+        self._area = None
 
     # -- constructors ------------------------------------------------------
 
@@ -90,10 +123,23 @@ class Rect:
 
     @property
     def area(self) -> float:
-        """Hyper-volume (area in 2-D); zero for degenerate rectangles."""
-        result = 1.0
-        for side in self.sides:
-            result *= side
+        """Hyper-volume (area in 2-D); zero for degenerate rectangles.
+
+        Computed once and cached -- rectangles are immutable and the R-tree's
+        choose-subtree ties on area, so the same rectangle's area is read
+        many times per descent.
+        """
+        result = self._area
+        if result is None:
+            lo = self.lo
+            hi = self.hi
+            if len(lo) == 2:
+                result = (hi[0] - lo[0]) * (hi[1] - lo[1])
+            else:
+                result = 1.0
+                for low, high in zip(lo, hi):
+                    result *= high - low
+            self._area = result
         return result
 
     @property
@@ -113,19 +159,43 @@ class Rect:
     # -- predicates ----------------------------------------------------------
 
     def contains_point(self, point: Sequence[float]) -> bool:
-        return all(l <= c <= h for l, c, h in zip(self.lo, point, self.hi))
+        lo = self.lo
+        hi = self.hi
+        if len(lo) == 2 and len(point) == 2:
+            return lo[0] <= point[0] <= hi[0] and lo[1] <= point[1] <= hi[1]
+        return all(l <= c <= h for l, c, h in zip(lo, point, hi))
 
     def contains_rect(self, other: "Rect") -> bool:
+        slo = self.lo
+        shi = self.hi
+        olo = other.lo
+        ohi = other.hi
+        if len(slo) == 2 and len(olo) == 2:
+            return (
+                slo[0] <= olo[0]
+                and ohi[0] <= shi[0]
+                and slo[1] <= olo[1]
+                and ohi[1] <= shi[1]
+            )
         return all(
-            sl <= ol and oh <= sh
-            for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
+            sl <= ol and oh <= sh for sl, ol, oh, sh in zip(slo, olo, ohi, shi)
         )
 
     def intersects(self, other: "Rect") -> bool:
         """True when the closed rectangles share at least a boundary point."""
+        slo = self.lo
+        shi = self.hi
+        olo = other.lo
+        ohi = other.hi
+        if len(slo) == 2 and len(olo) == 2:
+            return (
+                slo[0] <= ohi[0]
+                and olo[0] <= shi[0]
+                and slo[1] <= ohi[1]
+                and olo[1] <= shi[1]
+            )
         return all(
-            sl <= oh and ol <= sh
-            for sl, oh, ol, sh in zip(self.lo, other.hi, other.lo, self.hi)
+            sl <= oh and ol <= sh for sl, oh, ol, sh in zip(slo, ohi, olo, shi)
         )
 
     # -- combination -----------------------------------------------------------
@@ -136,16 +206,31 @@ class Rect:
         hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
         if any(l > h for l, h in zip(lo, hi)):
             return None
-        return Rect(lo, hi)
+        return Rect._make(lo, hi)
 
     def overlap_area(self, other: "Rect") -> float:
         overlap = self.intersection(other)
         return overlap.area if overlap is not None else 0.0
 
     def union(self, other: "Rect") -> "Rect":
-        return Rect(
-            tuple(min(a, b) for a, b in zip(self.lo, other.lo)),
-            tuple(max(a, b) for a, b in zip(self.hi, other.hi)),
+        slo = self.lo
+        shi = self.hi
+        olo = other.lo
+        ohi = other.hi
+        if len(slo) == 2 and len(olo) == 2:
+            return Rect._make(
+                (
+                    slo[0] if slo[0] <= olo[0] else olo[0],
+                    slo[1] if slo[1] <= olo[1] else olo[1],
+                ),
+                (
+                    shi[0] if shi[0] >= ohi[0] else ohi[0],
+                    shi[1] if shi[1] >= ohi[1] else ohi[1],
+                ),
+            )
+        return Rect._make(
+            tuple(min(a, b) for a, b in zip(slo, olo)),
+            tuple(max(a, b) for a, b in zip(shi, ohi)),
         )
 
     def union_point(self, point: Sequence[float]) -> "Rect":
@@ -159,6 +244,16 @@ class Rect:
 
     def enlargement(self, other: "Rect") -> float:
         """Area increase needed to cover ``other`` (Guttman's ChooseLeaf)."""
+        slo = self.lo
+        shi = self.hi
+        olo = other.lo
+        ohi = other.hi
+        if len(slo) == 2 and len(olo) == 2:
+            lo0 = slo[0] if slo[0] <= olo[0] else olo[0]
+            lo1 = slo[1] if slo[1] <= olo[1] else olo[1]
+            hi0 = shi[0] if shi[0] >= ohi[0] else ohi[0]
+            hi1 = shi[1] if shi[1] >= ohi[1] else ohi[1]
+            return (hi0 - lo0) * (hi1 - lo1) - self.area
         return self.union(other).area - self.area
 
     def enlargement_point(self, point: Sequence[float]) -> float:
@@ -212,6 +307,64 @@ class Rect:
 
     def __repr__(self) -> str:
         return f"Rect({list(self.lo)}, {list(self.hi)})"
+
+
+# -- flat-tuple kernels --------------------------------------------------
+#
+# The R-tree descent loops (choose-subtree, range search, find-leaf) touch
+# every entry of every visited node; going through ``Rect`` methods costs an
+# attribute lookup plus a bound-method call per test.  These module-level
+# kernels take the ``lo``/``hi`` tuples directly so the descent loops pay one
+# global lookup per *node* (hoisted into a local) instead of per entry.  Each
+# performs exactly the floating-point operations of the corresponding method,
+# so switching a call site never changes results.
+
+
+def rect_intersects(alo: Point, ahi: Point, blo: Point, bhi: Point) -> bool:
+    """``Rect(alo, ahi).intersects(Rect(blo, bhi))`` without the objects."""
+    if len(alo) == 2:
+        return (
+            alo[0] <= bhi[0]
+            and blo[0] <= ahi[0]
+            and alo[1] <= bhi[1]
+            and blo[1] <= ahi[1]
+        )
+    return all(
+        al <= bh and bl <= ah for al, bh, bl, ah in zip(alo, bhi, blo, ahi)
+    )
+
+
+def rect_contains_point(lo: Point, hi: Point, point: Sequence[float]) -> bool:
+    """``Rect(lo, hi).contains_point(point)`` without the object."""
+    if len(lo) == 2 and len(point) == 2:
+        return lo[0] <= point[0] <= hi[0] and lo[1] <= point[1] <= hi[1]
+    return all(l <= c <= h for l, c, h in zip(lo, point, hi))
+
+
+def rect_area(lo: Point, hi: Point) -> float:
+    """Hyper-volume of the rectangle ``[lo, hi]``."""
+    if len(lo) == 2:
+        return (hi[0] - lo[0]) * (hi[1] - lo[1])
+    result = 1.0
+    for low, high in zip(lo, hi):
+        result *= high - low
+    return result
+
+
+def rect_enlargement(
+    alo: Point, ahi: Point, blo: Point, bhi: Point, a_area: float
+) -> float:
+    """Area growth of ``[alo, ahi]`` (own area ``a_area``) to cover
+    ``[blo, bhi]`` -- the choose-subtree kernel."""
+    if len(alo) == 2:
+        lo0 = alo[0] if alo[0] <= blo[0] else blo[0]
+        lo1 = alo[1] if alo[1] <= blo[1] else blo[1]
+        hi0 = ahi[0] if ahi[0] >= bhi[0] else bhi[0]
+        hi1 = ahi[1] if ahi[1] >= bhi[1] else bhi[1]
+        return (hi0 - lo0) * (hi1 - lo1) - a_area
+    lo = tuple(min(a, b) for a, b in zip(alo, blo))
+    hi = tuple(max(a, b) for a, b in zip(ahi, bhi))
+    return rect_area(lo, hi) - a_area
 
 
 def square_at(center: Sequence[float], side: float) -> Rect:

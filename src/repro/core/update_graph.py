@@ -263,6 +263,44 @@ def merge_by_density(
     return merges
 
 
+def per_object_graphs(
+    per_object_regions: Sequence[Sequence[QSRegion]], t_area: float
+) -> List[UpdateGraph]:
+    """Phase 2a: one density-merged chain graph per object.
+
+    Each object's graph depends on nothing but its own regions, which is
+    what makes this half of the phase embarrassingly parallel -- the
+    parallel build (:mod:`repro.parallel.build`) runs exactly this function
+    over contiguous chunks and concatenates, so its output is bit-identical.
+    """
+    graphs = []
+    for regions in per_object_regions:
+        graph = chain_graph(regions)
+        merge_by_density(graph, t_area, exhaustive=True)
+        graphs.append(graph)
+    return graphs
+
+
+def finish_update_graph(
+    graphs: Sequence[UpdateGraph],
+    t_area: float,
+    t_max: float,
+    exhaustive: Optional[bool] = None,
+) -> UpdateGraph:
+    """Phase 2b: union the per-object graphs, merge globally, rescale.
+
+    Inherently order-sensitive (region ids are assigned by union order), so
+    it always runs serially -- both the serial and parallel builds feed it
+    graphs in stable object order.
+    """
+    unified = union_graphs(graphs)
+    merge_by_density(unified, t_area, exhaustive=exhaustive)
+
+    if t_max > 0:
+        unified.scale_edges(1.0 / t_max)
+    return unified
+
+
 def build_update_graph(
     per_object_regions: Sequence[Sequence[QSRegion]],
     t_area: float,
@@ -277,15 +315,9 @@ def build_update_graph(
         t_max: the longest trail duration (``max |H_i|`` in time), used to
             scale edge weights to updates per unit time.
     """
-    per_object_graphs = []
-    for regions in per_object_regions:
-        graph = chain_graph(regions)
-        merge_by_density(graph, t_area, exhaustive=True)
-        per_object_graphs.append(graph)
-
-    unified = union_graphs(per_object_graphs)
-    merge_by_density(unified, t_area, exhaustive=exhaustive)
-
-    if t_max > 0:
-        unified.scale_edges(1.0 / t_max)
-    return unified
+    return finish_update_graph(
+        per_object_graphs(per_object_regions, t_area),
+        t_area,
+        t_max,
+        exhaustive=exhaustive,
+    )

@@ -255,6 +255,14 @@ class UpdateBuffer:
         apply succeeds.  If the index raises mid-batch, the failed and
         still-unapplied updates stay pending -- a retry (or a WAL replay
         after a crash) sees them again instead of silently losing them.
+
+        Batch dispatch: an index exposing ``apply_batch`` (the parallel
+        sharded engine) receives the whole sorted batch in one call, so it
+        can group the applies by shard and dispatch them to workers
+        concurrently instead of one routing round-trip per update.  The
+        contract is all-or-nothing per call: ``apply_batch`` either applies
+        the full batch (returning the op count) or raises with the index
+        unchanged, in which case everything stays pending.
         """
         if not self._pending:
             return 0
@@ -262,18 +270,27 @@ class UpdateBuffer:
             self._pending.values(), key=lambda u: (u.t, u.seq)
         )
         applied = 0
-        try:
-            for update in batch:
-                if update.old_point is None:
-                    index.insert(update.oid, update.point, now=update.t)
-                else:
-                    index.update(
-                        update.oid, update.old_point, update.point, now=update.t
-                    )
-                del self._pending[update.oid]
-                applied += 1
-        finally:
+        apply_batch = getattr(index, "apply_batch", None)
+        if apply_batch is not None:
+            applied = int(apply_batch(batch))
+            self._pending.clear()
             self.stats.applied += applied
+        else:
+            try:
+                for update in batch:
+                    if update.old_point is None:
+                        index.insert(update.oid, update.point, now=update.t)
+                    else:
+                        index.update(
+                            update.oid,
+                            update.old_point,
+                            update.point,
+                            now=update.t,
+                        )
+                    del self._pending[update.oid]
+                    applied += 1
+            finally:
+                self.stats.applied += applied
         self.stats.flushes += 1
         self.stats.reasons[reason] = self.stats.reasons.get(reason, 0) + 1
         registry = get_registry()

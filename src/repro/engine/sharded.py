@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.geometry import Point, Rect
@@ -108,6 +109,27 @@ class ShardIOStats(IOStats):
         self._shared.record_write(count)
 
 
+def route_histories(
+    partition: SpacePartition,
+    histories: Optional[Mapping[int, Sequence[Tuple[Point, float]]]],
+) -> List[Dict[int, Sequence[Tuple[Point, float]]]]:
+    """Split a history profile by the shard owning each trail's last sample.
+
+    Shared by :class:`ShardedIndex` and the parallel engine so both route a
+    CT history profile identically.
+    """
+    routed: List[Dict[int, Sequence[Tuple[Point, float]]]] = [
+        {} for _ in range(partition.n_shards)
+    ]
+    if histories:
+        for oid, trail in histories.items():
+            if not trail:
+                continue
+            sid = partition.shard_of(trail[-1][0])
+            routed[sid][oid] = trail
+    return routed
+
+
 @dataclass
 class Shard:
     """One slab of the space partition with its private storage and index."""
@@ -120,6 +142,9 @@ class Shard:
     n_updates: int = 0
     n_queries: int = 0
     result_count: int = 0
+    #: Cumulative seconds spent inside this shard's index operations
+    #: (the shard-local apply/search time, excluding routing overhead).
+    wall_clock_s: float = 0.0
 
     def run_result(self, kind: str) -> RunResult:
         """This shard's ledger as a :class:`RunResult` (UPDATE/QUERY scopes)."""
@@ -131,7 +156,35 @@ class Shard:
             result_count=self.result_count,
             update_io=stats.counter(IOCategory.UPDATE),
             query_io=stats.counter(IOCategory.QUERY),
+            wall_clock_s=self.wall_clock_s,
         )
+
+
+def build_shard(
+    kind: str,
+    sid: int,
+    region: Rect,
+    options: IndexOptions,
+    *,
+    stats: Optional[IOStats] = None,
+    pool_frames: int = 0,
+    page_size: int = 4096,
+) -> Shard:
+    """Construct one shard (pager, optional pool, index) for ``region``.
+
+    Shared by :class:`ShardedIndex` (which passes a mirrored
+    :class:`ShardIOStats` ledger) and by parallel workers (which pass a
+    private ledger and reconcile deltas back through ``IOStats.charge``).
+    """
+    spec = get_spec(kind)
+    pager = Pager(
+        page_size=page_size, stats=stats if stats is not None else IOStats()
+    )
+    store: PageStore = (
+        BufferPool(pager, capacity=pool_frames) if pool_frames else pager
+    )
+    index = spec.factory(store, region, options)
+    return Shard(sid=sid, region=region, pager=pager, store=store, index=index)
 
 
 class ShardedStore:
@@ -208,6 +261,10 @@ class ShardedIndex:
             from the objects it will load.
         pool_frames: wrap each shard's pager in an LRU buffer pool of this
             many frames (0 = paper accounting).
+        stats: an existing shared ledger to charge instead of a fresh one.
+            The parallel engine's inline fallback passes its own ledger here
+            so counters stay monotone across the worker -> inline cutover
+            (the driver's delta accounting would otherwise go negative).
     """
 
     def __init__(
@@ -224,13 +281,14 @@ class ShardedIndex:
         split: str = "quadratic",
         pool_frames: int = 0,
         page_size: int = 4096,
+        stats: Optional[IOStats] = None,
     ) -> None:
         self.kind = kind
         self.domain = domain
         spec = get_spec(kind)
         self._spec = spec
         self.partition = SpacePartition(domain, n_shards)
-        self._stats = IOStats()
+        self._stats = stats if stats is not None else IOStats()
         #: Object id -> owning shard id (the router's own secondary index;
         #: uncharged, like the structures' parent-pointer metadata).
         self._owner: Dict[int, int] = {}
@@ -241,10 +299,6 @@ class ShardedIndex:
         self.shards: List[Shard] = []
         for sid in range(n_shards):
             region = self.partition.region(sid)
-            pager = Pager(page_size=page_size, stats=ShardIOStats(self._stats))
-            store: PageStore = (
-                BufferPool(pager, capacity=pool_frames) if pool_frames else pager
-            )
             options = IndexOptions(
                 max_entries=max_entries,
                 ct_params=ct_params,
@@ -253,9 +307,16 @@ class ShardedIndex:
                 adaptive=adaptive,
                 split=split,
             )
-            index = spec.factory(store, region, options)
             self.shards.append(
-                Shard(sid=sid, region=region, pager=pager, store=store, index=index)
+                build_shard(
+                    kind,
+                    sid,
+                    region,
+                    options,
+                    stats=ShardIOStats(self._stats),
+                    pool_frames=pool_frames,
+                    page_size=page_size,
+                )
             )
         self._store = ShardedStore(self.shards, self._stats)
 
@@ -263,16 +324,7 @@ class ShardedIndex:
         self,
         histories: Optional[Mapping[int, Sequence[Tuple[Point, float]]]],
     ) -> List[Dict[int, Sequence[Tuple[Point, float]]]]:
-        routed: List[Dict[int, Sequence[Tuple[Point, float]]]] = [
-            {} for _ in range(self.partition.n_shards)
-        ]
-        if histories:
-            for oid, trail in histories.items():
-                if not trail:
-                    continue
-                sid = self.partition.shard_of(trail[-1][0])
-                routed[sid][oid] = trail
-        return routed
+        return route_histories(self.partition, histories)
 
     # -- SpatialIndex surface ------------------------------------------------
 
@@ -292,7 +344,9 @@ class ShardedIndex:
     ) -> PageId:
         pos = position_of(point)
         shard = self.shards[self.partition.shard_of(pos)]
+        t0 = perf_counter()
         pid = shard.index.insert(obj_id, pos, now=now)
+        shard.wall_clock_s += perf_counter() - t0
         self._owner[obj_id] = shard.sid
         shard.n_updates += 1
         return pid
@@ -311,15 +365,20 @@ class ShardedIndex:
         new_sid = self.partition.shard_of(new_pos)
         if new_sid == old_sid:
             shard = self.shards[old_sid]
+            t0 = perf_counter()
             pid = shard.index.update(obj_id, old_point, new_pos, now=now)
+            shard.wall_clock_s += perf_counter() - t0
             shard.n_updates += 1
             return pid
         # Boundary crossing: remove from the old shard, insert into the new.
         old_shard = self.shards[old_sid]
         old_pos = None if old_point is None else position_of(old_point)
+        t0 = perf_counter()
         self._spec.delete(old_shard.index, obj_id, old_pos, now)
+        old_shard.wall_clock_s += perf_counter() - t0
         old_shard.n_updates += 1
         new_shard = self.shards[new_sid]
+        t0 = perf_counter()
         try:
             pid = new_shard.index.insert(obj_id, new_pos, now=now)
         except Exception:
@@ -332,6 +391,8 @@ class ShardedIndex:
                 old_shard.index.insert(obj_id, old_pos, now=now)
                 old_shard.n_updates += 1
             raise
+        finally:
+            new_shard.wall_clock_s += perf_counter() - t0
         self.cross_shard_moves += 1
         new_shard.n_updates += 1
         self._owner[obj_id] = new_sid
@@ -347,7 +408,10 @@ class ShardedIndex:
         if sid is None:
             return False
         pos = None if old_point is None else position_of(old_point)
-        removed = self._spec.delete(self.shards[sid].index, obj_id, pos, now)
+        shard = self.shards[sid]
+        t0 = perf_counter()
+        removed = self._spec.delete(shard.index, obj_id, pos, now)
+        shard.wall_clock_s += perf_counter() - t0
         if removed:
             del self._owner[obj_id]
         return bool(removed)
@@ -358,7 +422,9 @@ class ShardedIndex:
         results: List[Tuple[int, Point]] = []
         for sid in self.partition.intersecting(rect):
             shard = self.shards[sid]
+            t0 = perf_counter()
             matches = shard.index.range_search(rect)
+            shard.wall_clock_s += perf_counter() - t0
             shard.n_queries += 1
             shard.result_count += len(matches)
             results.extend(matches)

@@ -184,6 +184,18 @@ def verify_index(index, *, kind: Optional[str] = None) -> VerifyReport:
     if isinstance(index, ShardedIndex):
         report.kind = "sharded"
         _verify_sharded(index, report)
+    elif (
+        hasattr(index, "shards")
+        and hasattr(index, "partition")
+        and hasattr(index, "_owner")
+    ):
+        # Duck-typed router surface: the parallel engine in thread mode (or
+        # after its inline fallback) exposes `shards`/`partition`/`_owner`
+        # exactly like ShardedIndex.  In process mode the shards live in
+        # worker processes, `shards` raises AttributeError, and dispatch
+        # falls through to the registry path below.
+        report.kind = "sharded"
+        _verify_sharded(index, report)
     elif isinstance(index, CTRTree):
         report.kind = "ct"
         _verify_ct(index, report)

@@ -47,6 +47,11 @@ def tree_stats(index) -> Dict[str, object]:
         # The health layer's self-healing wrapper: probe whatever structure
         # is currently serving (post-cutover that is the rebuilt shadow).
         return tree_stats(index.inner)
+    collect = getattr(index, "collect_tree_stats", None)
+    if collect is not None:
+        # An index whose structure is not parent-resident (the parallel
+        # engine's process workers) gathers its own per-shard probes.
+        return collect()
     outer = index
     if hasattr(index, "shards") and hasattr(index, "partition"):
         # The engine's sharded router: aggregate the per-shard probes.
@@ -133,6 +138,13 @@ def _sharded_stats(index) -> Dict[str, object]:
     failure mode of a static partition -- stays visible.
     """
     per_shard = [tree_stats(shard.index) for shard in index.shards]
+    return aggregate_shard_stats(per_shard, index)
+
+
+def aggregate_shard_stats(per_shard, index) -> Dict[str, object]:
+    """Aggregate already-collected per-shard probe dicts (see
+    :func:`_sharded_stats`); the parallel engine calls this with probes its
+    workers computed in their own processes."""
     sizes = [int(s.get("size", 0)) for s in per_shard]
     aggregated: Dict[str, object] = {
         "sharded": True,

@@ -1,0 +1,112 @@
+"""Parallel CT-R-tree construction: Phases 1-2 across a process pool.
+
+Phase 1 (qs-region mining, one trail at a time) and Phase 2a (per-object
+chain graphs + density merging) are embarrassingly parallel per object.
+This module chunks them across a :class:`~concurrent.futures.
+ProcessPoolExecutor`; Phase 2b (graph union + global merge) and everything
+downstream stay serial in the parent.
+
+**Determinism contract**: chunks are contiguous slices of the iteration
+order of ``histories.items()``, ``pool.map`` yields results in submission
+order, and the chunks concatenate back into exactly the serial sequence.
+Per-object work is pure (no shared state, no ordering dependence between
+objects) and runs the very same functions the serial pipeline runs --
+so the parallel build is **bit-identical** to the serial build, down to
+the bytes of the snapshot document of the loaded tree.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Mapping, Optional, Sequence, TypeVar
+
+from repro.core.params import CTParams
+from repro.core.qsregion import QSRegion, TrailSample, identify_qs_regions
+from repro.core.update_graph import UpdateGraph, per_object_graphs
+
+T = TypeVar("T")
+
+
+def chunked(items: List[T], n: int) -> List[List[T]]:
+    """At most ``n`` contiguous, near-equal, order-preserving chunks."""
+    n = max(1, min(n, len(items)))
+    size, extra = divmod(len(items), n)
+    out: List[List[T]] = []
+    start = 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
+
+
+def _mine_chunk(args) -> List[List[QSRegion]]:
+    """Pool task: Phase 1 over one chunk of (oid, trail) pairs."""
+    params, chunk = args
+    return [
+        identify_qs_regions(trail, params, object_id=oid)
+        for oid, trail in chunk
+    ]
+
+
+def _graph_chunk(args) -> List[UpdateGraph]:
+    """Pool task: Phase 2a over one chunk of per-object region lists.
+
+    Delegates to the serial :func:`per_object_graphs` so the parallel and
+    serial paths cannot drift apart.
+    """
+    t_area, chunk = args
+    return per_object_graphs(chunk, t_area)
+
+
+def build_pool(workers: int) -> ProcessPoolExecutor:
+    """One executor shared across both parallel phases.
+
+    Pool start-up (fork + first task hand-off) is the dominant fixed cost
+    of the parallel build at small scales; paying it once instead of once
+    per phase keeps the break-even point low.
+    """
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def parallel_qs_regions(
+    histories: Mapping[int, Sequence[TrailSample]],
+    params: CTParams,
+    workers: int,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> List[List[QSRegion]]:
+    """Phase 1 across a process pool; output order == ``histories.items()``."""
+    items = list(histories.items())
+    if workers < 2 or len(items) < 2:
+        return [
+            identify_qs_regions(trail, params, object_id=oid)
+            for oid, trail in items
+        ]
+    chunks = chunked(items, workers)
+    tasks = [(params, chunk) for chunk in chunks]
+    if pool is not None:
+        results = list(pool.map(_mine_chunk, tasks))
+    else:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as owned:
+            results = list(owned.map(_mine_chunk, tasks))
+    return [regions for chunk_result in results for regions in chunk_result]
+
+
+def parallel_object_graphs(
+    per_object_regions: Sequence[Sequence[QSRegion]],
+    t_area: float,
+    workers: int,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> List[UpdateGraph]:
+    """Phase 2a across a process pool; output order == input order."""
+    items = list(per_object_regions)
+    if workers < 2 or len(items) < 2:
+        return per_object_graphs(items, t_area)
+    chunks = chunked(items, workers)
+    tasks = [(t_area, chunk) for chunk in chunks]
+    if pool is not None:
+        results = list(pool.map(_graph_chunk, tasks))
+    else:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as owned:
+            results = list(owned.map(_graph_chunk, tasks))
+    return [graph for chunk_result in results for graph in chunk_result]

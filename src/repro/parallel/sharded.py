@@ -1,0 +1,861 @@
+"""The parallel sharded engine: the space-partitioned router on a worker pool.
+
+Same routing semantics as :class:`~repro.engine.sharded.ShardedIndex` --
+equal-width slabs, owner map, delete+insert boundary crossings, fan-out
+queries -- but every shard-local operation executes on the worker that owns
+the shard (:mod:`repro.parallel.workers`), so independent shards proceed
+concurrently.
+
+Determinism contract:
+
+* batched updates dispatch per-shard sub-batches cut from the same
+  ``(t, seq)``-sorted order the inline engine applies, and coalescing
+  guarantees one entry per object per batch -- so each shard applies exactly
+  the inline sequence restricted to it;
+* **cross-shard moves stay sequenced through the router** (delete acked on
+  the source worker before the insert is issued to the target): a worker
+  failure can therefore never leave an object resident in two shards, and
+  the accounting (two update ops, one move) matches inline exactly;
+* query fan-out merges responses in shard-id order, byte-identical to the
+  inline engine's concatenation.
+
+Failure model: a worker death (process exit, thread abort) is detected by
+the liveness poll while awaiting its response.  The engine then **degrades
+gracefully to inline execution**: remaining workers shut down and every
+shard is rebuilt in-process from the parent's authoritative positions
+ledger (acknowledged state only), charged as BUILD I/O, with the
+``parallel.worker_failures`` / ``parallel.fallback`` obs counters tagged.
+In-flight unacknowledged operations are re-applied inline, so no
+acknowledged state is ever lost and no operation is applied twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.geometry import Point, Rect
+from repro.core.params import CTParams
+from repro.engine.buffer import PendingUpdate
+from repro.engine.protocol import position_of
+from repro.engine.registry import IndexOptions, get_spec
+from repro.engine.results import RunResult, merge_results
+from repro.engine.sharded import ShardedIndex, SpacePartition, route_histories
+from repro.obs.metrics import get_registry
+from repro.obs.treestats import aggregate_shard_stats, tree_stats
+from repro.parallel.workers import ProcessWorker, ThreadWorker, WorkerFailure
+from repro.storage.iostats import IOCategory, IOStats
+
+
+@dataclass
+class ShardLedger:
+    """Parent-side accounting for one worker-owned shard.
+
+    The shard's pages and index live with its worker; the parent tracks the
+    acknowledged counters and reconciles worker-reported I/O deltas here and
+    into the shared ledger (single-threaded, post-dispatch)."""
+
+    sid: int
+    region: Rect
+    stats: IOStats = field(default_factory=IOStats)
+    n_updates: int = 0
+    n_queries: int = 0
+    result_count: int = 0
+    wall_clock_s: float = 0.0
+    objects: int = 0
+    page_count: int = 0
+
+    def run_result(self, kind: str) -> RunResult:
+        return RunResult(
+            kind=f"{kind}/shard{self.sid}",
+            n_updates=self.n_updates,
+            n_queries=self.n_queries,
+            result_count=self.result_count,
+            update_io=self.stats.counter(IOCategory.UPDATE),
+            query_io=self.stats.counter(IOCategory.QUERY),
+            wall_clock_s=self.wall_clock_s,
+        )
+
+
+class ParallelStore:
+    """Pager facade over worker-owned shards (the driver/CLI surface)."""
+
+    def __init__(self, index: "ParallelShardedIndex", page_size: int) -> None:
+        self._index = index
+        self._page_size = page_size
+
+    @property
+    def stats(self) -> IOStats:
+        return self._index._stats
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def page_count(self) -> int:
+        inline = self._index._inline
+        if inline is not None:
+            return inline.pager.page_count
+        return sum(led.page_count for led in self._index._ledgers)
+
+    @property
+    def hit_rate(self) -> float:
+        inline = self._index._inline
+        return inline.pager.hit_rate if inline is not None else 0.0
+
+    def metrics_dict(self) -> Dict[str, object]:
+        index = self._index
+        out: Dict[str, object] = {
+            "n_shards": index.n_shards,
+            "page_count": self.page_count,
+            "io": index._stats.to_dict(),
+            "parallel": {
+                "mode": index.mode,
+                "workers": index.n_shards,
+                "worker_failures": index.worker_failures,
+                "fallbacks": index.fallbacks,
+                "fell_back": index._inline is not None,
+            },
+            "shards": [
+                {
+                    "sid": led.sid,
+                    "io": led.stats.to_dict(),
+                    "page_count": led.page_count,
+                }
+                for led in index._ledgers
+            ],
+        }
+        if index._inline is not None:
+            out["inline"] = index._inline.pager.metrics_dict()
+        return out
+
+
+class ParallelShardedIndex:
+    """A :class:`~repro.engine.protocol.SpatialIndex` router whose shards
+    execute on a worker pool (one worker per shard).
+
+    Args:
+        kind: registered index kind to build per shard.
+        domain: the full data domain, partitioned into ``n_shards`` slabs.
+        n_shards: slab count == worker count (each shard owned by exactly
+            one worker).
+        mode: ``"process"`` (multiprocessing, per-worker pager + index) or
+            ``"thread"`` (low-overhead smoke mode, shards parent-resident
+            but worker-driven).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        domain: Rect,
+        n_shards: int,
+        *,
+        mode: str = "process",
+        max_entries: int = 20,
+        ct_params: Optional[CTParams] = None,
+        histories: Optional[Mapping[int, Sequence[Tuple[Point, float]]]] = None,
+        query_rate: float = 50.0,
+        adaptive: bool = True,
+        split: str = "quadratic",
+        pool_frames: int = 0,
+        page_size: int = 4096,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown parallel mode {mode!r}")
+        self.kind = kind
+        self.domain = domain
+        self.mode = mode
+        self.partition = SpacePartition(domain, n_shards)
+        self._stats = IOStats()
+        self._owners: Dict[int, int] = {}
+        #: Acknowledged state: object id -> (position, last timestamp).
+        #: This is what an inline fallback rebuilds from, so it advances
+        #: only when a worker has acked the op that produced it.
+        self._positions: Dict[int, Tuple[Point, Optional[float]]] = {}
+        self.cross_shard_moves = 0
+        self.cross_shard_move_failures = 0
+        self.worker_failures = 0
+        self.fallbacks = 0
+        self._inline: Optional[ShardedIndex] = None
+        self._prefallback: Optional[List[RunResult]] = None
+        self._max_entries = max_entries
+        self._ct_params = ct_params
+        self._histories = histories
+        self._query_rate = query_rate
+        self._adaptive = adaptive
+        self._split = split
+        self._pool_frames = pool_frames
+        self._page_size = page_size
+        self._ledgers = [
+            ShardLedger(sid=sid, region=self.partition.region(sid))
+            for sid in range(n_shards)
+        ]
+        self._store = ParallelStore(self, page_size)
+        self._workers: List[object] = []
+
+        spec = get_spec(kind)
+        routed = route_histories(self.partition, histories)
+        worker_cls = ProcessWorker if mode == "process" else ThreadWorker
+        category = self._stats.active_category
+        try:
+            for sid in range(n_shards):
+                options = IndexOptions(
+                    max_entries=max_entries,
+                    ct_params=ct_params,
+                    histories=routed[sid] if spec.needs_histories else None,
+                    query_rate=query_rate,
+                    adaptive=adaptive,
+                    split=split,
+                )
+                self._workers.append(
+                    worker_cls(
+                        kind,
+                        sid,
+                        self.partition.region(sid),
+                        options,
+                        pool_frames=pool_frames,
+                        page_size=page_size,
+                        category=category,
+                    )
+                )
+            # Await the ready handshakes after every worker has started, so
+            # process-mode shard construction (CT qs-region mining included)
+            # runs concurrently across the pool.
+            for sid, worker in enumerate(self._workers):
+                resp = worker.result()
+                if not resp.get("ok"):
+                    raise RuntimeError(
+                        f"shard {sid} worker failed to build: "
+                        f"{resp.get('error')}"
+                    )
+                self._absorb(sid, resp)
+        except Exception:
+            self.close()
+            raise
+
+    # -- worker plumbing ----------------------------------------------------
+
+    def _absorb(self, sid: int, resp: dict) -> None:
+        """Reconcile one response's telemetry (single-threaded, post-await)."""
+        led = self._ledgers[sid]
+        for cat, dr, dw in resp.get("io", ()):
+            self._stats.charge(cat, dr, dw)
+            led.stats.charge(cat, dr, dw)
+        wall = float(resp.get("wall_s", 0.0))
+        led.wall_clock_s += wall
+        if "len" in resp:
+            led.objects = int(resp["len"])
+        if "page_count" in resp:
+            led.page_count = int(resp["page_count"])
+        if wall:
+            registry = get_registry()
+            if registry.enabled:
+                registry.record_duration(f"parallel.worker{sid}.busy_s", wall)
+
+    def _dispatch(
+        self, targets: Mapping[int, tuple]
+    ) -> Tuple[Dict[int, dict], List[int]]:
+        """Submit one command per target shard, then await all responses.
+
+        Returns ``(responses, failed_sids)``.  Responses from shards that
+        answered before a peer died are absorbed normally -- acknowledged
+        work is never discarded.
+        """
+        registry = get_registry()
+        t0 = perf_counter()
+        submitted: List[int] = []
+        failed: List[int] = []
+        for sid, cmd in targets.items():
+            try:
+                self._workers[sid].submit(cmd)
+                submitted.append(sid)
+            except WorkerFailure:
+                failed.append(sid)
+        out: Dict[int, dict] = {}
+        for sid in submitted:
+            try:
+                resp = self._workers[sid].result()
+            except WorkerFailure:
+                failed.append(sid)
+                continue
+            self._absorb(sid, resp)
+            out[sid] = resp
+        if registry.enabled:
+            registry.observe(
+                "parallel.dispatch.latency_s", perf_counter() - t0
+            )
+        return out, failed
+
+    def _single(self, sid: int, op: tuple, category: str) -> dict:
+        """One op on one shard; raises :class:`WorkerFailure` on death."""
+        out, failed = self._dispatch({sid: ("apply", category, [op])})
+        if failed:
+            raise WorkerFailure(f"shard {sid} worker died")
+        return out[sid]
+
+    def close(self) -> None:
+        """Shut every worker down (best-effort, idempotent)."""
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ParallelShardedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- graceful degradation ------------------------------------------------
+
+    def _fall_back(self) -> None:
+        """Rebuild every shard inline from the acknowledged positions ledger.
+
+        Charged as BUILD I/O on the same shared ledger (the driver's delta
+        accounting stays monotone).  Pre-fallback per-shard run ledgers are
+        snapshotted so ``shard_results`` stays cumulative across the cutover.
+        """
+        if self._inline is not None:
+            return
+        self.worker_failures += 1
+        self.fallbacks += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("parallel.worker_failures")
+            registry.inc("parallel.fallback")
+        self._prefallback = [led.run_result(self.kind) for led in self._ledgers]
+        self.close()
+        with self._stats.category(IOCategory.BUILD):
+            inline = ShardedIndex(
+                self.kind,
+                self.domain,
+                self.partition.n_shards,
+                max_entries=self._max_entries,
+                ct_params=self._ct_params,
+                histories=self._histories,
+                query_rate=self._query_rate,
+                adaptive=self._adaptive,
+                split=self._split,
+                pool_frames=self._pool_frames,
+                page_size=self._page_size,
+                stats=self._stats,
+            )
+            # Replay in timestamp order (untimed inserts first) so a
+            # time-driven index observes a monotone clock, like the stream.
+            replay = sorted(
+                ((oid, pos, t) for oid, (pos, t) in self._positions.items()),
+                key=lambda item: (
+                    item[2] is not None,
+                    item[2] if item[2] is not None else 0.0,
+                    item[0],
+                ),
+            )
+            for oid, pos, t in replay:
+                inline.insert(oid, pos, now=t)
+        for shard in inline.shards:
+            # The replay is reconstruction, not stream work: zero the
+            # per-shard stream counters it inflated.
+            shard.n_updates = 0
+            shard.wall_clock_s = 0.0
+        self._inline = inline
+
+    # -- SpatialIndex surface ------------------------------------------------
+
+    @property
+    def pager(self) -> ParallelStore:
+        return self._store
+
+    @property
+    def n_shards(self) -> int:
+        return self.partition.n_shards
+
+    def __len__(self) -> int:
+        if self._inline is not None:
+            return len(self._inline)
+        return sum(led.objects for led in self._ledgers)
+
+    def insert(
+        self, obj_id: int, point: Sequence[float], now: Optional[float] = None
+    ):
+        if self._inline is not None:
+            return self._inline.insert(obj_id, point, now=now)
+        pos = position_of(point)
+        sid = self.partition.shard_of(pos)
+        try:
+            resp = self._single(
+                sid, ("insert", obj_id, pos, now), self._stats.active_category
+            )
+        except WorkerFailure:
+            self._fall_back()
+            return self._inline.insert(obj_id, pos, now=now)
+        self._ledgers[sid].n_updates += int(resp["applied"])
+        if resp["applied"]:
+            self._owners[obj_id] = sid
+            self._positions[obj_id] = (pos, now)
+        if not resp["ok"]:
+            raise RuntimeError(
+                f"shard {sid} insert failed: {resp.get('error')}"
+            )
+        return resp.get("pid")
+
+    def update(
+        self,
+        obj_id: int,
+        old_point: Sequence[float],
+        new_point: Sequence[float],
+        now: Optional[float] = None,
+    ):
+        if self._inline is not None:
+            return self._inline.update(obj_id, old_point, new_point, now=now)
+        new_pos = position_of(new_point)
+        old_sid = self._owners.get(obj_id)
+        if old_sid is None:
+            raise KeyError(f"object {obj_id} is not indexed")
+        new_sid = self.partition.shard_of(new_pos)
+        old_pos = None if old_point is None else position_of(old_point)
+        category = self._stats.active_category
+        try:
+            if new_sid == old_sid:
+                resp = self._single(
+                    old_sid,
+                    ("update", obj_id, old_pos, new_pos, now),
+                    category,
+                )
+                self._ledgers[old_sid].n_updates += int(resp["applied"])
+                if resp["applied"]:
+                    self._positions[obj_id] = (new_pos, now)
+                if not resp["ok"]:
+                    raise RuntimeError(
+                        f"shard {old_sid} update failed: {resp.get('error')}"
+                    )
+                return resp.get("pid")
+            return self._move_via_workers(
+                obj_id, old_pos, new_pos, now, category
+            )
+        except WorkerFailure:
+            self._fall_back()
+            return self._inline.update(obj_id, old_point, new_pos, now=now)
+
+    def _move_via_workers(
+        self,
+        obj_id: int,
+        old_pos: Optional[Point],
+        new_pos: Point,
+        now: Optional[float],
+        category: str,
+    ):
+        """A boundary crossing, sequenced through the router.
+
+        The delete must be acknowledged by the source worker before the
+        insert is issued to the target: a failure between the two leaves the
+        object in *neither* worker, and the positions ledger (still holding
+        the old position) restores it at the source during fallback.  Firing
+        both concurrently could instead leave it in both.
+        """
+        old_sid = self._owners[obj_id]
+        new_sid = self.partition.shard_of(new_pos)
+        self._single(old_sid, ("delete", obj_id, old_pos, now), category)
+        self._ledgers[old_sid].n_updates += 1
+        return self._move_insert(
+            obj_id, old_pos, new_pos, now, category, old_sid, new_sid
+        )
+
+    def _move_insert(
+        self,
+        obj_id: int,
+        old_pos: Optional[Point],
+        new_pos: Point,
+        now: Optional[float],
+        category: str,
+        old_sid: int,
+        new_sid: int,
+    ):
+        """The insert half of a sequenced move (source delete already acked)."""
+        try:
+            resp = self._single(
+                new_sid, ("insert", obj_id, new_pos, now), category
+            )
+        except WorkerFailure:
+            self.cross_shard_move_failures += 1
+            raise
+        self._ledgers[new_sid].n_updates += int(resp["applied"])
+        if not resp["ok"]:
+            # Exception safety, mirroring the inline engine: restore the
+            # object to its source shard before surfacing the failure.
+            self.cross_shard_move_failures += 1
+            if old_pos is not None:
+                self._single(
+                    old_sid, ("insert", obj_id, old_pos, now), category
+                )
+                self._ledgers[old_sid].n_updates += 1
+            raise RuntimeError(
+                f"cross-shard insert failed: {resp.get('error')}"
+            )
+        self.cross_shard_moves += 1
+        self._owners[obj_id] = new_sid
+        self._positions[obj_id] = (new_pos, now)
+        return resp.get("pid")
+
+    def delete(
+        self,
+        obj_id: int,
+        old_point: Optional[Sequence[float]] = None,
+        now: Optional[float] = None,
+    ) -> bool:
+        if self._inline is not None:
+            return self._inline.delete(obj_id, old_point, now=now)
+        sid = self._owners.get(obj_id)
+        if sid is None:
+            return False
+        pos = None if old_point is None else position_of(old_point)
+        try:
+            resp = self._single(
+                sid, ("delete", obj_id, pos, now), self._stats.active_category
+            )
+        except WorkerFailure:
+            self._fall_back()
+            return self._inline.delete(obj_id, old_point, now=now)
+        if not resp["ok"]:
+            raise RuntimeError(
+                f"shard {sid} delete failed: {resp.get('error')}"
+            )
+        removed = bool(resp.get("removed"))
+        if removed:
+            del self._owners[obj_id]
+            del self._positions[obj_id]
+        return removed
+
+    # -- batched dispatch ----------------------------------------------------
+
+    def apply_batch(self, batch: Sequence[PendingUpdate]) -> int:
+        """Group-apply a ``(t, seq)``-sorted coalesced batch by shard.
+
+        Same-shard runs dispatch concurrently (one sub-batch per worker).  A
+        cross-shard move stays sequenced through the router, but only its
+        *two* shards synchronize: the move's delete is appended to the
+        source shard's pending sub-batch and that sub-batch flushes together
+        with the target shard's (one concurrent round, so the target has
+        applied everything that precedes the insert in batch order), then
+        the insert is issued -- after the delete's ack, as always.  The
+        other shards' sub-batches keep accumulating, so a move costs two
+        round-trip latencies instead of a full-engine barrier.  Coalescing
+        guarantees each object appears at most once per batch, so every
+        shard still applies exactly the inline engine's sequence restricted
+        to that shard.
+
+        A worker failure mid-batch triggers the inline fallback; the
+        not-yet-acknowledged remainder of the batch is then applied
+        in-process, so the returned count always covers the full batch.
+        """
+        if self._inline is not None:
+            return self._apply_batch_inline(self._inline, batch)
+        category = self._stats.active_category
+        total = 0
+        acked: set = set()
+        pending_ops: Dict[int, List[tuple]] = {}
+        #: Per pending op: (oid, pos, t) to commit on ack, or None for a
+        #: move's delete (its ledger commit rides the insert's ack instead).
+        pending_effects: Dict[
+            int, List[Optional[Tuple[int, Point, Optional[float]]]]
+        ] = {}
+        #: Shards whose last dispatched sub-batch applied fully (so a move
+        #: can tell whether its trailing delete made it out when a *peer*
+        #: shard's sub-batch failed in the same round).
+        fully_applied: set = set()
+
+        def flush_pending(only: Optional[Tuple[int, ...]] = None) -> None:
+            nonlocal total
+            sids = (
+                list(pending_ops)
+                if only is None
+                else [sid for sid in only if sid in pending_ops]
+            )
+            if not sids:
+                return
+            targets = {
+                sid: ("apply", category, pending_ops[sid]) for sid in sids
+            }
+            out, failed = self._dispatch(targets)
+            fully_applied.clear()
+            bad: Optional[Tuple[int, dict]] = None
+            for sid, resp in out.items():
+                applied = int(resp["applied"])
+                self._ledgers[sid].n_updates += applied
+                if applied == len(pending_ops[sid]):
+                    fully_applied.add(sid)
+                for effect in pending_effects[sid][:applied]:
+                    if effect is None:
+                        continue
+                    oid, pos, t = effect
+                    self._owners[oid] = sid
+                    self._positions[oid] = (pos, t)
+                    acked.add(oid)
+                    total += 1
+                if not resp["ok"] and bad is None:
+                    bad = (sid, resp)
+            for sid in sids:
+                del pending_ops[sid]
+                del pending_effects[sid]
+            if failed:
+                raise WorkerFailure(
+                    f"shard worker(s) {sorted(failed)} died mid-batch"
+                )
+            if bad is not None:
+                raise RuntimeError(
+                    f"shard {bad[0]} batch apply failed: "
+                    f"{bad[1].get('error')}"
+                )
+
+        try:
+            for update in batch:
+                pos = update.point
+                new_sid = self.partition.shard_of(pos)
+                if update.old_point is None:
+                    pending_ops.setdefault(new_sid, []).append(
+                        ("insert", update.oid, pos, update.t)
+                    )
+                    pending_effects.setdefault(new_sid, []).append(
+                        (update.oid, pos, update.t)
+                    )
+                    continue
+                old_sid = self._owners.get(update.oid)
+                if old_sid is None:
+                    flush_pending()
+                    raise KeyError(f"object {update.oid} is not indexed")
+                if old_sid == new_sid:
+                    pending_ops.setdefault(old_sid, []).append(
+                        ("update", update.oid, update.old_point, pos, update.t)
+                    )
+                    pending_effects.setdefault(old_sid, []).append(
+                        (update.oid, pos, update.t)
+                    )
+                else:
+                    old_pos = update.old_point
+                    pending_ops.setdefault(old_sid, []).append(
+                        ("delete", update.oid, old_pos, update.t)
+                    )
+                    pending_effects.setdefault(old_sid, []).append(None)
+                    try:
+                        flush_pending(only=(old_sid, new_sid))
+                    except RuntimeError:
+                        if old_sid in fully_applied and old_pos is not None:
+                            # The delete made it out but the target shard's
+                            # sub-batch failed before the insert could be
+                            # issued: restore the object at its source, as
+                            # the single-op move path would.
+                            self.cross_shard_move_failures += 1
+                            self._single(
+                                old_sid,
+                                ("insert", update.oid, old_pos, update.t),
+                                category,
+                            )
+                            self._ledgers[old_sid].n_updates += 1
+                        raise
+                    self._move_insert(
+                        update.oid, old_pos, pos, update.t, category,
+                        old_sid, new_sid,
+                    )
+                    acked.add(update.oid)
+                    total += 1
+            flush_pending()
+        except WorkerFailure:
+            self._fall_back()
+            remainder = [u for u in batch if u.oid not in acked]
+            total += self._apply_batch_inline(self._inline, remainder)
+        return total
+
+    @staticmethod
+    def _apply_batch_inline(
+        index: ShardedIndex, batch: Sequence[PendingUpdate]
+    ) -> int:
+        applied = 0
+        for update in batch:
+            if update.old_point is None:
+                index.insert(update.oid, update.point, now=update.t)
+            else:
+                index.update(
+                    update.oid, update.old_point, update.point, now=update.t
+                )
+            applied += 1
+        return applied
+
+    # -- queries -------------------------------------------------------------
+
+    def range_search(self, rect: Rect) -> List[Tuple[int, Point]]:
+        """Concurrent fan-out; responses merge in shard-id order, so the
+        result sequence is identical to the inline engine's."""
+        if self._inline is not None:
+            return self._inline.range_search(rect)
+        category = self._stats.active_category
+        sids = self.partition.intersecting(rect)
+        t0 = perf_counter()
+        out, failed = self._dispatch(
+            {sid: ("query", category, rect.lo, rect.hi) for sid in sids}
+        )
+        per_sid: Dict[int, List[Tuple[int, Point]]] = {}
+        for sid, resp in out.items():
+            if not resp["ok"]:
+                raise RuntimeError(
+                    f"shard {sid} query failed: {resp.get('error')}"
+                )
+            matches = resp["matches"]
+            per_sid[sid] = matches
+            led = self._ledgers[sid]
+            led.n_queries += 1
+            led.result_count += len(matches)
+        if failed:
+            self._fall_back()
+            assert self._inline is not None
+            for sid in failed:
+                shard = self._inline.shards[sid]
+                t1 = perf_counter()
+                matches = shard.index.range_search(rect)
+                shard.wall_clock_s += perf_counter() - t1
+                shard.n_queries += 1
+                shard.result_count += len(matches)
+                per_sid[sid] = matches
+        results: List[Tuple[int, Point]] = []
+        for sid in sids:
+            results.extend(per_sid.get(sid, ()))
+        registry = get_registry()
+        if registry.enabled:
+            registry.observe("parallel.merge.latency_s", perf_counter() - t0)
+        return results
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def shards(self):
+        """Parent-resident shards (thread mode, or post-fallback inline).
+
+        Raises AttributeError in process mode, where shard structures live
+        in worker processes -- probes go through :meth:`collect_tree_stats`.
+        """
+        if self._inline is not None:
+            return self._inline.shards
+        if self.mode == "thread" and self._workers:
+            return [worker.shard for worker in self._workers]
+        raise AttributeError(
+            "process-mode shards live in worker processes; "
+            "use collect_tree_stats()"
+        )
+
+    @property
+    def _owner(self) -> Dict[int, int]:
+        if self._inline is not None:
+            return self._inline._owner
+        return self._owners
+
+    def owner_of(self, obj_id: int) -> Optional[int]:
+        return self._owner.get(obj_id)
+
+    def _collect_worker_stats(self) -> List[dict]:
+        out, failed = self._dispatch(
+            {sid: ("stats",) for sid in range(self.n_shards)}
+        )
+        if failed:
+            raise WorkerFailure(
+                f"shard worker(s) {sorted(failed)} died during stats probe"
+            )
+        return [out[sid] for sid in range(self.n_shards)]
+
+    def collect_tree_stats(self) -> Dict[str, object]:
+        """Structural probe: workers compute their own ``tree_stats``;
+        the parent aggregates (``obs.treestats`` dispatches here)."""
+        if self._inline is not None:
+            return tree_stats(self._inline)
+        try:
+            responses = self._collect_worker_stats()
+        except WorkerFailure:
+            self._fall_back()
+            assert self._inline is not None
+            return tree_stats(self._inline)
+        per_shard = [resp["tree"] for resp in responses]
+        return aggregate_shard_stats(per_shard, self)
+
+    @property
+    def lazy_hits(self) -> int:
+        if self._inline is not None:
+            return self._inline.lazy_hits
+        try:
+            return sum(
+                int(resp.get("lazy_hits", 0) or 0)
+                for resp in self._collect_worker_stats()
+            )
+        except WorkerFailure:
+            return 0
+
+    @property
+    def relocations(self) -> int:
+        if self._inline is not None:
+            return self._inline.relocations
+        try:
+            return sum(
+                int(resp.get("relocations", 0) or 0)
+                for resp in self._collect_worker_stats()
+            )
+        except WorkerFailure:
+            return 0
+
+    def shard_results(self) -> List[RunResult]:
+        """Per-shard run ledgers, cumulative across a fallback cutover."""
+        if self._inline is not None:
+            inline_results = self._inline.shard_results()
+            if self._prefallback is None:
+                return inline_results
+            return [
+                merge_results([pre, post], kind=pre.kind)
+                for pre, post in zip(self._prefallback, inline_results)
+            ]
+        return [led.run_result(self.kind) for led in self._ledgers]
+
+    def merged_result(self) -> RunResult:
+        return merge_results(
+            self.shard_results(), kind=f"{self.kind}x{self.n_shards}"
+        )
+
+    def engine_dict(self) -> Dict[str, object]:
+        """Engine telemetry for metrics/bench documents."""
+        inline = self._inline
+        if inline is not None:
+            objects = [len(shard.index) for shard in inline.shards]
+        else:
+            objects = [led.objects for led in self._ledgers]
+        return {
+            "kind": self.kind,
+            "partition": self.partition.to_dict(),
+            "cross_shard_moves": self.cross_shard_moves
+            + (inline.cross_shard_moves if inline is not None else 0),
+            "cross_shard_move_failures": self.cross_shard_move_failures
+            + (inline.cross_shard_move_failures if inline is not None else 0),
+            "objects": len(self),
+            "parallel": {
+                "mode": self.mode,
+                "workers": self.n_shards,
+                "worker_failures": self.worker_failures,
+                "fallbacks": self.fallbacks,
+                "fell_back": inline is not None,
+            },
+            "shards": [
+                {
+                    "sid": led.sid,
+                    "region": [list(led.region.lo), list(led.region.hi)],
+                    "objects": n_objects,
+                    "run": result.to_dict(),
+                }
+                for led, result, n_objects in zip(
+                    self._ledgers, self.shard_results(), objects
+                )
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelShardedIndex(kind={self.kind!r}, mode={self.mode!r}, "
+            f"shards={self.n_shards}, objects={len(self)}, "
+            f"fell_back={self._inline is not None})"
+        )

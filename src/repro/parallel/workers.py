@@ -1,0 +1,419 @@
+"""Shard workers: one worker exclusively owns one shard.
+
+Ownership model: a shard (pager + optional buffer pool + index) is touched
+by exactly one actor at a time.  In **process** mode the shard is built and
+lives inside a child process (fork-preferred), driven over a duplex pipe
+(at most one command is ever in flight per worker, so a pipe's single
+round-trip beats queue feeder-thread hand-offs); in **thread** mode the
+shard is built in the parent but only its worker thread executes commands
+against it.  The parent
+never touches a worker-owned shard while a command is in flight, and every
+dispatch is awaited before the parent reads any shard state -- so no lock is
+needed anywhere.
+
+I/O accounting: each worker charges a **private** ledger.  Every response
+carries the per-category read/write deltas the command incurred; the parent
+reconciles them into its shared ledger -- single-threaded -- via
+:meth:`~repro.storage.iostats.IOStats.charge`.  This sidesteps the data race
+a mirrored ledger (``ShardIOStats``) would have under concurrent workers,
+and keeps parallel runs' I/O counts identical to inline runs' (the same
+page operations happen, only the ledger hop differs).
+
+Command protocol (plain tuples, picklable):
+
+* ``("apply", category, ops)`` -- ops are ``("insert", oid, point, t)``,
+  ``("update", oid, old_point, point, t)`` or ``("delete", oid, old_point,
+  t)`` tuples, applied in order under the given I/O category.
+* ``("query", category, lo, hi)`` -- range search over ``Rect(lo, hi)``.
+* ``("stats",)`` -- structural probe (``tree_stats``) plus pager telemetry.
+* ``("crash",)`` -- fault-injection hook: die without responding.
+* ``("shutdown",)`` -- exit the command loop cleanly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import threading
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.geometry import Rect
+from repro.engine.registry import IndexOptions, get_spec
+from repro.engine.sharded import Shard, build_shard
+from repro.obs.treestats import tree_stats
+from repro.storage.iostats import IOCategory, IOCounter, IOStats
+
+#: How often the awaiting parent re-checks worker liveness while blocked on
+#: a response.  Detection latency only -- correctness never times out.
+_POLL_S = 0.05
+
+
+class WorkerFailure(RuntimeError):
+    """A shard worker died (process exit or thread abort) mid-command."""
+
+
+def _io_deltas(
+    before: Dict[str, IOCounter], after: Dict[str, IOCounter]
+) -> List[Tuple[str, int, int]]:
+    """Per-category (reads, writes) growth between two ledger snapshots."""
+    out: List[Tuple[str, int, int]] = []
+    for cat, counter in after.items():
+        base = before.get(cat)
+        dr = counter.reads - (base.reads if base else 0)
+        dw = counter.writes - (base.writes if base else 0)
+        if dr or dw:
+            out.append((cat, dr, dw))
+    return out
+
+
+class ShardServer:
+    """Executes the command protocol against the one shard it owns."""
+
+    def __init__(self, kind: str, shard: Shard) -> None:
+        self.kind = kind
+        self.shard = shard
+        self._spec = get_spec(kind)
+
+    def execute(self, cmd: tuple) -> dict:
+        tag = cmd[0]
+        if tag == "apply":
+            return self._apply(cmd[1], cmd[2])
+        if tag == "query":
+            return self._query(cmd[1], cmd[2], cmd[3])
+        if tag == "stats":
+            return self._stats()
+        raise ValueError(f"unknown worker command {tag!r}")
+
+    def _telemetry(self, resp: dict) -> dict:
+        resp["len"] = len(self.shard.index)
+        resp["page_count"] = self.shard.pager.page_count
+        return resp
+
+    def _apply(self, category: str, ops: List[tuple]) -> dict:
+        shard = self.shard
+        stats = shard.pager.stats
+        before = stats.snapshot()
+        applied = 0
+        last_pid = None
+        removed = False
+        error: Optional[BaseException] = None
+        t0 = perf_counter()
+        with stats.category(category):
+            try:
+                for op in ops:
+                    tag = op[0]
+                    if tag == "insert":
+                        last_pid = shard.index.insert(op[1], op[2], now=op[3])
+                    elif tag == "update":
+                        last_pid = shard.index.update(
+                            op[1], op[2], op[3], now=op[4]
+                        )
+                    elif tag == "delete":
+                        removed = bool(
+                            self._spec.delete(shard.index, op[1], op[2], op[3])
+                        )
+                    else:
+                        raise ValueError(f"unknown apply op {tag!r}")
+                    applied += 1
+            except Exception as exc:  # op-level failure: report, stay alive
+                error = exc
+        wall = perf_counter() - t0
+        shard.wall_clock_s += wall
+        shard.n_updates += applied
+        resp = {
+            "ok": error is None,
+            "applied": applied,
+            "pid": last_pid,
+            "removed": removed,
+            "io": _io_deltas(before, stats.snapshot()),
+            "wall_s": wall,
+        }
+        if error is not None:
+            resp["error"] = str(error)
+            resp["exc_type"] = type(error).__name__
+        return self._telemetry(resp)
+
+    def _query(self, category: str, lo: tuple, hi: tuple) -> dict:
+        shard = self.shard
+        stats = shard.pager.stats
+        before = stats.snapshot()
+        t0 = perf_counter()
+        with stats.category(category):
+            matches = shard.index.range_search(Rect(lo, hi))
+        wall = perf_counter() - t0
+        shard.wall_clock_s += wall
+        shard.n_queries += 1
+        shard.result_count += len(matches)
+        return self._telemetry(
+            {
+                "ok": True,
+                "matches": matches,
+                "io": _io_deltas(before, stats.snapshot()),
+                "wall_s": wall,
+            }
+        )
+
+    def _stats(self) -> dict:
+        shard = self.shard
+        return self._telemetry(
+            {
+                "ok": True,
+                "tree": tree_stats(shard.index),
+                "lazy_hits": getattr(shard.index, "lazy_hits", 0) or 0,
+                "relocations": getattr(shard.index, "relocations", 0) or 0,
+                "pager": shard.pager.metrics_dict(),
+                "io": [],
+                "wall_s": 0.0,
+            }
+        )
+
+
+def _safe_execute(server: ShardServer, cmd: tuple) -> dict:
+    try:
+        return server.execute(cmd)
+    except Exception as exc:  # command decode / unexpected failure
+        return {"ok": False, "error": str(exc), "exc_type": type(exc).__name__}
+
+
+def _ready_response(shard: Shard, stats: IOStats, wall_s: float) -> dict:
+    return {
+        "ok": True,
+        "ready": True,
+        "io": _io_deltas({}, stats.snapshot()),
+        "wall_s": wall_s,
+        "len": len(shard.index),
+        "page_count": shard.pager.page_count,
+    }
+
+
+def _process_shard_main(
+    conn,
+    kind: str,
+    sid: int,
+    region: Rect,
+    options: IndexOptions,
+    pool_frames: int,
+    page_size: int,
+    category: str,
+) -> None:
+    """Child-process entry: build the shard, then serve commands forever."""
+    try:
+        stats = IOStats()
+        t0 = perf_counter()
+        with stats.category(category):
+            shard = build_shard(
+                kind,
+                sid,
+                region,
+                options,
+                stats=stats,
+                pool_frames=pool_frames,
+                page_size=page_size,
+            )
+        conn.send(_ready_response(shard, stats, perf_counter() - t0))
+    except Exception as exc:
+        conn.send(
+            {"ok": False, "error": str(exc), "exc_type": type(exc).__name__}
+        )
+        return
+    server = ShardServer(kind, shard)
+    while True:
+        cmd = conn.recv()
+        tag = cmd[0]
+        if tag == "shutdown":
+            return
+        if tag == "crash":
+            os._exit(1)
+        conn.send(_safe_execute(server, cmd))
+
+
+class ProcessWorker:
+    """One shard in a child process, driven over a duplex pipe.
+
+    The fork start method is preferred (the parent's imported modules and
+    the routed history profile transfer by page sharing, not pickling);
+    spawn is the fallback where fork is unavailable.
+
+    The channel is a :func:`multiprocessing.Pipe` rather than a pair of
+    queues: the protocol allows at most one in-flight command per worker,
+    so the queue machinery (a feeder thread and its hand-off latency on
+    every message) buys nothing -- and the dispatch round-trip is the
+    parallel engine's unit cost, paid per sub-batch and twice per
+    sequenced cross-shard move.
+    """
+
+    mode = "process"
+
+    def __init__(
+        self,
+        kind: str,
+        sid: int,
+        region: Rect,
+        options: IndexOptions,
+        *,
+        pool_frames: int = 0,
+        page_size: int = 4096,
+        category: str = IOCategory.OTHER,
+        ctx=None,
+    ) -> None:
+        self.sid = sid
+        if ctx is None:
+            method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+            ctx = mp.get_context(method)
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_process_shard_main,
+            args=(
+                child_conn,
+                kind,
+                sid,
+                region,
+                options,
+                pool_frames,
+                page_size,
+                category,
+            ),
+            daemon=True,
+            name=f"shard-worker-{sid}",
+        )
+        self._proc.start()
+        # Parent drops its handle on the child end so a dead child reads
+        # as EOF instead of a silently half-open pipe.
+        child_conn.close()
+
+    def submit(self, cmd: tuple) -> None:
+        if not self._proc.is_alive():
+            raise WorkerFailure(f"shard {self.sid} worker process is dead")
+        try:
+            self._conn.send(cmd)
+        except (BrokenPipeError, OSError):
+            raise WorkerFailure(
+                f"shard {self.sid} worker process is dead"
+            ) from None
+
+    def _recv(self) -> dict:
+        try:
+            return self._conn.recv()
+        except (EOFError, OSError):
+            raise WorkerFailure(
+                f"shard {self.sid} worker process died mid-command"
+            ) from None
+
+    def result(self) -> dict:
+        """Await the next response; raises :class:`WorkerFailure` on death.
+
+        A response the child flushed before dying stays readable in the
+        pipe buffer (``poll`` sees it before ``recv`` ever hits EOF), so
+        an ack that made it out before the crash is never lost.
+        """
+        conn = self._conn
+        while True:
+            if conn.poll(_POLL_S):
+                return self._recv()
+            if not self._proc.is_alive():
+                # Final drain: the child may have written between our poll
+                # timing out and the liveness check.
+                if conn.poll(0):
+                    return self._recv()
+                raise WorkerFailure(
+                    f"shard {self.sid} worker process died mid-command"
+                )
+
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def close(self) -> None:
+        if self._proc.is_alive():
+            try:
+                self._conn.send(("shutdown",))
+                self._proc.join(timeout=2.0)
+            except Exception:
+                pass
+            if self._proc.is_alive():
+                self._proc.terminate()
+                self._proc.join(timeout=1.0)
+        self._conn.close()
+
+
+class ThreadWorker:
+    """One shard owned by a worker thread -- the low-overhead smoke mode.
+
+    The shard object lives in the parent (so structural probes and the
+    health verifier can inspect it between dispatches), but only the worker
+    thread executes commands against it.
+    """
+
+    mode = "thread"
+
+    def __init__(
+        self,
+        kind: str,
+        sid: int,
+        region: Rect,
+        options: IndexOptions,
+        *,
+        pool_frames: int = 0,
+        page_size: int = 4096,
+        category: str = IOCategory.OTHER,
+    ) -> None:
+        self.sid = sid
+        stats = IOStats()
+        t0 = perf_counter()
+        with stats.category(category):
+            self.shard = build_shard(
+                kind,
+                sid,
+                region,
+                options,
+                stats=stats,
+                pool_frames=pool_frames,
+                page_size=page_size,
+            )
+        self._server = ShardServer(kind, self.shard)
+        self._cmd: "queue.Queue[tuple]" = queue.Queue()
+        self._resp: "queue.Queue[dict]" = queue.Queue()
+        self._resp.put(_ready_response(self.shard, stats, perf_counter() - t0))
+        self._thread = threading.Thread(
+            target=self._loop, name=f"shard-worker-{sid}", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            cmd = self._cmd.get()
+            tag = cmd[0]
+            if tag == "shutdown":
+                return
+            if tag == "crash":
+                # Simulated hard death: exit without responding, exactly
+                # like a killed process -- the parent detects it via the
+                # liveness poll in result().
+                return
+            self._resp.put(_safe_execute(self._server, cmd))
+
+    def submit(self, cmd: tuple) -> None:
+        if not self._thread.is_alive():
+            raise WorkerFailure(f"shard {self.sid} worker thread is dead")
+        self._cmd.put(cmd)
+
+    def result(self) -> dict:
+        while True:
+            try:
+                return self._resp.get(timeout=_POLL_S)
+            except queue.Empty:
+                if not self._thread.is_alive():
+                    raise WorkerFailure(
+                        f"shard {self.sid} worker thread died mid-command"
+                    ) from None
+
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._cmd.put(("shutdown",))
+            self._thread.join(timeout=2.0)

@@ -24,7 +24,13 @@ import heapq
 import math
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.geometry import Point, Rect
+from repro.core.geometry import (
+    Point,
+    Rect,
+    rect_contains_point,
+    rect_enlargement,
+    rect_intersects,
+)
 from repro.rtree.node import Entry, RTreeNode
 from repro.rtree.splits import SPLIT_POLICIES
 from repro.storage.page import NO_PAGE, PageId
@@ -209,13 +215,22 @@ class RTree:
         """Read the root-to-target path, choosing least-enlargement children."""
         node = self._read(self._root_pid)
         path = [node]
+        # Flat-tuple kernels: hoist the target bounds and the kernel lookups
+        # out of the per-entry loop (geometry.py documents the fast path).
+        rlo = rect.lo
+        rhi = rect.hi
+        enlargement_of = rect_enlargement
         while node.level > level:
             best: Optional[Entry] = None
-            best_key = (float("inf"), float("inf"))
+            best_enl = float("inf")
+            best_area = float("inf")
             for child_entry in node.entries:
-                key = (child_entry.rect.enlargement(rect), child_entry.rect.area)
-                if key < best_key:
-                    best_key = key
+                child_rect = child_entry.rect
+                area = child_rect.area
+                enl = enlargement_of(child_rect.lo, child_rect.hi, rlo, rhi, area)
+                if enl < best_enl or (enl == best_enl and area < best_area):
+                    best_enl = enl
+                    best_area = area
                     best = child_entry
             if best is None:
                 raise RuntimeError("internal node without entries on insert path")
@@ -341,17 +356,19 @@ class RTree:
     ) -> Optional[Tuple[List[RTreeNode], int]]:
         """DFS for the leaf holding ``obj_id`` at ``point``; charged reads."""
         root = self._read(self._root_pid)
+        contains = rect_contains_point
         stack: List[List[RTreeNode]] = [[root]]
         while stack:
             path = stack.pop()
             node = path[-1]
             if node.is_leaf:
                 for i, entry in enumerate(node.entries):
-                    if entry.child == obj_id and entry.point == point:
+                    if entry.child == obj_id and entry.rect.lo == point:
                         return path, i
                 continue
             for child_entry in node.entries:
-                if child_entry.rect.contains_point(point):
+                child_rect = child_entry.rect
+                if contains(child_rect.lo, child_rect.hi, point):
                     child = self._read(child_entry.child)
                     stack.append(path + [child])
         return None
@@ -489,16 +506,22 @@ class RTree:
     def range_search(self, rect: Rect) -> List[Tuple[int, Point]]:
         """All (obj_id, point) pairs inside the closed rectangle ``rect``."""
         results: List[Tuple[int, Point]] = []
+        qlo = rect.lo
+        qhi = rect.hi
+        contains = rect_contains_point
+        intersects = rect_intersects
         stack = [self._root_pid]
         while stack:
             node = self._read(stack.pop())
             if node.is_leaf:
                 for entry in node.entries:
-                    if rect.contains_point(entry.point):
-                        results.append((entry.child, entry.point))
+                    point = entry.rect.lo  # leaf rects are degenerate points
+                    if contains(qlo, qhi, point):
+                        results.append((entry.child, point))
             else:
                 for entry in node.entries:
-                    if entry.rect.intersects(rect):
+                    child_rect = entry.rect
+                    if intersects(child_rect.lo, child_rect.hi, qlo, qhi):
                         stack.append(entry.child)
         return results
 

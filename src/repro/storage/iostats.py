@@ -88,6 +88,20 @@ class IOStats:
     def record_write(self, count: int = 1) -> None:
         self._counter(self._stack[-1]).writes += count
 
+    def charge(self, name: str, reads: int, writes: int) -> None:
+        """Credit ``reads``/``writes`` directly to category ``name``.
+
+        Reconciliation hook for parallel execution: shard workers account
+        I/O into private ledgers and report deltas back; the coordinator
+        charges those deltas here, single-threaded, so the shared ledger
+        never sees concurrent mutation.
+        """
+        if reads < 0 or writes < 0:
+            raise ValueError(f"cannot charge negative I/O ({reads}r/{writes}w)")
+        counter = self._counter(name)
+        counter.reads += reads
+        counter.writes += writes
+
     @contextmanager
     def category(self, name: str) -> Iterator[None]:
         """Attribute all I/O inside the block to ``name``."""

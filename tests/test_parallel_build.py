@@ -1,0 +1,103 @@
+"""Parallel CT-R-tree construction: bit-identical to serial, by contract.
+
+The pool chunks Phases 1 and 2a across processes and concatenates results
+back into the serial order; everything downstream is the very same code.
+The checks here compare the *snapshot document bytes* of the loaded trees,
+the strictest equality the storage layer can express.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.builder import CTRTreeBuilder
+from repro.core.geometry import Rect
+from repro.parallel.build import build_pool, chunked
+from repro.storage.pager import Pager
+from repro.storage.snapshot import build_document
+
+from .conftest import dwell_trail
+
+DOMAIN = Rect((0.0, 0.0), (200.0, 200.0))
+SPOTS = [(30.0, 30.0), (160.0, 40.0), (100.0, 170.0)]
+
+
+def _histories(n_objects: int = 16, seed: int = 7):
+    rng = random.Random(seed)
+    return {
+        oid: dwell_trail(rng, SPOTS, dwell_reports=12) for oid in range(n_objects)
+    }
+
+
+def _current(histories):
+    return {oid: trail[-1][0] for oid, trail in histories.items()}
+
+
+def _snapshot_bytes(workers: int, histories, current) -> str:
+    builder = CTRTreeBuilder(query_rate=1.0, workers=workers)
+    tree, report = builder.build(Pager(), DOMAIN, histories, current)
+    return json.dumps(build_document(tree, kind="ct"), sort_keys=True), report
+
+
+def test_chunked_is_contiguous_and_order_preserving():
+    items = list(range(11))
+    for n in (1, 2, 3, 4, 11, 50):
+        chunks = chunked(items, n)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) == min(n, len(items))
+        sizes = [len(chunk) for chunk in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_chunked_empty():
+    assert chunked([], 4) == [[]]
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_build_is_bit_identical(workers):
+    histories = _histories()
+    current = _current(histories)
+    serial_doc, serial_report = _snapshot_bytes(0, histories, current)
+    par_doc, par_report = _snapshot_bytes(workers, histories, current)
+    assert par_doc == serial_doc
+    # The parallel run advertises its worker count next to the wall clocks.
+    assert par_report.phase_timings["parallel_workers"] == float(workers)
+    assert "parallel_workers" not in serial_report.phase_timings
+
+
+def test_shared_pool_matches_per_phase_pools():
+    """One executor across both phases (the builder's path) changes nothing."""
+    from repro.core.params import CTParams
+    from repro.core.qsregion import identify_qs_regions
+    from repro.core.update_graph import per_object_graphs
+    from repro.parallel.build import parallel_object_graphs, parallel_qs_regions
+
+    histories = _histories(n_objects=8)
+    params = CTParams()
+    serial_regions = [
+        identify_qs_regions(trail, params, object_id=oid)
+        for oid, trail in histories.items()
+    ]
+    with build_pool(2) as pool:
+        pooled_regions = parallel_qs_regions(histories, params, 2, pool=pool)
+        assert pooled_regions == serial_regions
+        pooled_graphs = parallel_object_graphs(
+            pooled_regions, params.t_area, 2, pool=pool
+        )
+    serial_graphs = per_object_graphs(serial_regions, params.t_area)
+    assert len(pooled_graphs) == len(serial_graphs)
+    for got, want in zip(pooled_graphs, serial_graphs):
+        assert got._regions.keys() == want._regions.keys()
+        assert got._adj == want._adj
+
+
+def test_worker_counts_below_two_stay_serial():
+    """workers in {0, 1} must never touch the pool machinery."""
+    histories = _histories(n_objects=4)
+    current = _current(histories)
+    doc0, _ = _snapshot_bytes(0, histories, current)
+    doc1, report1 = _snapshot_bytes(1, histories, current)
+    assert doc0 == doc1
