@@ -36,6 +36,17 @@ writes ``BENCH_driver.json`` in a stable schema:
   amortize fork + pipe round-trips) or a machine without enough usable
   CPUs to run the workers concurrently; CI enforces the speedup gates
   only above it;
+* ``rebalance``: the adaptive shard management levers on a deterministic
+  *skewed* workload (a flash crowd dwelling in one narrow slab plus a
+  minority of fast movers) -- the grid / density / speed partitioners
+  each run inline and on a process pool with identical static partitions
+  (per-op I/O parity is exact and enforced unconditionally; the
+  parallel-vs-inline update speedup per partitioner is gated at >=1.3x
+  for density or speed only above break-even, where the grid's hot
+  shard serialises the pool), plus an online-rebalance run (hot-shard
+  detection fires, the cutover verifies clean) and a snapshot
+  byte-identity check across a rebalance cutover (save -> load -> apply
+  the same plan to both -> canonical JSON must match);
 * ``geometry``: the Rect hot-path micro-kernels
   (``benchmarks/bench_geometry.py``) -- method vs. flat-tuple kernel
   ns/op for intersects / contains_point / union / enlargement.
@@ -73,7 +84,7 @@ from repro.workload import (  # noqa: E402
     make_index,
 )
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 ENGINE_BATCH = 64
 ENGINE_SHARDS = 4
@@ -81,6 +92,9 @@ DURABILITY_SYNC = "group:8"
 PARALLEL_BUILD_WORKERS = 4
 PARALLEL_WORKER_COUNTS = (2, 4)
 PARALLEL_BATCH = 256
+REBALANCE_SHARDS = 4
+REBALANCE_OBJECTS = 120
+REBALANCE_ROUNDS = 6
 
 
 def run_kind(
@@ -227,6 +241,236 @@ def run_parallel_sharded(bundle, workers, *, mode="process"):
     finally:
         index.close()
     return result, engine
+
+
+def skewed_workload(n_objects=REBALANCE_OBJECTS, rounds=REBALANCE_ROUNDS,
+                    seed=17):
+    """A deterministic flash-crowd script: ~85% of objects dwell in one
+    narrow x slab (all their updates and most queries hammer one grid
+    shard), ~15% are fast movers hopping across the whole domain (every
+    hop crosses grid slab boundaries).  Returns (domain, histories,
+    initial positions, op list)."""
+    import random
+
+    from repro.core.geometry import Rect
+
+    rng = random.Random(seed)
+    domain = Rect((0.0, 0.0), (100.0, 100.0))
+    n_fast = max(1, n_objects * 15 // 100)
+
+    def dwell_point():
+        return (rng.uniform(5.0, 15.0), rng.uniform(0.0, 100.0))
+
+    def roam_point():
+        return (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0))
+
+    histories = {}
+    start = {}
+    for oid in range(n_objects):
+        fast = oid < n_fast
+        trail = [
+            ((roam_point() if fast else dwell_point()), 900.0 + i)
+            for i in range(5)
+        ]
+        histories[oid] = trail
+        start[oid] = trail[-1][0]
+
+    ops = []
+    pos = dict(start)
+    t = 1000.0
+    for oid in range(n_objects):
+        ops.append(("insert", oid, pos[oid], t))
+        t += 1.0
+    hot_query = Rect((5.0, 0.0), (15.0, 100.0))
+    wide_query = Rect((0.0, 0.0), (100.0, 100.0))
+    for _ in range(rounds):
+        for oid in range(n_objects):
+            if oid < n_fast:
+                p = roam_point()
+            else:
+                p = (
+                    min(15.0, max(5.0, pos[oid][0] + rng.uniform(-1.0, 1.0))),
+                    min(100.0, max(0.0, pos[oid][1] + rng.uniform(-3.0, 3.0))),
+                )
+            ops.append(("update", oid, pos[oid], p, t))
+            pos[oid] = p
+            t += 1.0
+        ops.append(("query", hot_query))
+        ops.append(("query", wide_query))
+    return domain, histories, start, ops
+
+
+def replay_skewed(index, ops):
+    """Drive a sharded engine through the skewed script under driver-style
+    category scopes; returns throughput + per-category I/O."""
+    from repro.storage.iostats import IOCategory
+
+    stats = index.pager.stats
+    n_updates = n_queries = 0
+    t0 = perf_counter()
+    for op in ops:
+        if op[0] == "insert":
+            with stats.category(IOCategory.UPDATE):
+                index.insert(op[1], op[2], now=op[3])
+            n_updates += 1
+        elif op[0] == "update":
+            with stats.category(IOCategory.UPDATE):
+                index.update(op[1], op[2], op[3], now=op[4])
+            n_updates += 1
+        else:
+            with stats.category(IOCategory.QUERY):
+                index.range_search(op[1])
+            n_queries += 1
+    wall = perf_counter() - t0
+    update_ios = stats.total(IOCategory.UPDATE)
+    query_ios = stats.total(IOCategory.QUERY)
+    return {
+        "n_updates": n_updates,
+        "n_queries": n_queries,
+        "wall_clock_s": wall,
+        "updates_per_s": n_updates / wall if wall else 0.0,
+        "update_ios": update_ios,
+        "query_ios": query_ios,
+        "ios_per_update": update_ios / n_updates if n_updates else 0.0,
+    }
+
+
+def update_io_skew(engine):
+    """Hottest shard's share of cumulative update I/O vs the fair share."""
+    results = engine.shard_results()
+    totals = [float(r.update_io.total) for r in results]
+    total = sum(totals)
+    if total <= 0 or not totals:
+        return 0.0
+    return max(totals) / (total / len(totals))
+
+
+def run_rebalance_bench():
+    """The ``rebalance`` document section (see module docstring)."""
+    from repro.engine import (
+        PARTITIONER_KINDS,
+        RebalancePolicy,
+        ShardRebalancer,
+        make_partition,
+        partition_from_dict,
+    )
+    from repro.health import verify_index
+    from repro.parallel import ParallelShardedIndex
+
+    domain, histories, start, ops = skewed_workload()
+    partitioners = {}
+    for name in PARTITIONER_KINDS:
+        inline = ShardedIndex(
+            IndexKind.LAZY,
+            domain,
+            partition=make_partition(
+                name, domain, REBALANCE_SHARDS,
+                positions=start, histories=histories,
+            ),
+        )
+        inline_run = replay_skewed(inline, ops)
+        par = ParallelShardedIndex(
+            IndexKind.LAZY,
+            domain,
+            mode="process",
+            partition=make_partition(
+                name, domain, REBALANCE_SHARDS,
+                positions=start, histories=histories,
+            ),
+        )
+        try:
+            par_run = replay_skewed(par, ops)
+            par_engine = par.engine_dict()
+        finally:
+            par.close()
+        partitioners[name] = {
+            "inline": inline_run,
+            "parallel": par_run,
+            "parallel_update_speedup": (
+                par_run["updates_per_s"] / inline_run["updates_per_s"]
+                if inline_run["updates_per_s"] else 0.0
+            ),
+            # Worker pools change *where* work runs, never what gets
+            # charged: with identical static partitions the per-category
+            # ledgers must match exactly (CI gates this at == 0).
+            "io_delta_pct": (
+                abs(par_run["update_ios"] - inline_run["update_ios"])
+                / inline_run["update_ios"] * 100.0
+                if inline_run["update_ios"] else 0.0
+            ),
+            "update_io_skew": update_io_skew(inline),
+            "cross_shard_moves": inline.cross_shard_moves,
+            "parallel_fell_back": par_engine["parallel"]["fell_back"],
+        }
+        print(
+            f"  rebalance {name:<8} "
+            f"{inline_run['ios_per_update']:8.2f} I/O/upd  "
+            f"skew {partitioners[name]['update_io_skew']:.2f}  "
+            f"moves {inline.cross_shard_moves:>4}  "
+            f"io delta {partitioners[name]['io_delta_pct']:.3f}%"
+        )
+
+    # Online rebalance: born on the skewed grid, the detector must fire
+    # and the cutover must leave the engine verifier-clean.
+    rebalancer = ShardRebalancer(RebalancePolicy(
+        check_every=64, min_window_ios=32, hot_factor=1.8
+    ))
+    live = ShardedIndex(
+        IndexKind.LAZY, domain, REBALANCE_SHARDS, rebalancer=rebalancer
+    )
+    live_run = replay_skewed(live, ops)
+    live_verdict = verify_index(live, kind=IndexKind.LAZY)
+
+    # Snapshot byte-identity across a cutover: a loaded clone replaying
+    # the same plan must land on the same bytes as the live engine.
+    import tempfile
+
+    from repro.engine import BoundaryPartition
+    from repro.storage.snapshot import build_document, load_sharded, save_sharded
+
+    frozen = ShardedIndex(IndexKind.LAZY, domain, REBALANCE_SHARDS)
+    replay_skewed(frozen, ops)
+    with tempfile.TemporaryDirectory(prefix="bench-rebalance-") as tmp:
+        clone = load_sharded(save_sharded(frozen, Path(tmp) / "pre.json"))
+    plan = BoundaryPartition.from_points(
+        domain, REBALANCE_SHARDS, frozen.position_map().values()
+    )
+    frozen.apply_partition(plan)
+    clone.apply_partition(partition_from_dict(plan.to_dict()))
+    identical = json.dumps(
+        build_document(frozen), sort_keys=True
+    ) == json.dumps(build_document(clone), sort_keys=True)
+
+    print(
+        f"  rebalance online:  {rebalancer.rebalances} cutovers "
+        f"(verify {'OK' if live_verdict.ok else 'FAILED'}, snapshot "
+        f"{'identical' if identical else 'DIVERGED'})"
+    )
+    return {
+        "shards": REBALANCE_SHARDS,
+        "workload": {
+            "n_objects": REBALANCE_OBJECTS,
+            "rounds": REBALANCE_ROUNDS,
+            "fast_share": 0.15,
+            "note": (
+                "deterministic flash crowd: ~85% of objects dwell in the "
+                "x in [5, 15) slab, ~15% hop across the whole domain each "
+                "round"
+            ),
+        },
+        "partitioners": partitioners,
+        "online": {
+            "strategy": rebalancer.policy.strategy,
+            "rebalances": rebalancer.rebalances,
+            "skipped": rebalancer.skipped,
+            "events": rebalancer.events,
+            "run": live_run,
+            "verify_ok": live_verdict.ok,
+            "verify_violations": len(live_verdict.violations),
+            "engine": live.engine_dict(),
+        },
+        "snapshot_byte_identical": identical,
+    }
 
 
 def throughput_entry(result, engine=None):
@@ -525,6 +769,9 @@ def main(argv=None) -> int:
         ),
     }
 
+    # Adaptive shard management on the skewed flash-crowd workload.
+    rebalance = run_rebalance_bench()
+
     # Geometry micro-kernels (the Rect hot path the perf work rewrote).
     try:
         from benchmarks.bench_geometry import run_geometry_bench
@@ -554,6 +801,7 @@ def main(argv=None) -> int:
         "durability": durability,
         "health": health,
         "parallel": parallel,
+        "rebalance": rebalance,
         "geometry": geometry,
     }
     out = Path(args.out)

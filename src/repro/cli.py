@@ -143,6 +143,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "one shard, so this doubles as the shard count "
                               "when --shards is not given (they must agree "
                               "when both are)")
+    compare.add_argument("--partitioner", default="grid",
+                         choices=("grid", "density", "speed"),
+                         help="shard partitioning strategy: equal-width grid "
+                              "slabs, density-balanced boundaries at object-"
+                              "count quantiles, or speed-based (fast movers "
+                              "routed to a dedicated churn shard); needs "
+                              "--shards or --parallel (default: grid)")
+    compare.add_argument("--rebalance", action="store_true",
+                         help="enable online shard rebalancing: hot shards "
+                              "are detected from per-shard I/O ledgers and "
+                              "the partition is re-cut with an atomic "
+                              "cutover (needs --shards or --parallel; not "
+                              "with --wal-dir)")
 
     recover = sub.add_parser(
         "recover", help="recover an index from a WAL directory after a crash"
@@ -322,6 +335,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if args.workers and not parallel:
         print("--workers needs --parallel thread|process", file=sys.stderr)
         return 1
+    partitioner = getattr(args, "partitioner", "grid")
+    rebalance = getattr(args, "rebalance", False)
+    if (partitioner != "grid" or rebalance) and not (sharded or parallel):
+        print("--partitioner/--rebalance need --shards N or --parallel "
+              "(they configure the shard router)", file=sys.stderr)
+        return 1
+    if rebalance and walled:
+        print("--rebalance does not compose with --wal-dir (the per-shard "
+              "WAL map is fixed when durability attaches; rebalancing "
+              "re-cuts it mid-run)", file=sys.stderr)
+        return 1
     n_workers = 0
     if parallel:
         if walled:
@@ -350,10 +374,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if sharded or batched or parallel:
         parts = []
         if sharded:
-            parts.append(f"{args.shards} shards (static space partition)")
+            parts.append(f"{args.shards} shards ({partitioner} partition)")
         if parallel:
             parts.append(f"parallel {parallel_mode} "
-                         f"({n_workers} workers, one shard each)")
+                         f"({n_workers} workers, one shard each, "
+                         f"{partitioner} partition)")
+        if rebalance:
+            parts.append("online rebalance (hot-shard detection)")
         if batched:
             parts.append(f"batch {args.batch} (coalescing update buffer)")
         print(f"engine: {', '.join(parts)}")
@@ -374,9 +401,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
         header += f" {'health':>14}"
     print(header)
     print("-" * len(header))
+    partition = None
+    if (sharded or parallel) and partitioner != "grid":
+        from repro.engine import make_partition
+
+        partition = make_partition(
+            partitioner,
+            domain,
+            n_workers if parallel else args.shards,
+            positions=current,
+            histories=histories,
+        )
     per_index: dict = {}
     for kind in IndexKind.ALL:
         closer = None
+        rebalancer = None
+        if rebalance:
+            from repro.engine import RebalancePolicy, ShardRebalancer
+
+            rebalancer = ShardRebalancer(RebalancePolicy(
+                strategy="speed" if partitioner == "speed" else "density"
+            ))
         if parallel:
             from repro.parallel import ParallelShardedIndex
 
@@ -388,6 +433,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 histories=histories if kind == IndexKind.CT else None,
                 query_rate=query_rate,
                 pool_frames=args.buffer_pool,
+                partition=partition,
+                rebalancer=rebalancer,
             )
             closer = index
             store = index.pager
@@ -400,6 +447,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 histories=histories if kind == IndexKind.CT else None,
                 query_rate=query_rate,
                 pool_frames=args.buffer_pool,
+                partition=partition,
+                rebalancer=rebalancer,
             )
             store = index.pager
             store_metrics = store.metrics_dict
@@ -500,6 +549,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "command": "compare",
                 "buffer_pool_frames": args.buffer_pool,
                 "shards": args.shards,
+                "partitioner": partitioner,
+                "rebalance": rebalance,
                 "parallel": parallel_mode,
                 "workers": n_workers,
                 "batch": args.batch,

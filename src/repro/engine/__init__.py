@@ -13,6 +13,8 @@ formalizes how they compose:
   (coalescing, size/time-horizon flush policies);
 * :mod:`repro.engine.sharded` -- the space-partitioned router with per-shard
   pagers and merged ledgers;
+* :mod:`repro.engine.rebalance` -- pluggable partitioners (grid, density,
+  speed) and the online hot-shard rebalancer;
 * :mod:`repro.engine.results` -- :class:`RunResult` and per-shard merging.
 """
 
@@ -43,6 +45,17 @@ from repro.engine.registry import (
     register_index,
     unregister_index,
 )
+from repro.engine.rebalance import (
+    PARTITIONER_KINDS,
+    BoundaryPartition,
+    Partitioner,
+    RebalancePolicy,
+    ShardRebalancer,
+    SpeedPartition,
+    density_boundaries,
+    make_partition,
+    partition_from_dict,
+)
 from repro.engine.results import RunResult, merge_results
 from repro.engine.sharded import (
     Shard,
@@ -50,6 +63,8 @@ from repro.engine.sharded import (
     ShardedStore,
     ShardIOStats,
     SpacePartition,
+    replay_order,
+    route_histories,
 )
 
 __all__ = [
@@ -81,4 +96,15 @@ __all__ = [
     "ShardedStore",
     "ShardIOStats",
     "SpacePartition",
+    "replay_order",
+    "route_histories",
+    "PARTITIONER_KINDS",
+    "BoundaryPartition",
+    "Partitioner",
+    "RebalancePolicy",
+    "ShardRebalancer",
+    "SpeedPartition",
+    "density_boundaries",
+    "make_partition",
+    "partition_from_dict",
 ]

@@ -20,10 +20,20 @@ layer treat a 4-shard engine exactly like a single tree.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
 
 from repro.core.geometry import Point, Rect
 from repro.core.params import CTParams
@@ -34,6 +44,9 @@ from repro.storage.buffer_pool import BufferPool
 from repro.storage.iostats import IOCategory, IOStats
 from repro.storage.page import Page, PageId
 from repro.storage.pager import Pager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (rebalance imports us)
+    from repro.engine.rebalance import Partitioner, ShardRebalancer
 
 
 class SpacePartition:
@@ -49,15 +62,30 @@ class SpacePartition:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self.domain = domain
-        self.n_shards = n_shards
         extents = tuple(h - l for l, h in zip(domain.lo, domain.hi))
         self.axis = max(range(len(extents)), key=lambda d: extents[d])
+        if extents[self.axis] <= 0.0:
+            # A zero-extent domain has no interior to slice: degenerate to
+            # a single slab covering the (point) domain, instead of
+            # inventing a width that pushes region() past domain.hi.
+            n_shards = 1
+        self.n_shards = n_shards
         self._lo = domain.lo[self.axis]
         self._width = extents[self.axis] or 1.0
 
-    def shard_of(self, point: Sequence[float]) -> int:
-        frac = (point[self.axis] - self._lo) / self._width
+    def slab_of(self, value: float) -> int:
+        """The slab owning axis coordinate ``value`` (half-open slabs;
+        out-of-domain values clamp into the nearest edge slab)."""
+        frac = (value - self._lo) / self._width
         return min(self.n_shards - 1, max(0, int(frac * self.n_shards)))
+
+    def shard_of(self, point: Sequence[float]) -> int:
+        return self.slab_of(point[self.axis])
+
+    def shard_for(self, obj_id: int, point: Sequence[float]) -> int:
+        """Identity-aware routing hook; spatial-only for the grid (the
+        speed partitioner overrides the decision per object)."""
+        return self.slab_of(point[self.axis])
 
     def region(self, sid: int) -> Rect:
         if not 0 <= sid < self.n_shards:
@@ -65,24 +93,42 @@ class SpacePartition:
         lo = list(self.domain.lo)
         hi = list(self.domain.hi)
         step = self._width / self.n_shards
-        lo[self.axis] = self._lo + sid * step
-        hi[self.axis] = self._lo + (sid + 1) * step
+        if sid > 0:
+            lo[self.axis] = self._lo + sid * step
+        if sid < self.n_shards - 1:
+            hi[self.axis] = self._lo + (sid + 1) * step
         return Rect(tuple(lo), tuple(hi))
 
     def intersecting(self, rect: Rect) -> List[int]:
-        """Shard ids whose slab intersects ``rect`` (always non-empty)."""
+        """Shard ids whose slab intersects ``rect`` (always non-empty).
+
+        Both edges go through the same ``slab_of`` map that routes points:
+        the edge shards are exactly where points on the rectangle's edges
+        route.  (The old closed-``floor`` math used a different arithmetic
+        -- ``floor(x / step)`` vs ``int(frac * n)`` -- which could both
+        probe a shard no contained point routes to and, in the last ulp,
+        *miss* the shard an edge point routes to.)
+        """
+        return list(
+            range(
+                self.slab_of(rect.lo[self.axis]),
+                self.slab_of(rect.hi[self.axis]) + 1,
+            )
+        )
+
+    def boundaries(self) -> List[float]:
+        """Interior slab cut coordinates (``n_shards - 1`` of them)."""
         step = self._width / self.n_shards
-        first = int(math.floor((rect.lo[self.axis] - self._lo) / step))
-        last = int(math.floor((rect.hi[self.axis] - self._lo) / step))
-        first = min(self.n_shards - 1, max(0, first))
-        last = min(self.n_shards - 1, max(0, last))
-        return list(range(first, last + 1))
+        return [self._lo + sid * step for sid in range(1, self.n_shards)]
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "version": 2,
+            "partitioner": "grid",
             "n_shards": self.n_shards,
             "axis": self.axis,
             "domain": [list(self.domain.lo), list(self.domain.hi)],
+            "boundaries": self.boundaries(),
         }
 
 
@@ -110,13 +156,15 @@ class ShardIOStats(IOStats):
 
 
 def route_histories(
-    partition: SpacePartition,
+    partition: "Partitioner",
     histories: Optional[Mapping[int, Sequence[Tuple[Point, float]]]],
 ) -> List[Dict[int, Sequence[Tuple[Point, float]]]]:
     """Split a history profile by the shard owning each trail's last sample.
 
     Shared by :class:`ShardedIndex` and the parallel engine so both route a
-    CT history profile identically.
+    CT history profile identically.  Identity-aware (``shard_for``): a
+    speed partition sends a fast mover's trail to its churn shard, the
+    shard that will actually load the object.
     """
     routed: List[Dict[int, Sequence[Tuple[Point, float]]]] = [
         {} for _ in range(partition.n_shards)
@@ -125,9 +173,30 @@ def route_histories(
         for oid, trail in histories.items():
             if not trail:
                 continue
-            sid = partition.shard_of(trail[-1][0])
+            sid = partition.shard_for(oid, trail[-1][0])
             routed[sid][oid] = trail
     return routed
+
+
+def replay_order(
+    positions: Mapping[int, Tuple[Point, Optional[float]]],
+) -> List[Tuple[int, Point, Optional[float]]]:
+    """Deterministic replay sequence for a positions ledger.
+
+    Timestamp order with untimed inserts first and object id as the
+    tiebreaker -- the order the parallel engine's inline fallback already
+    replays, now shared with rebalance cutovers: any two rebuilds of the
+    same ledger feed a time-driven index the same monotone clock and
+    charge identical I/O.
+    """
+    return sorted(
+        ((oid, pos, t) for oid, (pos, t) in positions.items()),
+        key=lambda item: (
+            item[2] is not None,
+            item[2] if item[2] is not None else 0.0,
+            item[0],
+        ),
+    )
 
 
 @dataclass
@@ -191,11 +260,27 @@ class ShardedStore:
     """Pager facade over the per-shard stores: one stats ledger, merged
     telemetry.  Satisfies what the driver and the CLI need from a "pager"
     (``stats``, ``page_count``, ``metrics_dict``); direct page access goes
-    through the shards."""
+    through the shards.
 
-    def __init__(self, shards: Sequence[Shard], stats: IOStats) -> None:
-        self._shards = list(shards)
+    The facade reads the shard sequence **live** from its source: handed
+    the owning engine, every property reflects the current shard
+    generation even after a rebalance split/merge replaces the list (a
+    construction-time ``list(shards)`` copy would silently keep reporting
+    the retired shards).  A plain sequence still works for frozen views.
+    """
+
+    def __init__(
+        self, shards: Union[Sequence[Shard], "ShardedIndex"], stats: IOStats
+    ) -> None:
+        self._source = shards
         self._stats = stats
+
+    @property
+    def _shards(self) -> Sequence[Shard]:
+        live = getattr(self._source, "shards", None)
+        if live is not None:
+            return cast(Sequence[Shard], live)
+        return cast(Sequence[Shard], self._source)
 
     @property
     def stats(self) -> IOStats:
@@ -265,13 +350,19 @@ class ShardedIndex:
             The parallel engine's inline fallback passes its own ledger here
             so counters stay monotone across the worker -> inline cutover
             (the driver's delta accounting would otherwise go negative).
+        partition: a :class:`~repro.engine.rebalance.Partitioner` to route
+            with instead of the default equal-width grid (``n_shards`` may
+            then be omitted; if given, it must agree).
+        rebalancer: a :class:`~repro.engine.rebalance.ShardRebalancer`
+            notified after every routed operation; when its hot-shard
+            detector fires it calls :meth:`apply_partition` back.
     """
 
     def __init__(
         self,
         kind: str,
         domain: Rect,
-        n_shards: int,
+        n_shards: Optional[int] = None,
         *,
         max_entries: int = 20,
         ct_params: Optional[CTParams] = None,
@@ -282,49 +373,91 @@ class ShardedIndex:
         pool_frames: int = 0,
         page_size: int = 4096,
         stats: Optional[IOStats] = None,
+        partition: Optional["Partitioner"] = None,
+        rebalancer: Optional["ShardRebalancer"] = None,
     ) -> None:
         self.kind = kind
         self.domain = domain
         spec = get_spec(kind)
         self._spec = spec
-        self.partition = SpacePartition(domain, n_shards)
+        if partition is None:
+            if n_shards is None:
+                raise ValueError("pass n_shards or an explicit partition")
+            partition = SpacePartition(domain, n_shards)
+        elif n_shards is not None and n_shards != partition.n_shards:
+            raise ValueError(
+                f"n_shards={n_shards} disagrees with the supplied "
+                f"partition ({partition.n_shards} shards)"
+            )
+        self.partition: "Partitioner" = partition
         self._stats = stats if stats is not None else IOStats()
         #: Object id -> owning shard id (the router's own secondary index;
         #: uncharged, like the structures' parent-pointer metadata).
         self._owner: Dict[int, int] = {}
+        #: Authoritative current state: oid -> (position, last timestamp).
+        #: A rebalance cutover replays this ledger into the new shards.
+        self._positions: Dict[int, Tuple[Point, Optional[float]]] = {}
+        #: Per-object cross-shard move counts (the speed strategy's
+        #: churn signal; uncharged router metadata).
+        self._move_counts: Dict[int, int] = {}
         self.cross_shard_moves = 0
         self.cross_shard_move_failures = 0
+        self.rebalances = 0
+        #: Run ledgers of shard generations retired by rebalance cutovers
+        #: (so merged_result() stays cumulative across cutovers).
+        self._retired_results: List[RunResult] = []
+        self._rebalancer = rebalancer
+        #: Shard-construction inputs, kept so a rebalance can rebuild
+        #: shards (and re-route the CT history profile) under a new
+        #: partition.
+        self._histories = histories
+        self._max_entries = max_entries
+        self._ct_params = ct_params
+        self._query_rate = query_rate
+        self._adaptive = adaptive
+        self._split = split
+        self._pool_frames = pool_frames
+        self._page_size = page_size
 
-        routed = self._route_histories(histories)
-        self.shards: List[Shard] = []
-        for sid in range(n_shards):
-            region = self.partition.region(sid)
+        self.shards: List[Shard] = self._build_shards(self.partition)
+        self._store = ShardedStore(self, self._stats)
+
+    def _build_shards(self, partition: "Partitioner") -> List[Shard]:
+        """One fresh shard per partition region (ctor and rebalance path)."""
+        routed = route_histories(partition, self._histories)
+        shards: List[Shard] = []
+        for sid in range(partition.n_shards):
             options = IndexOptions(
-                max_entries=max_entries,
-                ct_params=ct_params,
-                histories=routed[sid] if spec.needs_histories else None,
-                query_rate=query_rate,
-                adaptive=adaptive,
-                split=split,
+                max_entries=self._max_entries,
+                ct_params=self._ct_params,
+                histories=routed[sid] if self._spec.needs_histories else None,
+                query_rate=self._query_rate,
+                adaptive=self._adaptive,
+                split=self._split,
             )
-            self.shards.append(
+            shards.append(
                 build_shard(
-                    kind,
+                    self.kind,
                     sid,
-                    region,
+                    partition.region(sid),
                     options,
                     stats=ShardIOStats(self._stats),
-                    pool_frames=pool_frames,
-                    page_size=page_size,
+                    pool_frames=self._pool_frames,
+                    page_size=self._page_size,
                 )
             )
-        self._store = ShardedStore(self.shards, self._stats)
+        return shards
 
     def _route_histories(
         self,
         histories: Optional[Mapping[int, Sequence[Tuple[Point, float]]]],
     ) -> List[Dict[int, Sequence[Tuple[Point, float]]]]:
         return route_histories(self.partition, histories)
+
+    def _note_op(self) -> None:
+        """Post-op rebalancer hook (after the op's accounting settled)."""
+        if self._rebalancer is not None:
+            self._rebalancer.note_op(self)
 
     # -- SpatialIndex surface ------------------------------------------------
 
@@ -343,12 +476,14 @@ class ShardedIndex:
         self, obj_id: int, point: Sequence[float], now: Optional[float] = None
     ) -> PageId:
         pos = position_of(point)
-        shard = self.shards[self.partition.shard_of(pos)]
+        shard = self.shards[self.partition.shard_for(obj_id, pos)]
         t0 = perf_counter()
         pid = shard.index.insert(obj_id, pos, now=now)
         shard.wall_clock_s += perf_counter() - t0
         self._owner[obj_id] = shard.sid
+        self._positions[obj_id] = (pos, now)
         shard.n_updates += 1
+        self._note_op()
         return pid
 
     def update(
@@ -362,13 +497,15 @@ class ShardedIndex:
         old_sid = self._owner.get(obj_id)
         if old_sid is None:
             raise KeyError(f"object {obj_id} is not indexed")
-        new_sid = self.partition.shard_of(new_pos)
+        new_sid = self.partition.shard_for(obj_id, new_pos)
         if new_sid == old_sid:
             shard = self.shards[old_sid]
             t0 = perf_counter()
             pid = shard.index.update(obj_id, old_point, new_pos, now=now)
             shard.wall_clock_s += perf_counter() - t0
             shard.n_updates += 1
+            self._positions[obj_id] = (new_pos, now)
+            self._note_op()
             return pid
         # Boundary crossing: remove from the old shard, insert into the new.
         old_shard = self.shards[old_sid]
@@ -396,6 +533,9 @@ class ShardedIndex:
         self.cross_shard_moves += 1
         new_shard.n_updates += 1
         self._owner[obj_id] = new_sid
+        self._positions[obj_id] = (new_pos, now)
+        self._move_counts[obj_id] = self._move_counts.get(obj_id, 0) + 1
+        self._note_op()
         return pid
 
     def delete(
@@ -414,6 +554,8 @@ class ShardedIndex:
         shard.wall_clock_s += perf_counter() - t0
         if removed:
             del self._owner[obj_id]
+            self._positions.pop(obj_id, None)
+            self._move_counts.pop(obj_id, None)
         return bool(removed)
 
     def range_search(self, rect: Rect) -> List[Tuple[int, Point]]:
@@ -428,7 +570,52 @@ class ShardedIndex:
             shard.n_queries += 1
             shard.result_count += len(matches)
             results.extend(matches)
+        self._note_op()
         return results
+
+    # -- rebalance -----------------------------------------------------------
+
+    def position_map(self) -> Dict[int, Point]:
+        """Current object positions (authoritative, uncharged router state)."""
+        return {oid: pos for oid, (pos, _t) in self._positions.items()}
+
+    def cross_move_counts(self) -> Dict[int, int]:
+        """Cross-shard moves per object since birth (the churn signal)."""
+        return dict(self._move_counts)
+
+    def apply_partition(self, partition: "Partitioner") -> None:
+        """Online rebalance: cut over to ``partition`` atomically.
+
+        The self-heal shadow-rebuild template: build a complete new shard
+        set, replay the positions ledger into it under
+        ``IOCategory.BUILD`` (migration is reconstruction, not stream
+        work -- UPDATE/QUERY attribution stays bit-identical to an engine
+        born with ``partition``), verify the shadow holds every object,
+        then cut over with reference swaps.  An exception anywhere before
+        the swap leaves the engine serving the old shards untouched.
+        """
+        old_shards = self.shards
+        with self._stats.category(IOCategory.BUILD):
+            new_shards = self._build_shards(partition)
+            new_owner: Dict[int, int] = {}
+            for oid, pos, t in replay_order(self._positions):
+                sid = partition.shard_for(oid, pos)
+                new_shards[sid].index.insert(oid, pos, now=t)
+                new_owner[oid] = sid
+        resident = sum(len(shard.index) for shard in new_shards)
+        if resident != len(self._positions):
+            raise RuntimeError(
+                f"rebalance shadow holds {resident} objects, expected "
+                f"{len(self._positions)}; cutover aborted"
+            )
+        self._retired_results.extend(
+            shard.run_result(self.kind) for shard in old_shards
+        )
+        # Atomic cutover: reference swaps only; no reader sees a mix.
+        self.partition = partition
+        self.shards = new_shards
+        self._owner = new_owner
+        self.rebalances += 1
 
     # -- aggregated telemetry ------------------------------------------------
 
@@ -445,9 +632,11 @@ class ShardedIndex:
         return [shard.run_result(self.kind) for shard in self.shards]
 
     def merged_result(self) -> RunResult:
-        """All shard ledgers merged into one (query counts are fan-outs)."""
+        """All shard ledgers merged into one (query counts are fan-outs);
+        cumulative across rebalance cutovers (retired generations count)."""
         return merge_results(
-            self.shard_results(), kind=f"{self.kind}x{self.n_shards}"
+            self._retired_results + self.shard_results(),
+            kind=f"{self.kind}x{self.n_shards}",
         )
 
     def owner_of(self, obj_id: int) -> Optional[int]:
@@ -455,13 +644,14 @@ class ShardedIndex:
 
     def engine_dict(self) -> Dict[str, object]:
         """Engine telemetry for metrics/bench documents."""
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind,
             "partition": self.partition.to_dict(),
             "cross_shard_moves": self.cross_shard_moves,
             "cross_shard_move_failures": getattr(
                 self, "cross_shard_move_failures", 0
             ),
+            "rebalances": getattr(self, "rebalances", 0),
             "objects": len(self),
             "shards": [
                 {
@@ -473,6 +663,10 @@ class ShardedIndex:
                 for shard in self.shards
             ],
         }
+        rebalancer = getattr(self, "_rebalancer", None)
+        if rebalancer is not None:
+            out["rebalancer"] = rebalancer.to_dict()
+        return out
 
     def __repr__(self) -> str:
         return (

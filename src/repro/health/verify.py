@@ -564,7 +564,10 @@ def _verify_sharded(sharded: ShardedIndex, report: VerifyReport) -> None:
                     f"{residents[obj_id][0]} and {shard.sid}",
                 )
             residents[obj_id] = (shard.sid, position)
-            home = sharded.partition.shard_of(position)
+            # Identity-aware routing: shard_for covers non-uniform
+            # boundaries and the speed partitioner's churn shard (where
+            # residency is decided by object id, not position).
+            home = sharded.partition.shard_for(obj_id, position)
             if home != shard.sid:
                 report.add(
                     "router-coverage",

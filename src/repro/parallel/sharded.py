@@ -41,7 +41,12 @@ from repro.engine.buffer import PendingUpdate
 from repro.engine.protocol import position_of
 from repro.engine.registry import IndexOptions, get_spec
 from repro.engine.results import RunResult, merge_results
-from repro.engine.sharded import ShardedIndex, SpacePartition, route_histories
+from repro.engine.sharded import (
+    ShardedIndex,
+    SpacePartition,
+    replay_order,
+    route_histories,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.treestats import aggregate_shard_stats, tree_stats
 from repro.parallel.workers import ProcessWorker, ThreadWorker, WorkerFailure
@@ -150,7 +155,7 @@ class ParallelShardedIndex:
         self,
         kind: str,
         domain: Rect,
-        n_shards: int,
+        n_shards: Optional[int] = None,
         *,
         mode: str = "process",
         max_entries: int = 20,
@@ -161,23 +166,41 @@ class ParallelShardedIndex:
         split: str = "quadratic",
         pool_frames: int = 0,
         page_size: int = 4096,
+        partition=None,
+        rebalancer=None,
     ) -> None:
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown parallel mode {mode!r}")
         self.kind = kind
         self.domain = domain
         self.mode = mode
-        self.partition = SpacePartition(domain, n_shards)
+        if partition is None:
+            if n_shards is None:
+                raise ValueError("pass n_shards or an explicit partition")
+            partition = SpacePartition(domain, n_shards)
+        elif n_shards is not None and n_shards != partition.n_shards:
+            raise ValueError(
+                f"n_shards={n_shards} disagrees with the supplied "
+                f"partition ({partition.n_shards} shards)"
+            )
+        n_shards = partition.n_shards
+        self._partition = partition
         self._stats = IOStats()
         self._owners: Dict[int, int] = {}
         #: Acknowledged state: object id -> (position, last timestamp).
         #: This is what an inline fallback rebuilds from, so it advances
         #: only when a worker has acked the op that produced it.
         self._positions: Dict[int, Tuple[Point, Optional[float]]] = {}
+        #: Per-object cross-shard move counts (the speed strategy's signal).
+        self._move_counts: Dict[int, int] = {}
         self.cross_shard_moves = 0
         self.cross_shard_move_failures = 0
         self.worker_failures = 0
         self.fallbacks = 0
+        self.rebalances = 0
+        #: Ledgers of worker generations retired by rebalance cutovers.
+        self._retired_results: List[RunResult] = []
+        self._rebalancer = rebalancer
         self._inline: Optional[ShardedIndex] = None
         self._prefallback: Optional[List[RunResult]] = None
         self._max_entries = max_entries
@@ -234,6 +257,23 @@ class ParallelShardedIndex:
         except Exception:
             self.close()
             raise
+
+    @property
+    def partition(self):
+        """The live partition (the inline fallback's, once fallen back --
+        a rebalancer handed to the fallback keeps evolving it there)."""
+        if self._inline is not None:
+            return self._inline.partition
+        return self._partition
+
+    @partition.setter
+    def partition(self, value) -> None:
+        self._partition = value
+
+    def _note_op(self) -> None:
+        """Post-op rebalancer hook (mirrors the inline engine's cadence)."""
+        if self._rebalancer is not None and self._inline is None:
+            self._rebalancer.note_op(self)
 
     # -- worker plumbing ----------------------------------------------------
 
@@ -333,7 +373,6 @@ class ParallelShardedIndex:
             inline = ShardedIndex(
                 self.kind,
                 self.domain,
-                self.partition.n_shards,
                 max_entries=self._max_entries,
                 ct_params=self._ct_params,
                 histories=self._histories,
@@ -343,24 +382,22 @@ class ParallelShardedIndex:
                 pool_frames=self._pool_frames,
                 page_size=self._page_size,
                 stats=self._stats,
+                partition=self._partition,
             )
             # Replay in timestamp order (untimed inserts first) so a
             # time-driven index observes a monotone clock, like the stream.
-            replay = sorted(
-                ((oid, pos, t) for oid, (pos, t) in self._positions.items()),
-                key=lambda item: (
-                    item[2] is not None,
-                    item[2] if item[2] is not None else 0.0,
-                    item[0],
-                ),
-            )
-            for oid, pos, t in replay:
+            for oid, pos, t in replay_order(self._positions):
                 inline.insert(oid, pos, now=t)
         for shard in inline.shards:
             # The replay is reconstruction, not stream work: zero the
             # per-shard stream counters it inflated.
             shard.n_updates = 0
             shard.wall_clock_s = 0.0
+        inline._move_counts = dict(self._move_counts)
+        # The rebalancer follows the engine that now executes operations
+        # (attached only after the replay: reconstruction is not stream
+        # work and must not advance the detector).
+        inline._rebalancer = self._rebalancer
         self._inline = inline
 
     # -- SpatialIndex surface ------------------------------------------------
@@ -384,7 +421,7 @@ class ParallelShardedIndex:
         if self._inline is not None:
             return self._inline.insert(obj_id, point, now=now)
         pos = position_of(point)
-        sid = self.partition.shard_of(pos)
+        sid = self.partition.shard_for(obj_id, pos)
         try:
             resp = self._single(
                 sid, ("insert", obj_id, pos, now), self._stats.active_category
@@ -400,6 +437,7 @@ class ParallelShardedIndex:
             raise RuntimeError(
                 f"shard {sid} insert failed: {resp.get('error')}"
             )
+        self._note_op()
         return resp.get("pid")
 
     def update(
@@ -415,7 +453,7 @@ class ParallelShardedIndex:
         old_sid = self._owners.get(obj_id)
         if old_sid is None:
             raise KeyError(f"object {obj_id} is not indexed")
-        new_sid = self.partition.shard_of(new_pos)
+        new_sid = self.partition.shard_for(obj_id, new_pos)
         old_pos = None if old_point is None else position_of(old_point)
         category = self._stats.active_category
         try:
@@ -432,10 +470,13 @@ class ParallelShardedIndex:
                     raise RuntimeError(
                         f"shard {old_sid} update failed: {resp.get('error')}"
                     )
+                self._note_op()
                 return resp.get("pid")
-            return self._move_via_workers(
+            pid = self._move_via_workers(
                 obj_id, old_pos, new_pos, now, category
             )
+            self._note_op()
+            return pid
         except WorkerFailure:
             self._fall_back()
             return self._inline.update(obj_id, old_point, new_pos, now=now)
@@ -457,7 +498,7 @@ class ParallelShardedIndex:
         both concurrently could instead leave it in both.
         """
         old_sid = self._owners[obj_id]
-        new_sid = self.partition.shard_of(new_pos)
+        new_sid = self.partition.shard_for(obj_id, new_pos)
         self._single(old_sid, ("delete", obj_id, old_pos, now), category)
         self._ledgers[old_sid].n_updates += 1
         return self._move_insert(
@@ -498,6 +539,7 @@ class ParallelShardedIndex:
         self.cross_shard_moves += 1
         self._owners[obj_id] = new_sid
         self._positions[obj_id] = (new_pos, now)
+        self._move_counts[obj_id] = self._move_counts.get(obj_id, 0) + 1
         return resp.get("pid")
 
     def delete(
@@ -527,6 +569,7 @@ class ParallelShardedIndex:
         if removed:
             del self._owners[obj_id]
             del self._positions[obj_id]
+            self._move_counts.pop(obj_id, None)
         return removed
 
     # -- batched dispatch ----------------------------------------------------
@@ -613,7 +656,7 @@ class ParallelShardedIndex:
         try:
             for update in batch:
                 pos = update.point
-                new_sid = self.partition.shard_of(pos)
+                new_sid = self.partition.shard_for(update.oid, pos)
                 if update.old_point is None:
                     pending_ops.setdefault(new_sid, []).append(
                         ("insert", update.oid, pos, update.t)
@@ -666,6 +709,12 @@ class ParallelShardedIndex:
             self._fall_back()
             remainder = [u for u in batch if u.oid not in acked]
             total += self._apply_batch_inline(self._inline, remainder)
+            return total
+        # One detection sweep per applied op, after the batch settled (a
+        # rebalance cannot interleave with in-flight sub-batches).
+        if self._rebalancer is not None:
+            for _ in range(total):
+                self._note_op()
         return total
 
     @staticmethod
@@ -682,6 +731,109 @@ class ParallelShardedIndex:
                 )
             applied += 1
         return applied
+
+    # -- rebalance -----------------------------------------------------------
+
+    def position_map(self) -> Dict[int, Point]:
+        """Acknowledged object positions (authoritative router state)."""
+        if self._inline is not None:
+            return self._inline.position_map()
+        return {oid: pos for oid, (pos, _t) in self._positions.items()}
+
+    def cross_move_counts(self) -> Dict[int, int]:
+        """Cross-shard moves per object since birth (the churn signal)."""
+        if self._inline is not None:
+            return self._inline.cross_move_counts()
+        return dict(self._move_counts)
+
+    def apply_partition(self, partition) -> None:
+        """Online rebalance on the worker pool.
+
+        Retire the current worker generation, respawn one worker per new
+        shard (spawned with ``category=BUILD`` so construction I/O lands
+        where the inline engine's does), replay the acknowledged positions
+        ledger in canonical order as one BUILD-scoped sub-batch per shard,
+        then cut over.  A worker failure mid-rebuild degrades to the
+        inline fallback, which rebuilds from the same ledger under the
+        *new* partition -- the cutover completes either way, and no
+        acknowledged state is lost.
+        """
+        if self._inline is not None:
+            self._inline.apply_partition(partition)
+            self.rebalances += 1
+            return
+        spec = get_spec(self.kind)
+        routed = route_histories(partition, self._histories)
+        self._retired_results.extend(
+            led.run_result(self.kind) for led in self._ledgers
+        )
+        self.close()
+        self._partition = partition
+        self._ledgers = [
+            ShardLedger(sid=sid, region=partition.region(sid))
+            for sid in range(partition.n_shards)
+        ]
+        worker_cls = ProcessWorker if self.mode == "process" else ThreadWorker
+        try:
+            for sid in range(partition.n_shards):
+                options = IndexOptions(
+                    max_entries=self._max_entries,
+                    ct_params=self._ct_params,
+                    histories=routed[sid] if spec.needs_histories else None,
+                    query_rate=self._query_rate,
+                    adaptive=self._adaptive,
+                    split=self._split,
+                )
+                self._workers.append(
+                    worker_cls(
+                        self.kind,
+                        sid,
+                        partition.region(sid),
+                        options,
+                        pool_frames=self._pool_frames,
+                        page_size=self._page_size,
+                        category=IOCategory.BUILD,
+                    )
+                )
+            for sid, worker in enumerate(self._workers):
+                resp = worker.result()
+                if not resp.get("ok"):
+                    raise WorkerFailure(
+                        f"shard {sid} worker failed to rebuild: "
+                        f"{resp.get('error')}"
+                    )
+                self._absorb(sid, resp)
+            per_shard: Dict[int, List[tuple]] = {}
+            new_owners: Dict[int, int] = {}
+            for oid, pos, t in replay_order(self._positions):
+                sid = partition.shard_for(oid, pos)
+                per_shard.setdefault(sid, []).append(("insert", oid, pos, t))
+                new_owners[oid] = sid
+            out, failed = self._dispatch(
+                {
+                    sid: ("apply", IOCategory.BUILD, ops)
+                    for sid, ops in per_shard.items()
+                }
+            )
+            if failed:
+                raise WorkerFailure(
+                    f"shard worker(s) {sorted(failed)} died during rebalance"
+                )
+            for sid, resp in out.items():
+                if not resp["ok"] or int(resp["applied"]) != len(
+                    per_shard[sid]
+                ):
+                    raise WorkerFailure(
+                        f"shard {sid} rebalance replay incomplete: "
+                        f"{resp.get('error')}"
+                    )
+            self._owners = new_owners
+            self.rebalances += 1
+        except WorkerFailure:
+            # _fall_back rebuilds inline from the ledger under the new
+            # partition (already installed) and keeps counters monotone.
+            self._fall_back()
+            self.rebalances += 1
 
     # -- queries -------------------------------------------------------------
 
@@ -724,6 +876,7 @@ class ParallelShardedIndex:
         registry = get_registry()
         if registry.enabled:
             registry.observe("parallel.merge.latency_s", perf_counter() - t0)
+        self._note_op()
         return results
 
     # -- telemetry -----------------------------------------------------------
@@ -814,8 +967,10 @@ class ParallelShardedIndex:
         return [led.run_result(self.kind) for led in self._ledgers]
 
     def merged_result(self) -> RunResult:
+        """Cumulative across rebalance cutovers and fallback cutovers."""
         return merge_results(
-            self.shard_results(), kind=f"{self.kind}x{self.n_shards}"
+            self._retired_results + self.shard_results(),
+            kind=f"{self.kind}x{self.n_shards}",
         )
 
     def engine_dict(self) -> Dict[str, object]:
@@ -825,13 +980,15 @@ class ParallelShardedIndex:
             objects = [len(shard.index) for shard in inline.shards]
         else:
             objects = [led.objects for led in self._ledgers]
-        return {
+        out: Dict[str, object] = {
             "kind": self.kind,
             "partition": self.partition.to_dict(),
             "cross_shard_moves": self.cross_shard_moves
             + (inline.cross_shard_moves if inline is not None else 0),
             "cross_shard_move_failures": self.cross_shard_move_failures
             + (inline.cross_shard_move_failures if inline is not None else 0),
+            "rebalances": self.rebalances
+            + (inline.rebalances if inline is not None else 0),
             "objects": len(self),
             "parallel": {
                 "mode": self.mode,
@@ -852,6 +1009,9 @@ class ParallelShardedIndex:
                 )
             ],
         }
+        if self._rebalancer is not None:
+            out["rebalancer"] = self._rebalancer.to_dict()
+        return out
 
     def __repr__(self) -> str:
         return (

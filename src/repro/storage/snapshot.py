@@ -412,21 +412,36 @@ def _sharded_document(index) -> Dict:
         "structure": "sharded",
         "kind": "sharded",
         "inner_kind": inner_kind,
+        # Versioned partition document (v2: partitioner tag + boundary
+        # list); partition_from_dict reconstructs the exact routing
+        # arithmetic, v1 grid documents included.
         "partition": index.partition.to_dict(),
         "owner": {str(oid): sid for oid, sid in index._owner.items()},
         "cross_shard_moves": index.cross_shard_moves,
+        "rebalances": getattr(index, "rebalances", 0),
+        # The positions ledger (position + last timestamp per object):
+        # restoring it keeps a post-load rebalance replay byte-identical
+        # to one on the live engine.
+        "positions": {
+            str(oid): [list(pos), t]
+            for oid, (pos, t) in getattr(index, "_positions", {}).items()
+        },
+        "move_counts": {
+            str(oid): n
+            for oid, n in getattr(index, "_move_counts", {}).items()
+        },
         "shards": [build(shard.index) for shard in index.shards],
     }
 
 
 def _load_sharded_document(document: Dict):
+    from repro.engine.rebalance import partition_from_dict
     from repro.engine.registry import get_spec
     from repro.engine.sharded import (
         Shard,
         ShardedIndex,
         ShardedStore,
         ShardIOStats,
-        SpacePartition,
     )
     from repro.storage.iostats import IOStats
 
@@ -434,11 +449,11 @@ def _load_sharded_document(document: Dict):
     loader = _DOCUMENT_LOADERS.get(inner_kind)
     if loader is None:
         raise SnapshotError(f"unknown sharded inner kind {inner_kind!r}")
-    partition_meta = document["partition"]
-    domain = Rect(
-        tuple(partition_meta["domain"][0]), tuple(partition_meta["domain"][1])
-    )
-    partition = SpacePartition(domain, int(partition_meta["n_shards"]))
+    try:
+        partition = partition_from_dict(document["partition"])
+    except (KeyError, ValueError) as exc:
+        raise SnapshotError(f"bad partition document: {exc}") from exc
+    domain = partition.domain
 
     index = ShardedIndex.__new__(ShardedIndex)
     index.kind = inner_kind
@@ -450,6 +465,24 @@ def _load_sharded_document(document: Dict):
     index._owner = {int(oid): int(sid) for oid, sid in document["owner"].items()}
     index.cross_shard_moves = int(document.get("cross_shard_moves", 0))
     index.cross_shard_move_failures = 0
+    index.rebalances = int(document.get("rebalances", 0))
+    index._move_counts = {
+        int(oid): int(n)
+        for oid, n in document.get("move_counts", {}).items()
+    }
+    index._retired_results = []
+    index._rebalancer = None
+    # Shard-construction inputs a post-load rebalance rebuilds with
+    # (histories are not snapshotted; the shard contents already embody
+    # their effect).
+    index._histories = None
+    index._max_entries = 20
+    index._ct_params = None
+    index._query_rate = 50.0
+    index._adaptive = True
+    index._split = "quadratic"
+    index._pool_frames = 0
+    index._page_size = 4096
     index.shards = []
     for sid, sub_document in enumerate(document["shards"]):
         inner = loader(sub_document)
@@ -466,7 +499,37 @@ def _load_sharded_document(document: Dict):
                 index=inner,
             )
         )
-    index._store = ShardedStore(index.shards, shared)
+    if index.shards:
+        # Recover the construction knobs from the restored structures, so
+        # a post-load rebalance rebuilds shards with the same geometry the
+        # saved engine would have (byte-identical cutover replay).
+        first = index.shards[0].index
+        tree = getattr(first, "tree", first)
+        index._max_entries = getattr(tree, "max_entries", index._max_entries)
+        index._split = getattr(tree, "split_policy", index._split)
+        index._adaptive = getattr(first, "adaptive", index._adaptive)
+        index._ct_params = getattr(first, "params", None)
+    positions_doc = document.get("positions")
+    if positions_doc is not None:
+        index._positions = {
+            int(oid): (tuple(entry[0]), entry[1])
+            for oid, entry in positions_doc.items()
+        }
+    else:
+        # Pre-v6 document: reconstruct the ledger (timestamps unknown)
+        # from shard residency so rebalancing still works after a load.
+        index._positions = {}
+        for shard in index.shards:
+            inner = shard.index
+            objects = (
+                inner.iter_objects()
+                if hasattr(inner, "iter_objects")
+                else inner.tree.iter_objects()
+            )
+            for oid, pos in objects:
+                index._positions[oid] = (tuple(pos), None)
+    index._store = ShardedStore(index, shared)
+    index._page_size = index.shards[0].pager.page_size if index.shards else 4096
     return index
 
 

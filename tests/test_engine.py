@@ -392,6 +392,47 @@ class TestSpacePartition:
         with pytest.raises(ValueError):
             SpacePartition(DOMAIN, 2).region(5)
 
+    def test_routing_consistent_at_boundaries(self):
+        """Regression: ``intersecting`` used closed-floor math while
+        ``shard_of`` was half-open, so a point-rect exactly on (or one ulp
+        around) a slab boundary could fan out to a shard that ``shard_of``
+        would never route the object to.  Both now share ``slab_of``."""
+        import math as _math
+
+        partition = SpacePartition(DOMAIN, 4)
+        for boundary in partition.boundaries():
+            for x in (
+                boundary,  # edge-exact
+                _math.nextafter(boundary, -_math.inf),  # epsilon below
+                _math.nextafter(boundary, _math.inf),  # epsilon above
+            ):
+                p = (x, 50.0)
+                home = partition.shard_of(p)
+                point_rect = Rect(p, p)
+                assert partition.intersecting(point_rect) == [home]
+
+    def test_routing_consistent_on_irrational_boundary(self):
+        """The last-ulp disagreement case: width 1.0, three slabs, the
+        x = 1/3 boundary is not representable, so floor((x-lo)/step) and
+        int(frac*n) used to disagree for some points."""
+        unit = Rect((0.0, 0.0), (1.0, 1.0))
+        partition = SpacePartition(unit, 3)
+        for x in (1.0 / 3.0, 2.0 / 3.0, 0.3333333333333333, 0.6666666666666666):
+            p = (x, 0.5)
+            assert partition.intersecting(Rect(p, p)) == [partition.shard_of(p)]
+
+    def test_zero_extent_domain_degenerates_to_one_shard(self):
+        """Regression: a zero-extent domain kept ``_width = 1.0`` as a
+        division guard, so region() extended past domain.hi.  It now
+        degenerates to a single shard covering the point domain."""
+        point_domain = Rect((5.0, 7.0), (5.0, 7.0))
+        partition = SpacePartition(point_domain, 4)
+        assert partition.n_shards == 1
+        assert partition.region(0) == point_domain
+        assert partition.shard_of((5.0, 7.0)) == 0
+        assert partition.shard_of((99.0, 99.0)) == 0  # clamps, never raises
+        assert partition.intersecting(Rect((0.0, 0.0), (10.0, 10.0))) == [0]
+
 
 class TestShardedIndex:
     def build(self, rng, kind=IndexKind.LAZY, n_shards=4):
