@@ -9,15 +9,27 @@ a fixed-seed pair set.  The kernel and method paths perform identical
 floating-point operations, so this also cross-checks that the fast paths
 agree bit-for-bit with the objects they replace.
 
-Importable: :func:`run_geometry_bench` returns the result dict that
-``bench_regression.py`` embeds under the ``geometry`` key of
+PR 7 adds two sections:
+
+* **node scans** (:func:`run_node_scan_bench`): whole-node intersect-all
+  and choose-subtree over the struct-of-arrays layout
+  (:class:`~repro.rtree.node.SoAEntries`) versus the object layout
+  (:class:`~repro.rtree.node.ObjectEntries`), at fanout-scale and
+  vectorized-scale node sizes.  Results are asserted identical per query
+  before anything is timed.
+* **dispatch RTT** (:func:`run_dispatch_bench`): per-``("ping", token)``
+  round-trip through real shard workers in thread mode, process mode over
+  the pipe transport, and process mode over the shared-memory mailbox.
+
+Importable: :func:`run_geometry_bench` & co. return the result dicts that
+``bench_regression.py`` embeds under the ``geometry`` / ``soa`` keys of
 ``BENCH_driver.json``.  Wall clocks are hardware-dependent and exist for
 trend-watching; only the agreement checks are asserted.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_geometry.py [--pairs 4096]
-        [--repeat 5] [--out geometry.json]
+        [--repeat 5] [--pings 200] [--skip-dispatch] [--out geometry.json]
 """
 
 from __future__ import annotations
@@ -150,7 +162,182 @@ def run_geometry_bench(n_pairs: int = 4096, repeat: int = 5) -> Dict[str, object
     return result
 
 
+# -- PR 7: whole-node scan micro-bench (SoA vs object layout) --------------
+
+
+def _make_node(n: int, seed: int):
+    """Identical entry data packed into both layouts, plus probe rects."""
+    from repro.rtree.node import Entry, ObjectEntries, SoAEntries
+
+    rng = random.Random(seed)
+    soa = SoAEntries()
+    obj = ObjectEntries()
+    for child in range(n):
+        x = rng.uniform(0.0, DOMAIN - 80.0)
+        y = rng.uniform(0.0, DOMAIN - 80.0)
+        rect = Rect(
+            (x, y),
+            (x + rng.uniform(1.0, 80.0), y + rng.uniform(1.0, 80.0)),
+        )
+        soa.append(Entry(rect, child))
+        obj.append(Entry(rect, child))
+    queries = []
+    for _ in range(64):
+        qx = rng.uniform(0.0, DOMAIN - 120.0)
+        qy = rng.uniform(0.0, DOMAIN - 120.0)
+        queries.append(
+            Rect(
+                (qx, qy),
+                (qx + rng.uniform(5.0, 120.0), qy + rng.uniform(5.0, 120.0)),
+            )
+        )
+    return soa, obj, queries
+
+
+def run_node_scan_bench(
+    sizes: Tuple[int, ...] = (20, 256), repeat: int = 5, seed: int = 11
+) -> Dict[str, object]:
+    """Whole-node scans, SoA vs object layout; asserts identical results.
+
+    ``n=20`` is real fanout (the pure-Python scan path), ``n=256`` is the
+    vectorized regime the ≥3x CI gate watches.  ``vectorized`` records
+    whether numpy backs the large-size scans -- without it the wall-clock
+    gates are meaningless (the fallback is a plain loop) and CI skips them.
+    """
+    from repro.core.geometry import NP_SCAN_MIN, _np
+
+    out: Dict[str, object] = {
+        "repeat": repeat,
+        "vectorized": _np is not None and max(sizes) >= NP_SCAN_MIN,
+        "sizes": {},
+    }
+    for n in sizes:
+        soa, obj, queries = _make_node(n, seed)
+        # Agreement first: a wrong scan must never be timed.
+        for q in queries:
+            if soa.intersecting_indices(q.lo, q.hi) != obj.intersecting_indices(
+                q.lo, q.hi
+            ):
+                raise AssertionError(f"intersect-all disagrees at n={n}")
+            if soa.choose_subtree(q.lo, q.hi) != obj.choose_subtree(q.lo, q.hi):
+                raise AssertionError(f"choose-subtree disagrees at n={n}")
+
+        def soa_intersect() -> int:
+            scan = soa.intersecting_indices
+            for q in queries:
+                scan(q.lo, q.hi)
+            return len(queries)
+
+        def obj_intersect() -> int:
+            scan = obj.intersecting_indices
+            for q in queries:
+                scan(q.lo, q.hi)
+            return len(queries)
+
+        def soa_choose() -> int:
+            choose = soa.choose_subtree
+            for q in queries:
+                choose(q.lo, q.hi)
+            return len(queries)
+
+        def obj_choose() -> int:
+            choose = obj.choose_subtree
+            for q in queries:
+                choose(q.lo, q.hi)
+            return len(queries)
+
+        entry: Dict[str, object] = {"agree": True}
+        for name, soa_fn, obj_fn in (
+            ("intersect_all", soa_intersect, obj_intersect),
+            ("choose_subtree", soa_choose, obj_choose),
+        ):
+            soa_s, ops = _best_of(soa_fn, repeat)
+            obj_s, _ = _best_of(obj_fn, repeat)
+            entry[name] = {
+                "soa_ns_per_scan": soa_s / ops * 1e9,
+                "object_ns_per_scan": obj_s / ops * 1e9,
+                "speedup": obj_s / soa_s if soa_s > 0 else float("inf"),
+            }
+        out["sizes"][str(n)] = entry
+    return out
+
+
+# -- PR 7: worker dispatch round-trip (thread / pipe / shm) ----------------
+
+
+def run_dispatch_bench(n_pings: int = 200, warmup: int = 20) -> Dict[str, object]:
+    """Per-ping RTT through real shard workers, one per transport.
+
+    Modes that cannot run on the host (no fork, no /dev/shm) record
+    ``None`` with a reason instead of failing the bench.
+    """
+    import multiprocessing as mp
+    import statistics
+
+    from repro.engine.registry import IndexOptions
+    from repro.parallel.shm import shm_available
+    from repro.parallel.workers import ProcessWorker, ThreadWorker
+
+    region = Rect((0.0, 0.0), (DOMAIN, DOMAIN))
+    options = IndexOptions(max_entries=20)
+
+    def time_worker(worker) -> Dict[str, float]:
+        try:
+            ready = worker.result()
+            assert ready.get("ok"), ready
+            for i in range(warmup):
+                worker.submit(("ping", i))
+                worker.result()
+            samples = []
+            for i in range(n_pings):
+                t0 = perf_counter()
+                worker.submit(("ping", i))
+                resp = worker.result()
+                samples.append(perf_counter() - t0)
+                assert resp["ok"] and resp["pong"] == i
+            return {
+                "median_us": statistics.median(samples) * 1e6,
+                "mean_us": statistics.fmean(samples) * 1e6,
+                "p90_us": sorted(samples)[int(len(samples) * 0.9)] * 1e6,
+            }
+        finally:
+            worker.close()
+
+    out: Dict[str, object] = {"n_pings": n_pings, "modes": {}}
+    out["modes"]["thread"] = time_worker(
+        ThreadWorker("rtree", 0, region, options)
+    )
+    out["modes"]["process_pipe"] = time_worker(
+        ProcessWorker("rtree", 0, region, options, transport="pipe")
+    )
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    if shm_available(mp.get_context(method)):
+        out["modes"]["process_shm"] = time_worker(
+            ProcessWorker("rtree", 0, region, options, transport="shm")
+        )
+    else:
+        out["modes"]["process_shm"] = None
+        out["shm_unavailable_reason"] = (
+            "needs fork start method and a writable /dev/shm"
+        )
+    return out
+
+
 # -- agreement checks (run in the tier-1 suite; timings are not asserted) --
+
+
+def test_node_scans_agree_with_object_layout() -> None:
+    for n in (0, 1, 7, 20, 64, 200):
+        soa, obj, queries = _make_node(n, seed=n + 40)
+        for q in queries:
+            assert soa.intersecting_indices(q.lo, q.hi) == obj.intersecting_indices(
+                q.lo, q.hi
+            )
+            assert soa.choose_subtree(q.lo, q.hi) == obj.choose_subtree(q.lo, q.hi)
+            assert soa.containing_point_indices(q.lo) == obj.containing_point_indices(
+                q.lo
+            )
+        assert soa.union_rect() == obj.union_rect()
 
 
 def test_kernels_agree_with_methods() -> None:
@@ -168,6 +355,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--pairs", type=int, default=4096)
     parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--pings", type=int, default=200)
+    parser.add_argument(
+        "--skip-dispatch", action="store_true",
+        help="skip the worker round-trip section (spawns processes)",
+    )
     parser.add_argument("--out", default=None, metavar="JSON")
     args = parser.parse_args(argv)
 
@@ -175,6 +367,30 @@ def main(argv=None) -> int:
     for name, entry in result["ops"].items():
         parts = ", ".join(f"{k[:-10]} {v:8.1f} ns/op" for k, v in entry.items())
         print(f"  {name:<15} {parts}")
+
+    node_scan = run_node_scan_bench(repeat=args.repeat)
+    result["node_scan"] = node_scan
+    for n, entry in node_scan["sizes"].items():
+        for op in ("intersect_all", "choose_subtree"):
+            row = entry[op]
+            print(
+                f"  node[{n:>3}] {op:<15} soa {row['soa_ns_per_scan']:8.1f} "
+                f"object {row['object_ns_per_scan']:8.1f} ns/scan "
+                f"({row['speedup']:.2f}x)"
+            )
+
+    if not args.skip_dispatch:
+        dispatch = run_dispatch_bench(n_pings=args.pings)
+        result["dispatch"] = dispatch
+        for mode, row in dispatch["modes"].items():
+            if row is None:
+                print(f"  rtt[{mode}] unavailable")
+            else:
+                print(
+                    f"  rtt[{mode:<12}] median {row['median_us']:7.1f} us  "
+                    f"p90 {row['p90_us']:7.1f} us"
+                )
+
     if args.out:
         Path(args.out).write_text(
             json.dumps(result, indent=2, sort_keys=True) + "\n", encoding="utf-8"

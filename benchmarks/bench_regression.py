@@ -49,7 +49,14 @@ writes ``BENCH_driver.json`` in a stable schema:
   the same plan to both -> canonical JSON must match);
 * ``geometry``: the Rect hot-path micro-kernels
   (``benchmarks/bench_geometry.py``) -- method vs. flat-tuple kernel
-  ns/op for intersects / contains_point / union / enlargement.
+  ns/op for intersects / contains_point / union / enlargement;
+* ``soa``: the struct-of-arrays node layout (PR 7) -- whole-node
+  intersect-all / choose-subtree scans, SoA vs object layout, at fanout
+  and vectorized node sizes (CI gates >=3x at the large size); per-ping
+  worker dispatch RTT for thread / process-pipe / process-shared-memory
+  transports (CI gates shm < pipe); and a dual-layout parity replay of
+  the lazy workload (identical I/O ledgers and byte-identical snapshot
+  documents, enforced unconditionally).
 
 I/O counts and tree shapes are deterministic given ``--seed``; wall clocks
 are hardware-dependent and exist for trend-watching, not for diffing.
@@ -84,7 +91,7 @@ from repro.workload import (  # noqa: E402
     make_index,
 )
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 ENGINE_BATCH = 64
 ENGINE_SHARDS = 4
@@ -446,8 +453,17 @@ def run_rebalance_bench():
         f"(verify {'OK' if live_verdict.ok else 'FAILED'}, snapshot "
         f"{'identical' if identical else 'DIVERGED'})"
     )
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        usable_cpus = os.cpu_count() or 1
     return {
         "shards": REBALANCE_SHARDS,
+        # The density/speed >=1.3x parallel speedup gate needs the workers
+        # actually running concurrently; CI skips it (with this reason
+        # recorded) when the runner cannot provide that.
+        "usable_cpus": usable_cpus,
+        "below_break_even": usable_cpus < REBALANCE_SHARDS,
         "workload": {
             "n_objects": REBALANCE_OBJECTS,
             "rounds": REBALANCE_ROUNDS,
@@ -470,6 +486,43 @@ def run_rebalance_bench():
             "engine": live.engine_dict(),
         },
         "snapshot_byte_identical": identical,
+    }
+
+
+def run_layout_parity(bundle):
+    """Both entry layouts over the same lazy workload (the PR 7 rail).
+
+    The SoA layout must be invisible: per-category I/O ledgers, result
+    counts, and the canonical snapshot document must match the object
+    layout byte for byte.  CI enforces every flag here unconditionally.
+    """
+    from repro.rtree.node import set_default_layout
+    from repro.storage.snapshot import build_document
+
+    docs = {}
+    runs = {}
+    for layout in ("soa", "object"):
+        prev = set_default_layout(layout)
+        try:
+            result, index, _ = run_kind(bundle, IndexKind.LAZY, pool_frames=0)
+        finally:
+            set_default_layout(prev)
+        runs[layout] = result
+        docs[layout] = json.dumps(build_document(index), sort_keys=True)
+    soa_run, obj_run = runs["soa"], runs["object"]
+    return {
+        "kind": IndexKind.LAZY,
+        "identical_update_io": soa_run.update_io.to_dict()
+        == obj_run.update_io.to_dict(),
+        "identical_query_io": soa_run.query_io.to_dict()
+        == obj_run.query_io.to_dict(),
+        "identical_result_count": soa_run.result_count == obj_run.result_count,
+        "identical_snapshot": docs["soa"] == docs["object"],
+        "io_delta_pct": 0.0
+        if soa_run.update_io.to_dict() == obj_run.update_io.to_dict()
+        else abs(soa_run.ios_per_update - obj_run.ios_per_update)
+        / obj_run.ios_per_update
+        * 100.0,
     }
 
 
@@ -784,6 +837,37 @@ def main(argv=None) -> int:
         f"kernel {ns['kernel_ns_per_op']:.0f} ns"
     )
 
+    # Struct-of-arrays layout (PR 7): node scans, dispatch RTT, parity.
+    try:
+        from benchmarks.bench_geometry import (
+            run_dispatch_bench,
+            run_node_scan_bench,
+        )
+    except ImportError:
+        from bench_geometry import run_dispatch_bench, run_node_scan_bench
+    node_scan = run_node_scan_bench(repeat=5)
+    dispatch = run_dispatch_bench(n_pings=150)
+    parity = run_layout_parity(bundle)
+    soa = {
+        "node_scan": node_scan,
+        "dispatch": dispatch,
+        "layout_parity": parity,
+    }
+    big = node_scan["sizes"][str(max(int(k) for k in node_scan["sizes"]))]
+    shm_row = dispatch["modes"].get("process_shm")
+    pipe_row = dispatch["modes"]["process_pipe"]
+    print(
+        f"  soa node scans: intersect {big['intersect_all']['speedup']:.2f}x, "
+        f"choose {big['choose_subtree']['speedup']:.2f}x  "
+        f"rtt pipe {pipe_row['median_us']:.1f}us"
+        + (
+            f" shm {shm_row['median_us']:.1f}us"
+            if shm_row
+            else " (shm unavailable)"
+        )
+        + f"  parity {'OK' if parity['identical_snapshot'] else 'DIVERGED'}"
+    )
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_regression.py",
@@ -803,6 +887,7 @@ def main(argv=None) -> int:
         "parallel": parallel,
         "rebalance": rebalance,
         "geometry": geometry,
+        "soa": soa,
     }
     out = Path(args.out)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",

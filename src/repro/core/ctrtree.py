@@ -58,9 +58,16 @@ class CTNode(RTreeNode):
 
     Leaf-level (``level == 0``) entries are :class:`QSEntry` qs-region slots;
     internal entries are ordinary (rect, child-pid) pairs.
+
+    Entry storage stays a plain python list (``ENTRY_LAYOUT = "list"``):
+    QSEntry records carry chains/fill ledgers that have no packed
+    struct-of-arrays form, and the structural skeleton is tiny and cold
+    next to the data pages and overflow buffer trees (which do pack).
     """
 
     __slots__ = ("buffer",)
+
+    ENTRY_LAYOUT = "list"
 
     def __init__(self, level: int = 0) -> None:
         super().__init__(level)

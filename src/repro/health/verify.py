@@ -311,39 +311,46 @@ def _walk_rtree(tree: RTree, report: VerifyReport, prefix: str) -> Dict[int, Pag
                 report.add(
                     "fanout", loc, f"fill {fill} outside (0, {tree.max_entries}]"
                 )
-        for entry in node.entries:
-            if covering is not None and not covering.contains_rect(entry.rect):
+        # Walk the packed entry columns directly (``iter_packed`` yields the
+        # canonical (lo, hi, child) bounds without per-entry view objects);
+        # a Rect is only materialized for branch entries, which descend.
+        for lo, hi, entry_child in node.entries.iter_packed():
+            if covering is not None and not (
+                covering.contains_rect(Rect._make(lo, hi))
+            ):
                 report.add(
                     "mbr-containment",
                     loc,
-                    f"entry {entry.child} escapes the parent rectangle",
+                    f"entry {entry_child} escapes the parent rectangle",
                     repairable=True,
                 )
-            if node.mbr is not None and not node.mbr.contains_rect(entry.rect):
+            if node.mbr is not None and not node.mbr.contains_rect(
+                Rect._make(lo, hi)
+            ):
                 report.add(
                     "mbr-containment",
                     loc,
-                    f"entry {entry.child} escapes the node's own MBR",
+                    f"entry {entry_child} escapes the node's own MBR",
                     repairable=True,
                 )
             if node.is_leaf:
                 report.checked_objects += 1
-                if entry.child in live:
+                if entry_child in live:
                     report.add(
                         "duplicate-object",
                         loc,
-                        f"object {entry.child} stored twice",
+                        f"object {entry_child} stored twice",
                     )
-                live[entry.child] = pid
+                live[entry_child] = pid
             else:
-                child = tree.pager.inspect(entry.child)
+                child = tree.pager.inspect(entry_child)
                 if child.parent != pid:
                     report.add(
                         "structure",
-                        f"{prefix}node {entry.child}",
+                        f"{prefix}node {entry_child}",
                         f"parent pointer {child.parent} != {pid}",
                     )
-                stack.append((entry.child, entry.rect, node.level - 1))
+                stack.append((entry_child, Rect._make(lo, hi), node.level - 1))
     if len(live) != len(tree):
         report.add(
             "size-counter",

@@ -31,6 +31,7 @@ acknowledged state is ever lost and no operation is applied twice.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -149,6 +150,11 @@ class ParallelShardedIndex:
         mode: ``"process"`` (multiprocessing, per-worker pager + index) or
             ``"thread"`` (low-overhead smoke mode, shards parent-resident
             but worker-driven).
+        transport: process-mode dispatch transport -- ``"auto"`` (shared
+            memory when available, else pipe), ``"shm"`` (required), or
+            ``"pipe"`` (forced).  Overridable via the
+            ``REPRO_PARALLEL_TRANSPORT`` environment variable; ignored in
+            thread mode.
     """
 
     def __init__(
@@ -168,12 +174,16 @@ class ParallelShardedIndex:
         page_size: int = 4096,
         partition=None,
         rebalancer=None,
+        transport: Optional[str] = None,
     ) -> None:
         if mode not in ("thread", "process"):
             raise ValueError(f"unknown parallel mode {mode!r}")
         self.kind = kind
         self.domain = domain
         self.mode = mode
+        if transport is None:
+            transport = os.environ.get("REPRO_PARALLEL_TRANSPORT") or "auto"
+        self._transport = transport
         if partition is None:
             if n_shards is None:
                 raise ValueError("pass n_shards or an explicit partition")
@@ -221,6 +231,7 @@ class ParallelShardedIndex:
         spec = get_spec(kind)
         routed = route_histories(self.partition, histories)
         worker_cls = ProcessWorker if mode == "process" else ThreadWorker
+        worker_extra = {"transport": transport} if mode == "process" else {}
         category = self._stats.active_category
         try:
             for sid in range(n_shards):
@@ -241,6 +252,7 @@ class ParallelShardedIndex:
                         pool_frames=pool_frames,
                         page_size=page_size,
                         category=category,
+                        **worker_extra,
                     )
                 )
             # Await the ready handshakes after every worker has started, so
@@ -774,6 +786,9 @@ class ParallelShardedIndex:
             for sid in range(partition.n_shards)
         ]
         worker_cls = ProcessWorker if self.mode == "process" else ThreadWorker
+        worker_extra = (
+            {"transport": self._transport} if self.mode == "process" else {}
+        )
         try:
             for sid in range(partition.n_shards):
                 options = IndexOptions(
@@ -793,6 +808,7 @@ class ParallelShardedIndex:
                         pool_frames=self._pool_frames,
                         page_size=self._page_size,
                         category=IOCategory.BUILD,
+                        **worker_extra,
                     )
                 )
             for sid, worker in enumerate(self._workers):

@@ -26,8 +26,17 @@ Command protocol (plain tuples, picklable):
   t)`` tuples, applied in order under the given I/O category.
 * ``("query", category, lo, hi)`` -- range search over ``Rect(lo, hi)``.
 * ``("stats",)`` -- structural probe (``tree_stats``) plus pager telemetry.
+* ``("ping", token)`` -- transport echo (dispatch-RTT measurement).
 * ``("crash",)`` -- fault-injection hook: die without responding.
 * ``("shutdown",)`` -- exit the command loop cleanly.
+
+Transports (process mode): commands and responses travel over a
+shared-memory mailbox channel (:mod:`repro.parallel.shm`) when the host
+supports it — fork start method plus a writable ``/dev/shm`` — and over
+the duplex pipe otherwise.  The pipe always exists: it carries the
+oversize-payload fallback and the EOF crash signal.  The transport choice
+never changes command semantics or I/O accounting; ``transport="pipe"``
+forces the historical behaviour (the dispatch bench A/Bs the two).
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from repro.core.geometry import Rect
 from repro.engine.registry import IndexOptions, get_spec
 from repro.engine.sharded import Shard, build_shard
 from repro.obs.treestats import tree_stats
+from repro.parallel.shm import ShmChannel, shm_available
 from repro.storage.iostats import IOCategory, IOCounter, IOStats
 
 #: How often the awaiting parent re-checks worker liveness while blocked on
@@ -84,6 +94,15 @@ class ShardServer:
             return self._query(cmd[1], cmd[2], cmd[3])
         if tag == "stats":
             return self._stats()
+        if tag == "ping":
+            # Transport echo: no shard work, no I/O — the unit of measure
+            # for the dispatch-RTT microbench.
+            return {
+                "ok": True,
+                "pong": cmd[1] if len(cmd) > 1 else None,
+                "io": [],
+                "wall_s": 0.0,
+            }
         raise ValueError(f"unknown worker command {tag!r}")
 
     def _telemetry(self, resp: dict) -> dict:
@@ -190,6 +209,7 @@ def _ready_response(shard: Shard, stats: IOStats, wall_s: float) -> dict:
 
 def _process_shard_main(
     conn,
+    channel,
     kind: str,
     sid: int,
     region: Rect,
@@ -198,7 +218,25 @@ def _process_shard_main(
     page_size: int,
     category: str,
 ) -> None:
-    """Child-process entry: build the shard, then serve commands forever."""
+    """Child-process entry: build the shard, then serve commands forever.
+
+    ``channel`` is the optional shared-memory transport; when present every
+    message travels through it (the pipe remains the oversize/crash-signal
+    fallback it wraps).  When None the pipe carries whole pickles, as
+    before PR 7.
+    """
+
+    def send(resp: dict) -> None:
+        if channel is not None:
+            channel.send_resp(resp, conn)
+        else:
+            conn.send(resp)
+
+    def recv() -> tuple:
+        if channel is not None:
+            return channel.recv_cmd(conn)
+        return conn.recv()
+
     try:
         stats = IOStats()
         t0 = perf_counter()
@@ -212,21 +250,19 @@ def _process_shard_main(
                 pool_frames=pool_frames,
                 page_size=page_size,
             )
-        conn.send(_ready_response(shard, stats, perf_counter() - t0))
+        send(_ready_response(shard, stats, perf_counter() - t0))
     except Exception as exc:
-        conn.send(
-            {"ok": False, "error": str(exc), "exc_type": type(exc).__name__}
-        )
+        send({"ok": False, "error": str(exc), "exc_type": type(exc).__name__})
         return
     server = ShardServer(kind, shard)
     while True:
-        cmd = conn.recv()
+        cmd = recv()
         tag = cmd[0]
         if tag == "shutdown":
             return
         if tag == "crash":
             os._exit(1)
-        conn.send(_safe_execute(server, cmd))
+        send(_safe_execute(server, cmd))
 
 
 class ProcessWorker:
@@ -257,18 +293,35 @@ class ProcessWorker:
         page_size: int = 4096,
         category: str = IOCategory.OTHER,
         ctx=None,
+        transport: str = "auto",
     ) -> None:
+        if transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                f"unknown transport {transport!r}; choose auto, shm or pipe"
+            )
         self.sid = sid
         if ctx is None:
             method = (
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
             ctx = mp.get_context(method)
+        self._channel = None
+        if transport in ("auto", "shm"):
+            if shm_available(ctx):
+                self._channel = ShmChannel(ctx)
+            elif transport == "shm":
+                raise WorkerFailure(
+                    "shared-memory transport unavailable "
+                    "(needs fork start method and a writable /dev/shm)"
+                )
+        #: The transport actually in use (``shm`` or ``pipe``).
+        self.transport = "shm" if self._channel is not None else "pipe"
         self._conn, child_conn = ctx.Pipe(duplex=True)
         self._proc = ctx.Process(
             target=_process_shard_main,
             args=(
                 child_conn,
+                self._channel,
                 kind,
                 sid,
                 region,
@@ -289,7 +342,12 @@ class ProcessWorker:
         if not self._proc.is_alive():
             raise WorkerFailure(f"shard {self.sid} worker process is dead")
         try:
-            self._conn.send(cmd)
+            if self._channel is not None:
+                self._channel.send_cmd(
+                    cmd, self._conn, liveness=self._proc.is_alive
+                )
+            else:
+                self._conn.send(cmd)
         except (BrokenPipeError, OSError):
             raise WorkerFailure(
                 f"shard {self.sid} worker process is dead"
@@ -306,10 +364,19 @@ class ProcessWorker:
     def result(self) -> dict:
         """Await the next response; raises :class:`WorkerFailure` on death.
 
-        A response the child flushed before dying stays readable in the
-        pipe buffer (``poll`` sees it before ``recv`` ever hits EOF), so
+        A response the child flushed before dying stays readable (in the
+        pipe buffer, or in the mailbox with the doorbell already rung), so
         an ack that made it out before the crash is never lost.
         """
+        if self._channel is not None:
+            try:
+                return self._channel.recv_resp(
+                    self._conn, liveness=self._proc.is_alive, poll_s=_POLL_S
+                )
+            except (EOFError, OSError):
+                raise WorkerFailure(
+                    f"shard {self.sid} worker process died mid-command"
+                ) from None
         conn = self._conn
         while True:
             if conn.poll(_POLL_S):
@@ -329,13 +396,16 @@ class ProcessWorker:
     def close(self) -> None:
         if self._proc.is_alive():
             try:
-                self._conn.send(("shutdown",))
+                self.submit(("shutdown",))
                 self._proc.join(timeout=2.0)
             except Exception:
                 pass
             if self._proc.is_alive():
                 self._proc.terminate()
                 self._proc.join(timeout=1.0)
+        if self._channel is not None:
+            self._channel.close(unlink=True)
+            self._channel = None
         self._conn.close()
 
 

@@ -8,6 +8,11 @@ boundary objects get some leeway to move and stay within the same MBR.
 Naturally, this implies poorer query performance."
 
 The experiments use alpha = 0.1, matching the paper.
+
+The loose-MBR tolerance makes the alpha-tree the heaviest user of the lazy
+same-MBR path, which under the struct-of-arrays layout is a pure in-place
+column write (``SoAEntries.set_point``): the 3-I/O update touches no Entry
+or Rect objects at all.
 """
 
 from __future__ import annotations

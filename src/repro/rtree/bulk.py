@@ -10,6 +10,11 @@ STR (Leutenegger et al.): sort the rectangles by the x-coordinate of their
 centers, cut into vertical slices of ``ceil(sqrt(P))`` pages each, sort every
 slice by center y, and pack runs of ``capacity`` into nodes; repeat one level
 up until a single node remains.
+
+Tiling sorts over real :class:`Entry` objects (cheap stable sorts on cached
+centers); assigning a finished group to ``node.entries`` packs it into the
+node's struct-of-arrays columns in group order, so bulk-loaded trees are
+laid out identically under either entry layout.
 """
 
 from __future__ import annotations

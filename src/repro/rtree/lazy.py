@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.geometry import Point, Rect
 from repro.hashindex import HashIndex
-from repro.rtree.node import Entry, RTreeNode
+from repro.rtree.node import RTreeNode
 from repro.rtree.rtree import RTree
 from repro.storage.page import PageId
 from repro.storage.pager import Pager
@@ -116,7 +116,9 @@ class LazyRTree:
         if idx is None:
             raise KeyError(f"stale hash pointer for object {obj_id}")
         if node.mbr is not None and node.mbr.contains_point(new_point):
-            node.entries[idx] = Entry.for_point(new_point, obj_id)
+            # Lazy path: overwrite the packed point columns in place (the
+            # entry keeps its slot and object id; only coordinates change).
+            node.entries.set_point(idx, new_point)
             self.tree.pager.write(node)
             self.lazy_hits += 1
             return pid
@@ -138,11 +140,11 @@ class LazyRTree:
         """Tree invariants plus hash-pointer exactness."""
         problems = self.tree.validate()
         for leaf in self.tree.iter_leaves():
-            for entry in leaf.entries:
-                pointed = self.hash.peek(entry.child)
+            for child in leaf.entries.child_list():
+                pointed = self.hash.peek(child)
                 if pointed != leaf.pid:
                     problems.append(
-                        f"hash points object {entry.child} at page {pointed}, "
+                        f"hash points object {child} at page {pointed}, "
                         f"but it lives in {leaf.pid}"
                     )
         return problems

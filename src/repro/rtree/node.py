@@ -1,8 +1,34 @@
-"""Paged R-tree nodes.
+"""Paged R-tree nodes with a packed struct-of-arrays entry layout.
 
 A node occupies one page and holds up to ``N_entry`` entries (Table 1's
 fan-out).  Leaf entries pair a (degenerate) rectangle with an object id;
 branch entries pair a child MBR with the child's page id.
+
+Entry storage (PR 7) is a pluggable *layout*:
+
+* ``soa`` (default): a :class:`SoAEntries` container packing the entry
+  rectangles into flat ``array('d')`` coordinate columns (one per dimension
+  per bound) plus a parallel ``array('q')`` child/object-id column.  Scans
+  that used to dispatch a ``Rect`` method per entry become whole-node
+  buffer kernels (``repro.core.geometry``), optionally numpy-accelerated.
+* ``object``: an :class:`ObjectEntries` container keeping a plain list of
+  :class:`Entry` objects and scanning via the PR 5 flat-tuple kernels.
+  This is the differential-parity reference implementation; the two
+  layouts must produce bit-identical query results, I/O ledgers and
+  snapshot bytes over any trace (``tests/test_soa_parity.py``).
+
+The session default comes from ``REPRO_NODE_LAYOUT`` (``soa``/``object``)
+and can be flipped at runtime with :func:`set_default_layout`; nodes read
+the default at construction time.  :class:`~repro.core.ctrtree.CTNode`
+opts out via ``ENTRY_LAYOUT = "list"`` because its leaf slots are
+:class:`~repro.core.qsregion.QSEntry` records, which have no packed form.
+
+Both containers present the same list-like surface (``append``/``pop``/
+indexing/iteration/equality) so call sites that only iterate keep
+working; mutating sites in ``rtree.py``/``lazy.py`` use the explicit
+column API (``set_rect``, ``set_point``, ``find_child``...).  Indexing a
+packed container yields a live :class:`EntryView` proxy whose attribute
+writes go straight through to the buffers.
 
 Two fields are *metadata* in the sense of DESIGN.md section 5 -- bookkeeping a
 real system would pin in memory, maintained without I/O charge, symmetrically
@@ -18,9 +44,23 @@ for every index:
 
 from __future__ import annotations
 
-from typing import List, Optional
+import os
+from array import array
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.core.geometry import Point, Rect
+from repro.core.geometry import (
+    Point,
+    Rect,
+    node_choose_subtree,
+    node_containing_point_indices,
+    node_intersecting_children,
+    node_intersecting_indices,
+    node_points_in,
+    node_union,
+    rect_contains_point,
+    rect_enlargement,
+    rect_intersects,
+)
 from repro.storage.page import NO_PAGE, Page, PageId
 
 
@@ -46,21 +86,541 @@ class Entry:
         return f"Entry({self.rect!r}, child={self.child})"
 
 
+class EntryView:
+    """A live proxy for one packed entry of a :class:`SoAEntries` container.
+
+    Reading ``.rect`` materializes a :class:`Rect` from the coordinate
+    columns; writing ``.rect``/``.child`` stores through to the buffers.
+    Views stay valid while the owning container exists (they reference the
+    container, not the node), but are invalidated by row removals before
+    their index.
+    """
+
+    __slots__ = ("_owner", "_i")
+
+    def __init__(self, owner: "SoAEntries", i: int) -> None:
+        self._owner = owner
+        self._i = i
+
+    @property
+    def rect(self) -> Rect:
+        return self._owner.rect_at(self._i)
+
+    @rect.setter
+    def rect(self, rect: Rect) -> None:
+        self._owner.set_rect(self._i, rect)
+
+    @property
+    def child(self) -> int:
+        return self._owner.children[self._i]
+
+    @child.setter
+    def child(self, child: int) -> None:
+        self._owner.children[self._i] = child
+
+    @property
+    def point(self) -> Point:
+        return self._owner.point_at(self._i)
+
+    def to_entry(self) -> Entry:
+        return Entry(self.rect, self.child)
+
+    def __repr__(self) -> str:
+        return f"EntryView({self.rect!r}, child={self.child})"
+
+
+#: Anything accepted where an entry is stored: a real :class:`Entry`, a
+#: packed-entry view, or any object exposing ``.rect`` and ``.child``.
+EntryLike = Union[Entry, EntryView]
+
+
+class SoAEntries:
+    """Packed struct-of-arrays entry storage for one node.
+
+    Columns: ``children`` is an ``array('q')`` of child page ids / object
+    ids; ``los[d]``/``his[d]`` are ``array('d')`` coordinate columns, one
+    per dimension.  The dimensionality is fixed by the first appended
+    entry (the empty container is dimension-agnostic).
+    """
+
+    __slots__ = ("dim", "children", "los", "his")
+
+    layout = "soa"
+
+    def __init__(self) -> None:
+        self.dim: int = 0
+        self.children: array = array("q")
+        self.los: Tuple[array, ...] = ()
+        self.his: Tuple[array, ...] = ()
+
+    # -- shape ---------------------------------------------------------------
+
+    def _ensure_dim(self, dim: int) -> None:
+        if self.dim == 0:
+            self.dim = dim
+            self.los = tuple(array("d") for _ in range(dim))
+            self.his = tuple(array("d") for _ in range(dim))
+        elif dim != self.dim:
+            raise ValueError(
+                f"dimension mismatch: container is {self.dim}-D, entry is {dim}-D"
+            )
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    # -- element access ------------------------------------------------------
+
+    def _index(self, i: int) -> int:
+        n = len(self.children)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("entry index out of range")
+        return i
+
+    def rect_at(self, i: int) -> Rect:
+        return Rect._make(
+            tuple(c[i] for c in self.los), tuple(c[i] for c in self.his)
+        )
+
+    def point_at(self, i: int) -> Point:
+        return tuple(c[i] for c in self.los)
+
+    def child_at(self, i: int) -> int:
+        return self.children[i]
+
+    def __getitem__(self, i: int) -> EntryView:
+        return EntryView(self, self._index(i))
+
+    def __setitem__(self, i: int, entry: EntryLike) -> None:
+        i = self._index(i)
+        self.set_rect(i, entry.rect)
+        self.children[i] = entry.child
+
+    def __iter__(self) -> Iterator[EntryView]:
+        for i in range(len(self.children)):
+            yield EntryView(self, i)
+
+    def __eq__(self, other: object) -> bool:
+        return _entries_equal(self, other)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"SoAEntries(n={len(self.children)}, dim={self.dim})"
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, entry: EntryLike) -> None:
+        rect = entry.rect
+        lo = rect.lo
+        self._ensure_dim(len(lo))
+        hi = rect.hi
+        for d, col in enumerate(self.los):
+            col.append(lo[d])
+        for d, col in enumerate(self.his):
+            col.append(hi[d])
+        self.children.append(entry.child)
+
+    def append_packed(self, lo: Point, hi: Point, child: int) -> None:
+        """Append already-canonical float bounds without building a Rect."""
+        self._ensure_dim(len(lo))
+        for d, col in enumerate(self.los):
+            col.append(lo[d])
+        for d, col in enumerate(self.his):
+            col.append(hi[d])
+        self.children.append(child)
+
+    def extend(self, entries: Iterable[EntryLike]) -> None:
+        for entry in entries:
+            self.append(entry)
+
+    def pop(self, i: int = -1) -> Entry:
+        i = self._index(i)
+        entry = Entry(self.rect_at(i), self.children[i])
+        for col in self.los:
+            del col[i]
+        for col in self.his:
+            del col[i]
+        del self.children[i]
+        return entry
+
+    def clear(self) -> None:
+        for col in self.los:
+            del col[:]
+        for col in self.his:
+            del col[:]
+        del self.children[:]
+
+    def set_rect(self, i: int, rect: Rect) -> None:
+        lo = rect.lo
+        self._ensure_dim(len(lo))
+        hi = rect.hi
+        for d, col in enumerate(self.los):
+            col[i] = lo[d]
+        for d, col in enumerate(self.his):
+            col[i] = hi[d]
+
+    def set_point(self, i: int, point: Sequence[float]) -> None:
+        """Store a degenerate (point) rect, coercing like ``Rect.from_point``."""
+        self._ensure_dim(len(point))
+        for d, col in enumerate(self.los):
+            coord = float(point[d])
+            col[i] = coord
+            self.his[d][i] = coord
+
+    # -- lookups -------------------------------------------------------------
+
+    def find_child(self, child: int) -> Optional[int]:
+        try:
+            return self.children.index(child)
+        except ValueError:
+            return None
+
+    def find_point_entry(self, child: int, point: Point) -> Optional[int]:
+        """First index with this child id *and* ``lo == point`` (tuple
+        float equality, as the object path's ``entry.rect.lo == point``)."""
+        children = self.children
+        start = 0
+        n = len(children)
+        los = self.los
+        dim = self.dim
+        while start < n:
+            try:
+                i = children.index(child, start)
+            except ValueError:
+                return None
+            if len(point) == dim and all(
+                los[d][i] == point[d] for d in range(dim)
+            ):
+                return i
+            start = i + 1
+        return None
+
+    def child_list(self) -> List[int]:
+        return self.children.tolist()
+
+    def materialize(self) -> List[Entry]:
+        """Unpack into real :class:`Entry` objects (stable identity, cached
+        area) — the boundary handed to the split policies."""
+        los = self.los
+        his = self.his
+        return [
+            Entry(
+                Rect._make(
+                    tuple(c[i] for c in los), tuple(c[i] for c in his)
+                ),
+                child,
+            )
+            for i, child in enumerate(self.children)
+        ]
+
+    def iter_packed(self) -> Iterator[Tuple[Point, Point, int]]:
+        """Yield ``(lo, hi, child)`` per entry without Rect allocation —
+        the snapshot encoder's path."""
+        los = self.los
+        his = self.his
+        for i, child in enumerate(self.children):
+            yield (
+                tuple(c[i] for c in los),
+                tuple(c[i] for c in his),
+                child,
+            )
+
+    def iter_points(self) -> Iterator[Tuple[int, Point]]:
+        """Yield ``(child, point)`` per (leaf) entry."""
+        los = self.los
+        for i, child in enumerate(self.children):
+            yield child, tuple(c[i] for c in los)
+
+    # -- whole-node scans ----------------------------------------------------
+
+    def intersecting_indices(self, qlo: Point, qhi: Point) -> List[int]:
+        return node_intersecting_indices(self.los, self.his, qlo, qhi)
+
+    def intersecting_children(self, qlo: Point, qhi: Point) -> List[int]:
+        return node_intersecting_children(
+            self.children, self.los, self.his, qlo, qhi
+        )
+
+    def containing_point_indices(self, point: Sequence[float]) -> List[int]:
+        return node_containing_point_indices(self.los, self.his, point)
+
+    def children_containing_point(self, point: Sequence[float]) -> List[int]:
+        children = self.children
+        return [
+            children[i]
+            for i in node_containing_point_indices(self.los, self.his, point)
+        ]
+
+    def points_in(self, qlo: Point, qhi: Point) -> List[Tuple[int, Point]]:
+        return node_points_in(self.children, self.los, qlo, qhi)
+
+    def choose_subtree(self, rlo: Point, rhi: Point) -> int:
+        return node_choose_subtree(self.los, self.his, rlo, rhi)
+
+    def union_rect(self) -> Optional[Rect]:
+        return node_union(self.los, self.his)
+
+
+class ObjectEntries:
+    """Reference entry storage: a list of :class:`Entry` objects scanned
+    via the PR 5 flat-tuple kernels.
+
+    Exposes the same surface as :class:`SoAEntries`; the differential
+    parity suite runs every trace under both and requires identical
+    results, ledgers and snapshot bytes.
+    """
+
+    __slots__ = ("_items",)
+
+    layout = "object"
+
+    def __init__(self) -> None:
+        self._items: List[Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def rect_at(self, i: int) -> Rect:
+        return self._items[i].rect
+
+    def point_at(self, i: int) -> Point:
+        return self._items[i].rect.lo
+
+    def child_at(self, i: int) -> int:
+        return self._items[i].child
+
+    def __getitem__(self, i: int) -> Entry:
+        return self._items[i]
+
+    def __setitem__(self, i: int, entry: EntryLike) -> None:
+        if not isinstance(entry, Entry):
+            entry = Entry(entry.rect, entry.child)
+        self._items[i] = entry
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return _entries_equal(self, other)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"ObjectEntries(n={len(self._items)})"
+
+    def append(self, entry: EntryLike) -> None:
+        if not isinstance(entry, Entry):
+            entry = Entry(entry.rect, entry.child)
+        self._items.append(entry)
+
+    def append_packed(self, lo: Point, hi: Point, child: int) -> None:
+        self._items.append(Entry(Rect._make(lo, hi), child))
+
+    def extend(self, entries: Iterable[EntryLike]) -> None:
+        for entry in entries:
+            self.append(entry)
+
+    def pop(self, i: int = -1) -> Entry:
+        return self._items.pop(i)
+
+    def clear(self) -> None:
+        del self._items[:]
+
+    def set_rect(self, i: int, rect: Rect) -> None:
+        self._items[i].rect = rect
+
+    def set_point(self, i: int, point: Sequence[float]) -> None:
+        item = self._items[i]
+        self._items[i] = Entry(Rect.from_point(point), item.child)
+
+    def find_child(self, child: int) -> Optional[int]:
+        for i, entry in enumerate(self._items):
+            if entry.child == child:
+                return i
+        return None
+
+    def find_point_entry(self, child: int, point: Point) -> Optional[int]:
+        for i, entry in enumerate(self._items):
+            if entry.child == child and entry.rect.lo == point:
+                return i
+        return None
+
+    def child_list(self) -> List[int]:
+        return [entry.child for entry in self._items]
+
+    def materialize(self) -> List[Entry]:
+        return list(self._items)
+
+    def iter_packed(self) -> Iterator[Tuple[Point, Point, int]]:
+        for entry in self._items:
+            rect = entry.rect
+            yield rect.lo, rect.hi, entry.child
+
+    def iter_points(self) -> Iterator[Tuple[int, Point]]:
+        for entry in self._items:
+            yield entry.child, entry.rect.lo
+
+    # -- whole-node scans (per-entry flat-tuple kernels, as before PR 7) -----
+
+    def intersecting_indices(self, qlo: Point, qhi: Point) -> List[int]:
+        inter = rect_intersects
+        out = []
+        for i, entry in enumerate(self._items):
+            rect = entry.rect
+            if inter(rect.lo, rect.hi, qlo, qhi):
+                out.append(i)
+        return out
+
+    def intersecting_children(self, qlo: Point, qhi: Point) -> List[int]:
+        inter = rect_intersects
+        out = []
+        for entry in self._items:
+            rect = entry.rect
+            if inter(rect.lo, rect.hi, qlo, qhi):
+                out.append(entry.child)
+        return out
+
+    def containing_point_indices(self, point: Sequence[float]) -> List[int]:
+        contains = rect_contains_point
+        out = []
+        for i, entry in enumerate(self._items):
+            rect = entry.rect
+            if contains(rect.lo, rect.hi, point):
+                out.append(i)
+        return out
+
+    def children_containing_point(self, point: Sequence[float]) -> List[int]:
+        contains = rect_contains_point
+        out = []
+        for entry in self._items:
+            rect = entry.rect
+            if contains(rect.lo, rect.hi, point):
+                out.append(entry.child)
+        return out
+
+    def points_in(self, qlo: Point, qhi: Point) -> List[Tuple[int, Point]]:
+        contains = rect_contains_point
+        out = []
+        for entry in self._items:
+            point = entry.rect.lo  # leaf rects are degenerate points
+            if contains(qlo, qhi, point):
+                out.append((entry.child, point))
+        return out
+
+    def choose_subtree(self, rlo: Point, rhi: Point) -> int:
+        enlargement_of = rect_enlargement
+        best = -1
+        best_enl = float("inf")
+        best_area = float("inf")
+        for i, entry in enumerate(self._items):
+            rect = entry.rect
+            area = rect.area
+            enl = enlargement_of(rect.lo, rect.hi, rlo, rhi, area)
+            if enl < best_enl or (enl == best_enl and area < best_area):
+                best = i
+                best_enl = enl
+                best_area = area
+        return best
+
+    def union_rect(self) -> Optional[Rect]:
+        if not self._items:
+            return None
+        return Rect.union_all(entry.rect for entry in self._items)
+
+
+EntryContainer = Union[SoAEntries, ObjectEntries]
+
+#: Registered entry layouts.  ``"list"`` is a node-class-level opt-out
+#: (plain python list, used by CTNode's QSEntry slots), not a container.
+LAYOUTS = {"soa": SoAEntries, "object": ObjectEntries}
+
+_env_layout = os.environ.get("REPRO_NODE_LAYOUT", "").strip().lower()
+_default_layout: str = _env_layout if _env_layout in LAYOUTS else "soa"
+
+
+def default_layout() -> str:
+    """The entry layout newly constructed nodes use (``soa``/``object``)."""
+    return _default_layout
+
+
+def set_default_layout(name: str) -> str:
+    """Switch the session-default entry layout; returns the previous one.
+
+    Existing nodes keep their container — the differential parity suite
+    builds whole indexes under each layout in turn.
+    """
+    global _default_layout
+    if name not in LAYOUTS:
+        raise ValueError(
+            f"unknown entry layout {name!r}; choose from {sorted(LAYOUTS)}"
+        )
+    previous = _default_layout
+    _default_layout = name
+    return previous
+
+
+def make_entries(layout: Optional[str] = None) -> EntryContainer:
+    """A fresh entry container of ``layout`` (session default when None)."""
+    return LAYOUTS[layout or _default_layout]()
+
+
+def _entries_equal(container: EntryContainer, other: object) -> bool:
+    """Element-wise (rect, child) equality against any entry sequence."""
+    if isinstance(other, (SoAEntries, ObjectEntries, list, tuple)):
+        if len(container) != len(other):  # type: ignore[arg-type]
+            return False
+        for i, entry in enumerate(other):  # type: ignore[arg-type]
+            rect = getattr(entry, "rect", None)
+            if rect is None:
+                return False
+            if container.rect_at(i) != rect or container.child_at(i) != entry.child:
+                return False
+        return True
+    return NotImplemented  # type: ignore[return-value]
+
+
 class RTreeNode(Page):
     """One R-tree node; ``level == 0`` means leaf."""
 
-    __slots__ = ("level", "entries", "parent", "mbr", "tag")
+    __slots__ = ("level", "_entries", "parent", "mbr", "tag")
+
+    #: Entry storage override for subclasses: ``None`` follows the session
+    #: default layout; ``"soa"``/``"object"`` pin a container layout;
+    #: ``"list"`` keeps a plain python list (CTNode's QSEntry slots).
+    ENTRY_LAYOUT: Optional[str] = None
 
     def __init__(self, level: int = 0) -> None:
         super().__init__()
         self.level = level
-        self.entries: List[Entry] = []
+        layout = type(self).ENTRY_LAYOUT
+        if layout == "list":
+            self._entries: object = []
+        else:
+            self._entries = make_entries(layout)
         self.parent: PageId = NO_PAGE
         self.mbr: Optional[Rect] = None
         #: Owner metadata: the CT-R-tree tags overflow alpha-R-tree nodes with
         #: the structural node that owns the buffer, so a hash pointer landing
         #: on this page can be resolved back to the right buffer.
         self.tag: Optional[object] = None
+
+    @property
+    def entries(self):
+        return self._entries
+
+    @entries.setter
+    def entries(self, value) -> None:
+        if type(self).ENTRY_LAYOUT == "list":
+            self._entries = list(value)
+            return
+        if isinstance(value, (SoAEntries, ObjectEntries)):
+            self._entries = value
+            return
+        container = make_entries(type(self).ENTRY_LAYOUT)
+        container.extend(value)
+        self._entries = container
 
     @property
     def is_leaf(self) -> bool:
@@ -72,19 +632,25 @@ class RTreeNode(Page):
 
     def tight_mbr(self) -> Optional[Rect]:
         """The minimum bounding rectangle of the current entries."""
-        if not self.entries:
-            return None
-        return Rect.union_all(e.rect for e in self.entries)
+        entries = self._entries
+        if isinstance(entries, list):
+            if not entries:
+                return None
+            return Rect.union_all(e.rect for e in entries)
+        return entries.union_rect()
 
     def find_entry(self, child: int) -> Optional[int]:
         """Index of the entry whose child/object id equals ``child``."""
-        for i, entry in enumerate(self.entries):
-            if entry.child == child:
-                return i
-        return None
+        entries = self._entries
+        if isinstance(entries, list):
+            for i, entry in enumerate(entries):
+                if entry.child == child:
+                    return i
+            return None
+        return entries.find_child(child)
 
     def __repr__(self) -> str:
         return (
             f"RTreeNode(pid={self.pid}, level={self.level}, "
-            f"entries={len(self.entries)})"
+            f"entries={len(self._entries)})"
         )

@@ -24,13 +24,7 @@ import heapq
 import math
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.geometry import (
-    Point,
-    Rect,
-    rect_contains_point,
-    rect_enlargement,
-    rect_intersects,
-)
+from repro.core.geometry import Point, Rect
 from repro.rtree.node import Entry, RTreeNode
 from repro.rtree.splits import SPLIT_POLICIES
 from repro.storage.page import NO_PAGE, PageId
@@ -167,7 +161,7 @@ class RTree:
         assert tight is not None
         center = tight.center
         ranked = sorted(
-            node.entries,
+            node.entries.materialize(),
             key=lambda e: sum((a - b) ** 2 for a, b in zip(e.rect.center, center)),
             reverse=True,
         )
@@ -179,7 +173,7 @@ class RTree:
         parent = path[-2]
         idx = parent.find_entry(node.pid)
         assert idx is not None
-        parent.entries[idx].rect = node.mbr
+        parent.entries.set_rect(idx, node.mbr)
         self._pager.write(parent)
 
         level = node.level
@@ -193,48 +187,45 @@ class RTree:
                 # report must come after (not be clobbered by) this one.
                 self.on_entries_moved([(entry.child, pid)])
         # Any reinsertion after ``placed`` settled may have split its node and
-        # moved it again, so resolve the final location by identity.
-        placed_pid = self._find_entry_page(placed, level)
+        # moved it again, so resolve the final location by child id (ids are
+        # unique per level: object ids at leaves, page ids at branches).
+        placed_pid = self._find_child_page(placed.child, level)
         assert placed_pid != NO_PAGE
         return placed_pid
 
-    def _find_entry_page(self, entry: Entry, level: int) -> PageId:
-        """Locate (uncharged) the node at ``level`` holding ``entry`` by
-        identity -- operation-internal bookkeeping, like parent pointers."""
+    def _find_child_page(self, child: int, level: int) -> PageId:
+        """Locate (uncharged) the node at ``level`` holding an entry with
+        this child id -- operation-internal bookkeeping, like parent
+        pointers."""
         stack = [self._root_pid]
         while stack:
             node = self._inspect(stack.pop())
             if node.level == level:
-                if any(e is entry for e in node.entries):
+                if node.find_entry(child) is not None:
                     return node.pid
             elif node.level > level:
-                stack.extend(e.child for e in node.entries)
+                stack.extend(node.entries.child_list())
         return NO_PAGE
 
     def _choose_path(self, rect: Rect, level: int) -> List[RTreeNode]:
-        """Read the root-to-target path, choosing least-enlargement children."""
+        """Read the root-to-target path, choosing least-enlargement children.
+
+        The per-node choose-subtree scan is a whole-node container kernel
+        (``SoAEntries.choose_subtree`` over the packed coordinate columns;
+        ``ObjectEntries`` runs the historical per-entry flat-tuple loop) —
+        both evaluate Guttman's least-enlargement/least-area rule with
+        bit-identical float comparisons.
+        """
         node = self._read(self._root_pid)
         path = [node]
-        # Flat-tuple kernels: hoist the target bounds and the kernel lookups
-        # out of the per-entry loop (geometry.py documents the fast path).
         rlo = rect.lo
         rhi = rect.hi
-        enlargement_of = rect_enlargement
         while node.level > level:
-            best: Optional[Entry] = None
-            best_enl = float("inf")
-            best_area = float("inf")
-            for child_entry in node.entries:
-                child_rect = child_entry.rect
-                area = child_rect.area
-                enl = enlargement_of(child_rect.lo, child_rect.hi, rlo, rhi, area)
-                if enl < best_enl or (enl == best_enl and area < best_area):
-                    best_enl = enl
-                    best_area = area
-                    best = child_entry
-            if best is None:
+            entries = node.entries
+            best = entries.choose_subtree(rlo, rhi)
+            if best < 0:
                 raise RuntimeError("internal node without entries on insert path")
-            node = self._read(best.child)
+            node = self._read(entries.child_at(best))
             path.append(node)
         return path
 
@@ -268,7 +259,7 @@ class RTree:
         for parent in reversed(path[:-1]):
             idx = parent.find_entry(node.pid)
             assert idx is not None, "child missing from parent during MBR adjustment"
-            parent.entries[idx].rect = node.mbr
+            parent.entries.set_rect(idx, node.mbr)
             self._pager.write(parent)
             parent.mbr, changed = self._expanded(parent.mbr, node.mbr, inflate=False)
             if not changed:
@@ -277,39 +268,51 @@ class RTree:
 
     def _split_and_place(self, path: List[RTreeNode], placed: Entry) -> PageId:
         """Split the overfull ``path[-1]``, propagating upward; returns the
-        page id that ended up holding ``placed``."""
+        page id that ended up holding ``placed``.
+
+        The split policies operate on real :class:`Entry` objects (stable
+        rects with cached areas), so the packed entries are materialized
+        once per split and the resulting groups packed back — a cold-path
+        conversion that keeps the policies layout-agnostic.
+        """
         placed_pid = NO_PAGE
+        placed_level = path[-1].level
         while path:
             node = path.pop()
-            group_keep, group_move = self._split_fn(node.entries, self.min_entries)
-            node.entries = list(group_keep)
+            group_keep, group_move = self._split_fn(
+                node.entries.materialize(), self.min_entries
+            )
+            node.entries = group_keep
             node.mbr = node.tight_mbr()
             sibling = RTreeNode(level=node.level)
-            sibling.entries = list(group_move)
+            sibling.entries = group_move
             sibling.mbr = sibling.tight_mbr()
             sibling.tag = node.tag
             self._pager.allocate(sibling)
             self._pager.write(node)
 
             if node.level > 0:
-                for child_entry in sibling.entries:
+                for child_entry in group_move:
                     self._inspect(child_entry.child).parent = sibling.pid
             elif self.on_entries_moved is not None:
-                moved = [(e.child, sibling.pid) for e in sibling.entries]
+                moved = [(e.child, sibling.pid) for e in group_move]
                 if moved:
                     self.on_entries_moved(moved)
 
-            if placed_pid == NO_PAGE:
-                if any(e is placed for e in sibling.entries):
+            if placed_pid == NO_PAGE and node.level == placed_level:
+                # ``placed`` sits in exactly one of the groups of this
+                # (bottom-most) split; child ids are unique per level, so
+                # membership by id resolves its page.
+                if any(e.child == placed.child for e in group_move):
                     placed_pid = sibling.pid
-                elif any(e is placed for e in node.entries):
+                else:
                     placed_pid = node.pid
 
             if path:
                 parent = path[-1]
                 idx = parent.find_entry(node.pid)
                 assert idx is not None
-                parent.entries[idx].rect = node.mbr
+                parent.entries.set_rect(idx, node.mbr)
                 parent.entries.append(Entry(sibling.mbr, sibling.pid))
                 sibling.parent = parent.pid
                 if len(parent.entries) <= self.max_entries:
@@ -356,21 +359,18 @@ class RTree:
     ) -> Optional[Tuple[List[RTreeNode], int]]:
         """DFS for the leaf holding ``obj_id`` at ``point``; charged reads."""
         root = self._read(self._root_pid)
-        contains = rect_contains_point
         stack: List[List[RTreeNode]] = [[root]]
         while stack:
             path = stack.pop()
             node = path[-1]
             if node.is_leaf:
-                for i, entry in enumerate(node.entries):
-                    if entry.child == obj_id and entry.rect.lo == point:
-                        return path, i
+                idx = node.entries.find_point_entry(obj_id, point)
+                if idx is not None:
+                    return path, idx
                 continue
-            for child_entry in node.entries:
-                child_rect = child_entry.rect
-                if contains(child_rect.lo, child_rect.hi, point):
-                    child = self._read(child_entry.child)
-                    stack.append(path + [child])
+            for child_pid in node.entries.children_containing_point(point):
+                child = self._read(child_pid)
+                stack.append(path + [child])
         return None
 
     def _condense(self, path: List[RTreeNode]) -> None:
@@ -386,8 +386,8 @@ class RTree:
             if len(node.entries) < self.min_entries:
                 parent.entries.pop(idx)
                 modified[i - 1] = True
-                if node.entries:
-                    orphans.append((list(node.entries), node.level))
+                if len(node.entries):
+                    orphans.append((node.entries.materialize(), node.level))
                 self._pager.free(node.pid)
                 modified[i] = False
             else:
@@ -395,7 +395,7 @@ class RTree:
                     tight = node.tight_mbr()
                     if tight is not None and tight != node.mbr:
                         node.mbr = tight
-                        parent.entries[idx].rect = tight
+                        parent.entries.set_rect(idx, tight)
                         modified[i - 1] = True
                 if modified[i]:
                     self._pager.write(node)
@@ -420,7 +420,7 @@ class RTree:
     def _collapse_root(self) -> None:
         root = self._inspect(self._root_pid)
         while not root.is_leaf and len(root.entries) == 1:
-            child_pid = root.entries[0].child
+            child_pid = root.entries.child_at(0)
             child = self._read(child_pid)
             child.parent = NO_PAGE
             self._pager.free(root.pid)
@@ -454,7 +454,7 @@ class RTree:
         which has just read the leaf for the same-MBR test -- avoid paying a
         second read for the same page.
         """
-        point = node.entries[idx].point
+        point = node.entries.point_at(idx)
         node.entries.pop(idx)
         self._size -= 1
         if node.entries or node.is_root:
@@ -504,25 +504,23 @@ class RTree:
     # -- queries ------------------------------------------------------------
 
     def range_search(self, rect: Rect) -> List[Tuple[int, Point]]:
-        """All (obj_id, point) pairs inside the closed rectangle ``rect``."""
+        """All (obj_id, point) pairs inside the closed rectangle ``rect``.
+
+        Each visited node is scanned whole by a container kernel — a packed
+        buffer sweep for the SoA layout, the historical per-entry flat-tuple
+        loop for the object layout — returning identical matches in entry
+        order either way.
+        """
         results: List[Tuple[int, Point]] = []
         qlo = rect.lo
         qhi = rect.hi
-        contains = rect_contains_point
-        intersects = rect_intersects
         stack = [self._root_pid]
         while stack:
             node = self._read(stack.pop())
             if node.is_leaf:
-                for entry in node.entries:
-                    point = entry.rect.lo  # leaf rects are degenerate points
-                    if contains(qlo, qhi, point):
-                        results.append((entry.child, point))
+                results.extend(node.entries.points_in(qlo, qhi))
             else:
-                for entry in node.entries:
-                    child_rect = entry.rect
-                    if intersects(child_rect.lo, child_rect.hi, qlo, qhi):
-                        stack.append(entry.child)
+                stack.extend(node.entries.intersecting_children(qlo, qhi))
         return results
 
     def search_point(self, point: Sequence[float]) -> List[int]:
@@ -566,11 +564,11 @@ class RTree:
                 continue
             node = self._read(ident)
             if node.is_leaf:
-                for entry in node.entries:
-                    push_object(entry.child, entry.point)
+                for child, obj_point in node.entries.iter_points():
+                    push_object(child, obj_point)
             else:
-                for entry in node.entries:
-                    push_node(entry.child, entry.rect.min_distance(target))
+                for lo, hi, child in node.entries.iter_packed():
+                    push_node(child, Rect._make(lo, hi).min_distance(target))
         return results
 
     # -- uncharged introspection ----------------------------------------------
@@ -582,12 +580,11 @@ class RTree:
             if node.is_leaf:
                 yield node
             else:
-                stack.extend(e.child for e in node.entries)
+                stack.extend(node.entries.child_list())
 
     def iter_objects(self) -> Iterator[Tuple[int, Point]]:
         for leaf in self.iter_leaves():
-            for entry in leaf.entries:
-                yield entry.child, entry.point
+            yield from leaf.entries.iter_points()
 
     def node_count(self) -> int:
         count = 0
@@ -596,7 +593,7 @@ class RTree:
             node = self._inspect(stack.pop())
             count += 1
             if not node.is_leaf:
-                stack.extend(e.child for e in node.entries)
+                stack.extend(node.entries.child_list())
         return count
 
     def validate(self) -> List[str]:

@@ -9,6 +9,17 @@ groups back into pages.
 
 The CT-R-tree reuses these for its structural skeleton, so the policies are
 deliberately agnostic about what an entry's ``child`` means.
+
+SoA boundary (PR 7): nodes store entries packed in struct-of-arrays
+containers, but a split is a cold path dominated by the O(n²) PickSeeds /
+PickNext area arithmetic, which re-reads every rectangle many times.  The
+R-tree therefore *materializes* the node into real :class:`Entry` objects
+(one stable, area-cached ``Rect`` per entry — ``SoAEntries.materialize``)
+before calling a policy, and packs the returned groups back.  Policies
+must not be handed live ``EntryView`` proxies: a view's ``rect`` property
+builds a fresh ``Rect`` per access, which would re-derive (not re-use)
+cached areas quadratically and tie group contents to buffers that the
+caller is about to overwrite.
 """
 
 from __future__ import annotations

@@ -99,6 +99,10 @@ def _encode_page(page: Page) -> Dict:
             ],
         }
     if isinstance(page, RTreeNode):
+        # ``iter_packed`` reads the struct-of-arrays columns directly (no
+        # per-entry Rect/view allocation).  ``array('d')`` round-trips the
+        # exact doubles that built it and ``array('q')`` yields plain ints,
+        # so the emitted document is byte-identical to the object layout's.
         return {
             "type": "rtree_node",
             "level": page.level,
@@ -106,7 +110,8 @@ def _encode_page(page: Page) -> Dict:
             "mbr": _enc_rect(page.mbr),
             "tag": page.tag,
             "entries": [
-                {"rect": _enc_rect(e.rect), "child": e.child} for e in page.entries
+                {"rect": [list(lo), list(hi)], "child": child}
+                for lo, hi, child in page.entries.iter_packed()
             ],
         }
     if isinstance(page, DataPage):
@@ -148,9 +153,13 @@ def _decode_page(data: Dict) -> Page:
         node.parent = data["parent"]
         node.mbr = _dec_rect(data["mbr"])
         node.tag = data["tag"]
-        node.entries = [
-            Entry(_dec_rect(raw["rect"]), raw["child"]) for raw in data["entries"]
-        ]
+        entries = node.entries
+        for raw in data["entries"]:
+            # Validate through the Rect constructor (as before), then pack
+            # the canonical bounds straight into the entry columns.
+            rect = _dec_rect(raw["rect"])
+            assert rect is not None
+            entries.append_packed(rect.lo, rect.hi, raw["child"])
         return node
     if kind == "data_page":
         page = DataPage(

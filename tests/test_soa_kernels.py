@@ -1,0 +1,182 @@
+"""Property tests for the struct-of-arrays whole-node scans (PR 7).
+
+The bit-identical contract: every SoA scan must return exactly what a
+per-entry loop over ``Rect`` methods returns -- same index sets, same
+winners, same tie-breaks -- on *arbitrary* buffers, including NaN
+coordinates, zero-extent rects, and rects one ulp away from the query
+boundary.  Both the pure-Python scan path (n < NP_SCAN_MIN) and the
+vectorized path (n >= NP_SCAN_MIN) are exercised.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import NP_SCAN_MIN, Rect
+from repro.rtree.node import Entry, ObjectEntries, SoAEntries
+
+INF = math.inf
+
+# Coordinates deliberately include NaN, infinities, signed zeros, and
+# huge/tiny magnitudes: the contract is agreement, not validity.
+coord = st.floats(allow_nan=True, allow_infinity=True, width=64)
+
+# ``Rect._make`` skips the lo<=hi validation the public constructor
+# enforces -- node buffers inherit whatever the tree wrote, so the scans
+# must agree even on malformed boxes.
+raw_rect = st.tuples(coord, coord, coord, coord).map(
+    lambda c: Rect._make((c[0], c[1]), (c[2], c[3]))
+)
+
+# Well-formed rects (for properties whose oracle needs a valid box).
+_fin = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+_extent = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+valid_rect = st.tuples(_fin, _fin, _extent, _extent).map(
+    lambda c: Rect((c[0], c[1]), (c[0] + c[2], c[1] + c[3]))
+)
+
+
+def _pack(rects):
+    soa = SoAEntries()
+    for child, rect in enumerate(rects):
+        soa.append(Entry(rect, child))
+    return soa
+
+
+def _oracle_intersecting(rects, q):
+    return [i for i, r in enumerate(rects) if r.intersects(q)]
+
+
+def _oracle_containing(rects, point):
+    return [i for i, r in enumerate(rects) if r.contains_point(point)]
+
+
+def _oracle_choose(rects, q):
+    """Guttman's ChooseLeaf as the object path ran it (first-wins ties)."""
+    best = -1
+    best_enl = INF
+    best_area = INF
+    for i, r in enumerate(rects):
+        area = r.area
+        enl = r.enlargement(q)
+        if enl < best_enl or (enl == best_enl and area < best_area):
+            best = i
+            best_enl = enl
+            best_area = area
+    return best
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(raw_rect, max_size=30), raw_rect)
+def test_scans_agree_on_arbitrary_buffers_small(rects, q):
+    soa = _pack(rects)
+    assert soa.intersecting_indices(q.lo, q.hi) == _oracle_intersecting(rects, q)
+    assert soa.containing_point_indices(q.lo) == _oracle_containing(rects, q.lo)
+    assert soa.choose_subtree(q.lo, q.hi) == _oracle_choose(rects, q)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(raw_rect, min_size=NP_SCAN_MIN, max_size=NP_SCAN_MIN + 80),
+    raw_rect,
+)
+def test_scans_agree_on_arbitrary_buffers_vectorized(rects, q):
+    soa = _pack(rects)
+    assert soa.intersecting_indices(q.lo, q.hi) == _oracle_intersecting(rects, q)
+    assert soa.containing_point_indices(q.lo) == _oracle_containing(rects, q.lo)
+    assert soa.choose_subtree(q.lo, q.hi) == _oracle_choose(rects, q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(valid_rect, min_size=1, max_size=90), valid_rect)
+def test_soa_matches_object_container(rects, q):
+    """The two registered layouts are interchangeable scan for scan."""
+    soa = _pack(rects)
+    obj = ObjectEntries()
+    for child, rect in enumerate(rects):
+        obj.append(Entry(rect, child))
+    assert soa.intersecting_indices(q.lo, q.hi) == obj.intersecting_indices(
+        q.lo, q.hi
+    )
+    assert soa.choose_subtree(q.lo, q.hi) == obj.choose_subtree(q.lo, q.hi)
+    assert soa.containing_point_indices(q.lo) == obj.containing_point_indices(
+        q.lo
+    )
+    assert soa.union_rect() == obj.union_rect() == Rect.union_all(rects)
+
+
+# -- deterministic edge cases ------------------------------------------------
+
+
+def _sizes():
+    # One size per scan path: pure-Python and vectorized.
+    return (8, NP_SCAN_MIN + 8)
+
+
+def test_ulp_boundary_rects():
+    """A rect one ulp outside the query must not report intersection; a
+    rect exactly on the closed boundary must."""
+    q = Rect((10.0, 10.0), (20.0, 20.0))
+    above = math.nextafter(20.0, INF)
+    below = math.nextafter(10.0, -INF)
+    for n in _sizes():
+        touching = Rect((20.0, 20.0), (25.0, 25.0))  # shares one corner
+        off_hi = Rect((above, 20.0), (25.0, 25.0))  # one ulp past hi
+        off_lo = Rect((5.0, 5.0), (below, 9.0))  # one ulp short of lo
+        filler = [Rect((100.0, 100.0), (101.0, 101.0))] * (n - 3)
+        rects = [touching, off_hi, off_lo] + filler
+        soa = _pack(rects)
+        assert soa.intersecting_indices(q.lo, q.hi) == [0]
+        assert _oracle_intersecting(rects, q) == [0]
+
+
+def test_zero_extent_rects():
+    """Degenerate (point) rects participate in every scan."""
+    q = Rect((0.0, 0.0), (10.0, 10.0))
+    for n in _sizes():
+        inside = Rect((5.0, 5.0), (5.0, 5.0))
+        on_edge = Rect((10.0, 10.0), (10.0, 10.0))
+        outside = Rect((11.0, 11.0), (11.0, 11.0))
+        filler = [Rect((50.0, 50.0), (51.0, 51.0))] * (n - 3)
+        rects = [inside, on_edge, outside] + filler
+        soa = _pack(rects)
+        assert soa.intersecting_indices(q.lo, q.hi) == [0, 1]
+        assert soa.containing_point_indices((5.0, 5.0)) == [0]
+        assert soa.choose_subtree(q.lo, q.hi) == _oracle_choose(rects, q)
+
+
+def test_nan_rects_fall_through_identically():
+    """NaN coordinates poison comparisons the same way on both paths."""
+    nan = float("nan")
+    q = Rect((0.0, 0.0), (10.0, 10.0))
+    for n in _sizes():
+        rects = [
+            Rect._make((nan, 1.0), (2.0, 2.0)),
+            Rect._make((1.0, 1.0), (nan, 2.0)),
+            Rect((1.0, 1.0), (2.0, 2.0)),
+        ]
+        rects += [Rect._make((nan, nan), (nan, nan))] * (n - 3)
+        soa = _pack(rects)
+        assert soa.intersecting_indices(q.lo, q.hi) == _oracle_intersecting(
+            rects, q
+        )
+        assert soa.choose_subtree(q.lo, q.hi) == _oracle_choose(rects, q)
+        # An all-NaN node picks nobody, exactly like the object loop.
+        all_nan = _pack([Rect._make((nan, nan), (nan, nan))] * n)
+        assert all_nan.choose_subtree(q.lo, q.hi) == -1
+
+
+def test_choose_subtree_first_wins_ties():
+    """Identical rects: the lowest index must win on both paths."""
+    q = Rect((1.0, 1.0), (2.0, 2.0))
+    r = Rect((0.0, 0.0), (5.0, 5.0))
+    for n in _sizes():
+        soa = _pack([r] * n)
+        assert soa.choose_subtree(q.lo, q.hi) == 0
