@@ -30,9 +30,12 @@ per direction — the engine never pipelines commands to one worker):
   consumer that exits on the message, like the crash hook, has already
   unblocked the writer).
 * A message larger than the segment sets ``FLAG_PIPE`` and travels through
-  the fallback pipe instead (the doorbell still rings, so the reader knows
-  to drain the pipe).  Dispatch stays correct for arbitrarily large
-  sub-batches; only the common case is accelerated.
+  the fallback pipe instead.  The doorbell rings *before* the payload is
+  written: the reader must already be draining ``conn`` while the writer
+  fills it, or any payload beyond the kernel socket buffer would deadlock
+  both ends (writer full, reader still parked on the semaphore).  Dispatch
+  stays correct for arbitrarily large sub-batches; only the common case is
+  accelerated.
 
 A blocking semaphore (futex on Linux) is deliberately chosen over the
 spin-polling loop classic shm rings use: on an oversubscribed or
@@ -75,6 +78,10 @@ DEFAULT_CAPACITY = 1 << 20
 
 #: Liveness re-check cadence while blocked on the doorbell (parent side).
 _POLL_S = 0.05
+
+#: Child-side cadence for the parent-alive check while idle on the command
+#: doorbell.  Only orphan-detection latency rides on it.
+_CHILD_POLL_S = 0.25
 
 
 def shm_capacity() -> int:
@@ -175,8 +182,16 @@ class ShmMailbox:
         else:
             _HEADER.pack_into(buf, 0, seq + 1, 0, FLAG_PIPE)
             self._seq = seq + 1
-            conn.send_bytes(data)
+            # Ring the doorbell *before* writing the payload.  The reader
+            # is blocked on the doorbell, so it cannot drain the pipe until
+            # it fires; a payload larger than the kernel socket buffer
+            # (~64-208 KiB) would otherwise block this send_bytes() forever
+            # while the reader waits on the semaphore -- a mutual deadlock
+            # no liveness poll can break, since both peers stay alive.
+            # With the header already published, the reader wakes, sees
+            # FLAG_PIPE, and sits in recv_bytes() consuming as we write.
             self._sem.release()
+            conn.send_bytes(data)
 
     # -- reader side ---------------------------------------------------------
 
@@ -237,12 +252,21 @@ class ShmChannel:
     child's pipe reads EOF; shared memory has no such signal).
     """
 
-    __slots__ = ("_req", "_resp", "capacity")
+    __slots__ = ("_req", "_resp", "capacity", "_parent_pid")
 
     def __init__(self, ctx, capacity: Optional[int] = None) -> None:
         self.capacity = capacity if capacity is not None else shm_capacity()
         self._req = ShmMailbox(ctx, self.capacity)
-        self._resp = ShmMailbox(ctx, self.capacity)
+        try:
+            self._resp = ShmMailbox(ctx, self.capacity)
+        except Exception:
+            self._req.close(unlink=True)
+            raise
+        # The channel is built in the parent before fork; the child checks
+        # its ppid against this while idle so an uncleanly dead parent
+        # (SIGKILL -- no pipe EOF reaches a reader parked on the doorbell)
+        # doesn't orphan it forever.
+        self._parent_pid = os.getpid()
 
     # Parent side ------------------------------------------------------------
 
@@ -254,11 +278,26 @@ class ShmChannel:
 
     # Child side -------------------------------------------------------------
 
+    def _parent_alive(self) -> bool:
+        # After the parent dies the child is reparented (to init or a
+        # subreaper), so its ppid stops matching the recorded parent pid.
+        return os.getppid() == self._parent_pid
+
     def recv_cmd(self, conn):
-        return self._req.recv(conn, liveness=None)
+        # A gentler cadence than the parent's: orphan detection latency is
+        # all that rides on it, and idle workers shouldn't wake 20x/s.
+        return self._req.recv(
+            conn, liveness=self._parent_alive, poll_s=_CHILD_POLL_S
+        )
 
     def send_resp(self, resp, conn) -> None:
-        self._resp.send(resp, conn)
+        # Liveness here keeps the child from parking forever on the
+        # free-slot token when the parent died without consuming the
+        # previous response; BrokenPipeError surfaces as OSError in the
+        # command loop, which exits and unlinks.
+        self._resp.send(
+            resp, conn, liveness=self._parent_alive, poll_s=_CHILD_POLL_S
+        )
 
     # Lifecycle --------------------------------------------------------------
 

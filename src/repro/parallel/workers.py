@@ -255,14 +255,29 @@ def _process_shard_main(
         send({"ok": False, "error": str(exc), "exc_type": type(exc).__name__})
         return
     server = ShardServer(kind, shard)
-    while True:
-        cmd = recv()
-        tag = cmd[0]
-        if tag == "shutdown":
-            return
-        if tag == "crash":
-            os._exit(1)
-        send(_safe_execute(server, cmd))
+    try:
+        while True:
+            try:
+                cmd = recv()
+                tag = cmd[0]
+                if tag == "shutdown":
+                    return
+                if tag == "crash":
+                    os._exit(1)
+                send(_safe_execute(server, cmd))
+            except (EOFError, OSError):
+                # Parent gone: pipe EOF/EPIPE, or the shm doorbell's
+                # ppid-based liveness check fired.  (Shard execution
+                # itself can't land here -- _safe_execute catches.)
+                # Exit the loop so the finally below unlinks segments a
+                # SIGKILLed parent never will.
+                return
+    finally:
+        if channel is not None:
+            # Unlinking while the parent still maps the segments is safe
+            # (the name goes away, live mappings persist); the parent's
+            # own close(unlink=True) then no-ops on FileNotFoundError.
+            channel.close(unlink=True)
 
 
 class ProcessWorker:
@@ -316,24 +331,33 @@ class ProcessWorker:
                 )
         #: The transport actually in use (``shm`` or ``pipe``).
         self.transport = "shm" if self._channel is not None else "pipe"
-        self._conn, child_conn = ctx.Pipe(duplex=True)
-        self._proc = ctx.Process(
-            target=_process_shard_main,
-            args=(
-                child_conn,
-                self._channel,
-                kind,
-                sid,
-                region,
-                options,
-                pool_frames,
-                page_size,
-                category,
-            ),
-            daemon=True,
-            name=f"shard-worker-{sid}",
-        )
-        self._proc.start()
+        try:
+            self._conn, child_conn = ctx.Pipe(duplex=True)
+            self._proc = ctx.Process(
+                target=_process_shard_main,
+                args=(
+                    child_conn,
+                    self._channel,
+                    kind,
+                    sid,
+                    region,
+                    options,
+                    pool_frames,
+                    page_size,
+                    category,
+                ),
+                daemon=True,
+                name=f"shard-worker-{sid}",
+            )
+            self._proc.start()
+        except Exception:
+            # close() is never reached when construction fails; unlink the
+            # already-created segments here or they sit in /dev/shm until
+            # the resource tracker (or a reboot) sweeps them.
+            if self._channel is not None:
+                self._channel.close(unlink=True)
+                self._channel = None
+            raise
         # Parent drops its handle on the child end so a dead child reads
         # as EOF instead of a silently half-open pipe.
         child_conn.close()

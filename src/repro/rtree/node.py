@@ -279,22 +279,22 @@ class SoAEntries:
 
     def find_point_entry(self, child: int, point: Point) -> Optional[int]:
         """First index with this child id *and* ``lo == point`` (tuple
-        float equality, as the object path's ``entry.rect.lo == point``)."""
+        float equality, as the object path's ``entry.rect.lo == point``).
+
+        A manual scan rather than ``children.index(child, start)``:
+        ``array.array.index`` only grew start/stop in Python 3.10, and
+        this package supports 3.9.
+        """
         children = self.children
-        start = 0
-        n = len(children)
         los = self.los
         dim = self.dim
-        while start < n:
-            try:
-                i = children.index(child, start)
-            except ValueError:
-                return None
-            if len(point) == dim and all(
+        if len(point) != dim:
+            return None
+        for i in range(len(children)):
+            if children[i] == child and all(
                 los[d][i] == point[d] for d in range(dim)
             ):
                 return i
-            start = i + 1
         return None
 
     def child_list(self) -> List[int]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing as mp
+import os
 import random
 
 import pytest
@@ -258,6 +259,72 @@ def test_oversize_payload_detours_through_pipe(monkeypatch):
         assert resp["ok"] and resp["pong"] == token
     finally:
         worker.close()
+
+
+def test_oversize_payload_beyond_socket_buffer(monkeypatch):
+    """FLAG_PIPE with a payload far beyond the kernel socket buffer
+    (~64-208 KiB): the doorbell must ring before the pipe write, so the
+    reader drains concurrently.  With the old ordering (send_bytes before
+    the semaphore release) this deadlocked both processes -- the writer
+    blocked on a full pipe, the reader parked on the doorbell."""
+    ctx = _fork_ctx()
+    if not shm_available(ctx):
+        pytest.skip("shared memory unavailable on this host")
+    monkeypatch.delenv("REPRO_SHM_CAPACITY", raising=False)
+    worker = _mk_worker(transport="shm")
+    try:
+        assert worker.transport == "shm"
+        _drain_ready(worker)
+        # 2 MiB: oversize at the default 1 MiB capacity in *both*
+        # directions, and far past any socket buffer either way.
+        token = "x" * (2 * 1024 * 1024)
+        worker.submit(("ping", token))
+        resp = worker.result()
+        assert resp["ok"] and resp["pong"] == token
+    finally:
+        worker.close()
+
+
+def test_orphaned_worker_exits_and_unlinks():
+    """A SIGKILLed parent never reaches close(): the child's ppid check on
+    the command doorbell must notice, exit, and unlink the segments."""
+    import signal
+    import time
+
+    ctx = _fork_ctx()
+    if not shm_available(ctx):
+        pytest.skip("shared memory unavailable on this host")
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm to inspect for leaked segments")
+
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+
+    def middle() -> None:
+        worker = _mk_worker(transport="shm")
+        _drain_ready(worker)
+        channel = worker._channel
+        child_conn.send(
+            (channel._req._shm.name, channel._resp._shm.name)
+        )
+        time.sleep(60)  # hold the worker open until SIGKILLed
+
+    # Not daemonic: the middle process must itself fork the worker.
+    proc = ctx.Process(target=middle)
+    proc.start()
+    child_conn.close()
+    names = parent_conn.recv()
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=5.0)
+    # The grandchild polls its ppid every _CHILD_POLL_S; give it a few
+    # cycles to notice, exit the command loop, and unlink.
+    deadline = time.monotonic() + 10.0
+    paths = [f"/dev/shm/{name.lstrip('/')}" for name in names]
+    while time.monotonic() < deadline:
+        if not any(os.path.exists(p) for p in paths):
+            break
+        time.sleep(0.1)
+    leaked = [p for p in paths if os.path.exists(p)]
+    assert not leaked, f"orphaned worker left segments behind: {leaked}"
 
 
 def test_shm_worker_sequences_fire_and_forget(monkeypatch):
