@@ -47,6 +47,15 @@ writes ``BENCH_driver.json`` in a stable schema:
   detection fires, the cutover verifies clean) and a snapshot
   byte-identity check across a rebalance cutover (save -> load -> apply
   the same plan to both -> canonical JSON must match);
+* ``serve``: the concurrent serving layer (PR 8) -- a real daemon per
+  client count (ephemeral port, bounded writer queue, snapshot read
+  replicas) driven by the multi-process load generator replaying the
+  trace's online window: p50/p99/max end-to-end latency (nearest-rank
+  over raw client samples, retries included), sustained acked ops/sec,
+  reject rate, and the acceptance rails CI enforces unconditionally --
+  exact result parity between a post-drain query sweep through the
+  daemon and an inline timeline-order run, and a clean ``verify_index``
+  after the graceful drain;
 * ``geometry``: the Rect hot-path micro-kernels
   (``benchmarks/bench_geometry.py``) -- method vs. flat-tuple kernel
   ns/op for intersects / contains_point / union / enlargement;
@@ -91,7 +100,7 @@ from repro.workload import (  # noqa: E402
     make_index,
 )
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 ENGINE_BATCH = 64
 ENGINE_SHARDS = 4
@@ -102,6 +111,7 @@ PARALLEL_BATCH = 256
 REBALANCE_SHARDS = 4
 REBALANCE_OBJECTS = 120
 REBALANCE_ROUNDS = 6
+SERVE_CLIENT_COUNTS = (1, 8, 32)
 
 
 def run_kind(
@@ -868,6 +878,29 @@ def main(argv=None) -> int:
         + f"  parity {'OK' if parity['identical_snapshot'] else 'DIVERGED'}"
     )
 
+    # Serving layer (PR 8): one daemon per client count, driven by the
+    # multi-process loadgen; parity + verify are enforced inside.
+    from repro.serve.bench import run_serve_bench
+
+    serve = run_serve_bench(
+        bundle.trace,
+        bundle.scale.n_history,
+        bundle.domain,
+        kind=IndexKind.LAZY,
+        client_counts=SERVE_CLIENT_COUNTS,
+        refresh_interval=0.1,
+        seed=args.seed,
+    )
+    for run in serve["runs"]:
+        lat = run["latency"]["all"]
+        print(
+            f"  serve x{run['n_clients']:<3} {run['ops_per_s']:9.0f} ops/s  "
+            f"p50 {lat.get('p50_ms', float('nan')):6.2f}ms  "
+            f"p99 {lat.get('p99_ms', float('nan')):6.2f}ms  "
+            f"rejects {run['rejected']:>4}  "
+            f"parity {'OK' if run['parity'] else 'FAIL'}"
+        )
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_regression.py",
@@ -886,6 +919,7 @@ def main(argv=None) -> int:
         "health": health,
         "parallel": parallel,
         "rebalance": rebalance,
+        "serve": serve,
         "geometry": geometry,
         "soa": soa,
     }

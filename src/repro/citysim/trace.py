@@ -16,6 +16,7 @@ skipped").
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Sequence, Tuple, Union
@@ -150,12 +151,23 @@ class Trace:
     # -- persistence (the paper's "trace file") ------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write as CSV lines ``oid,x,y,t`` ordered by object then time."""
-        with open(path, "w", encoding="ascii") as handle:
-            handle.write("oid,x,y,t\n")
-            for oid in self.object_ids:
-                for point, t in self._trails[oid]:
-                    handle.write(f"{oid},{point[0]!r},{point[1]!r},{t!r}\n")
+        """Write as CSV lines ``oid,x,y,t`` ordered by object then time.
+
+        The write goes through a sibling temp file + ``os.replace`` so an
+        interrupted run (SIGINT mid-write, disk full) never leaves a torn
+        half-trace behind at ``path``.
+        """
+        target = Path(path)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="ascii") as handle:
+                handle.write("oid,x,y,t\n")
+                for oid in self.object_ids:
+                    for point, t in self._trails[oid]:
+                        handle.write(f"{oid},{point[0]!r},{point[1]!r},{t!r}\n")
+            os.replace(tmp, target)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":

@@ -10,6 +10,12 @@ Commands:
   crash (newest valid checkpoint + WAL tail replay);
 * ``verify``     -- structurally verify (fsck) a snapshot file or a
   durability directory, optionally repairing recoverable violations;
+* ``serve``      -- run the concurrent serving daemon (asyncio TCP, bounded
+  writer queue, admission control, snapshot read replicas) on a trace's
+  current positions until SIGINT/SIGTERM drains it;
+* ``bench-serve``-- drive a daemon with the multi-process load generator at
+  several client counts and print/dump p50/p99 latency, sustained ops/sec,
+  reject rate, and result parity against an inline run;
 * ``params``     -- print Table 1.
 
 Every command is deterministic given ``--seed``.
@@ -189,11 +195,83 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sections", nargs="*", default=None,
                         help="subset of sections (default: all)")
 
+    serve = sub.add_parser(
+        "serve", help="run the concurrent serving daemon on a trace"
+    )
+    serve.add_argument("trace", help="trace CSV path (current positions are "
+                                     "bulk-loaded, then the daemon serves)")
+    serve.add_argument("--history", type=int, default=110)
+    serve.add_argument("--kind", default=IndexKind.LAZY, choices=IndexKind.ALL)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = ephemeral; see --ready-file)")
+    serve.add_argument("--ready-file", metavar="JSON", default=None,
+                       help="atomically write {host, port, pid} here once the "
+                            "daemon is accepting (for scripts using --port 0)")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="bound on unapplied acked writes; a full queue "
+                            "rejects with RETRY_AFTER (default: 1024)")
+    serve.add_argument("--write-batch", type=int, default=64,
+                       help="max ops the writer applies per batch (default: 64)")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-client admitted ops/s token-bucket rate "
+                            "(default: 0 = admission off)")
+    serve.add_argument("--burst", type=float, default=0.0,
+                       help="token-bucket burst size (default: one second's "
+                            "worth of --rate)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="snapshot read replicas (0 = every read is a "
+                            "fresh read on the writer; default: 1)")
+    serve.add_argument("--refresh", type=float, default=0.25,
+                       help="replica refresh interval in seconds; bounds "
+                            "reported staleness (default: 0.25)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="space-partition the primary into N shards "
+                            "(default: 1)")
+    serve.add_argument("--wal-dir", metavar="DIR", default=None,
+                       help="WAL-log every write before acking it; crash "
+                            "recovery replays exactly the acked prefix")
+    serve.add_argument("--sync-policy", default="group:8",
+                       metavar="always|group:N|onflush")
+    serve.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="checkpoint every N applied updates at quiescent "
+                            "points (0 = baseline + final only)")
+    serve.add_argument("--city-size", type=float, default=1000.0)
+
+    bench_serve = sub.add_parser(
+        "bench-serve", help="load-generate against the daemon, report p50/p99"
+    )
+    bench_serve.add_argument("trace", help="trace CSV path")
+    bench_serve.add_argument("--history", type=int, default=110)
+    bench_serve.add_argument("--kind", default=IndexKind.LAZY,
+                             choices=IndexKind.ALL)
+    bench_serve.add_argument("--clients", default="1,8,32",
+                             help="comma-separated client counts; one daemon "
+                                  "run each (default: 1,8,32)")
+    bench_serve.add_argument("--mode", default="process",
+                             choices=("process", "thread"),
+                             help="loadgen client isolation (default: process)")
+    bench_serve.add_argument("--queue-depth", type=int, default=1024)
+    bench_serve.add_argument("--write-batch", type=int, default=64)
+    bench_serve.add_argument("--rate", type=float, default=0.0)
+    bench_serve.add_argument("--replicas", type=int, default=1)
+    bench_serve.add_argument("--refresh", type=float, default=0.25)
+    bench_serve.add_argument("--shards", type=int, default=1)
+    bench_serve.add_argument("--ratio", type=float, default=100.0,
+                             help="update/query ratio in the replayed "
+                                  "workload (default: 100)")
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--city-size", type=float, default=1000.0)
+    bench_serve.add_argument("--out", metavar="JSON", default=None,
+                             help="dump the BENCH serve section to this file")
+
     sub.add_parser("params", help="print Table 1")
     return parser
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.serve import ShutdownRequested, handle_signals
+
     city = City.generate(seed=args.seed, n_buildings=args.buildings)
     params = SimulationParams(
         n_objects=args.objects,
@@ -203,8 +281,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         n_warmup_max=60,
     )
     simulator = CitySimulator(city, params, seed=args.seed + 1)
-    trace = simulator.run()
-    trace.save(args.output)
+    try:
+        with handle_signals():
+            trace = simulator.run()
+            trace.save(args.output)  # atomic: no torn CSV on interrupt
+    except ShutdownRequested as exc:
+        print(f"interrupted ({exc}): no trace written", file=sys.stderr)
+        return 130
     print(f"{city}")
     print(f"recorded {trace} -> {args.output}")
     return 0
@@ -304,6 +387,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ShutdownRequested,
+        describe_teardown,
+        handle_signals,
+        teardown_run,
+    )
+
     if args.metrics_out:
         set_enabled(True).reset()
     trace = Trace.load(args.trace)
@@ -413,135 +503,169 @@ def cmd_compare(args: argparse.Namespace) -> int:
             histories=histories,
         )
     per_index: dict = {}
-    for kind in IndexKind.ALL:
-        closer = None
-        rebalancer = None
-        if rebalance:
-            from repro.engine import RebalancePolicy, ShardRebalancer
+    index = buffer = durability = closer = None
+    try:
+        with handle_signals():
+            for kind in IndexKind.ALL:
+                closer = buffer = durability = None
+                rebalancer = None
+                if rebalance:
+                    from repro.engine import RebalancePolicy, ShardRebalancer
 
-            rebalancer = ShardRebalancer(RebalancePolicy(
-                strategy="speed" if partitioner == "speed" else "density"
-            ))
-        if parallel:
-            from repro.parallel import ParallelShardedIndex
+                    rebalancer = ShardRebalancer(RebalancePolicy(
+                        strategy="speed" if partitioner == "speed" else "density"
+                    ))
+                if parallel:
+                    from repro.parallel import ParallelShardedIndex
 
-            index = ParallelShardedIndex(
-                kind,
-                domain,
-                n_workers,
-                mode=parallel_mode,
-                histories=histories if kind == IndexKind.CT else None,
-                query_rate=query_rate,
-                pool_frames=args.buffer_pool,
-                partition=partition,
-                rebalancer=rebalancer,
-            )
-            closer = index
-            store = index.pager
-            store_metrics = store.metrics_dict
-        elif sharded:
-            index = ShardedIndex(
-                kind,
-                domain,
-                args.shards,
-                histories=histories if kind == IndexKind.CT else None,
-                query_rate=query_rate,
-                pool_frames=args.buffer_pool,
-                partition=partition,
-                rebalancer=rebalancer,
-            )
-            store = index.pager
-            store_metrics = store.metrics_dict
-        else:
-            pager = Pager()
-            store = BufferPool(pager, capacity=args.buffer_pool) if pooled else pager
-            index = make_index(
-                kind, store, domain, histories=histories, query_rate=query_rate
-            )
-            store_metrics = pager.metrics_dict
-        buffer = (
-            UpdateBuffer(FlushPolicy(batch_size=args.batch)) if batched else None
-        )
-        durability = None
-        if walled:
-            from repro.durability import DurabilityManager
-
-            durability = DurabilityManager(
-                f"{args.wal_dir}/{kind}",
-                sync=args.sync_policy,
-                checkpoint_every=args.checkpoint_every,
-            )
-        wrapper = None
-        if healing:
-            from repro.engine import IndexOptions
-            from repro.health import DriftMonitor, SelfHealingIndex
-
-            wrapper = SelfHealingIndex(
-                index,
-                kind,
-                domain,
-                monitor=DriftMonitor(window=args.drift_window),
-                options=IndexOptions(
-                    histories=histories if kind == IndexKind.CT else None,
-                    query_rate=query_rate,
-                ),
-                durability=durability,
-            )
-            index = wrapper
-        driver = SimulationDriver(
-            index, store, kind, update_buffer=buffer, durability=durability
-        )
-        driver.load(current, now=load_time)
-        result = driver.run(stream, queries)
-        if durability is not None:
-            # Final checkpoint: the run's end state is durable without a
-            # replay; the WAL keeps only the (empty) tail past it.
-            durability.checkpoint()
-            durability.close()
-        line = (
-            f"{IndexKind.LABELS[kind]:<12} {result.update_ios:>12,} "
-            f"{result.query_ios:>10,} {result.total_ios:>10,}"
-        )
-        if pooled:
-            line += f" {store.hit_rate:>8.1%}"
-        if batched:
-            line += f" {result.n_coalesced:>10,}"
-        if wrapper is not None:
-            line += (
-                f" {wrapper.health_state:>9}"
-                f" x{wrapper.cutovers:<3}"
-            )
-        print(line)
-        if args.metrics_out:
-            per_index[kind] = {
-                "run": result.to_dict(),
-                "tree_stats": tree_stats(index),
-                "pager": store_metrics(),
-                "buffer_pool": (
-                    store.metrics_dict()
-                    if pooled and not sharded and not parallel
+                    index = ParallelShardedIndex(
+                        kind,
+                        domain,
+                        n_workers,
+                        mode=parallel_mode,
+                        histories=histories if kind == IndexKind.CT else None,
+                        query_rate=query_rate,
+                        pool_frames=args.buffer_pool,
+                        partition=partition,
+                        rebalancer=rebalancer,
+                    )
+                    closer = index
+                    store = index.pager
+                    store_metrics = store.metrics_dict
+                elif sharded:
+                    index = ShardedIndex(
+                        kind,
+                        domain,
+                        args.shards,
+                        histories=histories if kind == IndexKind.CT else None,
+                        query_rate=query_rate,
+                        pool_frames=args.buffer_pool,
+                        partition=partition,
+                        rebalancer=rebalancer,
+                    )
+                    store = index.pager
+                    store_metrics = store.metrics_dict
+                else:
+                    pager = Pager()
+                    store = (
+                        BufferPool(pager, capacity=args.buffer_pool)
+                        if pooled
+                        else pager
+                    )
+                    index = make_index(
+                        kind, store, domain,
+                        histories=histories, query_rate=query_rate,
+                    )
+                    store_metrics = pager.metrics_dict
+                buffer = (
+                    UpdateBuffer(FlushPolicy(batch_size=args.batch))
+                    if batched
                     else None
-                ),
-                "engine": {
-                    "shards": n_workers if parallel else args.shards,
-                    "batch": args.batch,
-                    "parallel": parallel_mode,
-                    "sharded": (
-                        index.engine_dict() if sharded or parallel else None
-                    ),
-                    "buffer": (
-                        buffer.stats.to_dict() if buffer is not None else None
-                    ),
-                },
-                "durability": (
-                    durability.metrics_dict() if durability is not None else None
-                ),
-                "health": (
-                    wrapper.health_dict() if wrapper is not None else None
-                ),
-            }
-        if closer is not None:
-            closer.close()
+                )
+                if walled:
+                    from repro.durability import DurabilityManager
+
+                    durability = DurabilityManager(
+                        f"{args.wal_dir}/{kind}",
+                        sync=args.sync_policy,
+                        checkpoint_every=args.checkpoint_every,
+                    )
+                wrapper = None
+                if healing:
+                    from repro.engine import IndexOptions
+                    from repro.health import DriftMonitor, SelfHealingIndex
+
+                    wrapper = SelfHealingIndex(
+                        index,
+                        kind,
+                        domain,
+                        monitor=DriftMonitor(window=args.drift_window),
+                        options=IndexOptions(
+                            histories=histories if kind == IndexKind.CT else None,
+                            query_rate=query_rate,
+                        ),
+                        durability=durability,
+                    )
+                    index = wrapper
+                driver = SimulationDriver(
+                    index, store, kind, update_buffer=buffer, durability=durability
+                )
+                driver.load(current, now=load_time)
+                result = driver.run(stream, queries)
+                # Same drain the daemon's graceful shutdown performs: flush
+                # any coalescing buffer, take the final checkpoint (the WAL
+                # tail past it is empty, not torn), close the WAL segments.
+                teardown_run(index=index, buffer=buffer, durability=durability)
+                line = (
+                    f"{IndexKind.LABELS[kind]:<12} {result.update_ios:>12,} "
+                    f"{result.query_ios:>10,} {result.total_ios:>10,}"
+                )
+                if pooled:
+                    line += f" {store.hit_rate:>8.1%}"
+                if batched:
+                    line += f" {result.n_coalesced:>10,}"
+                if wrapper is not None:
+                    line += (
+                        f" {wrapper.health_state:>9}"
+                        f" x{wrapper.cutovers:<3}"
+                    )
+                print(line)
+                if args.metrics_out:
+                    per_index[kind] = {
+                        "run": result.to_dict(),
+                        "tree_stats": tree_stats(index),
+                        "pager": store_metrics(),
+                        "buffer_pool": (
+                            store.metrics_dict()
+                            if pooled and not sharded and not parallel
+                            else None
+                        ),
+                        "engine": {
+                            "shards": n_workers if parallel else args.shards,
+                            "batch": args.batch,
+                            "parallel": parallel_mode,
+                            "sharded": (
+                                index.engine_dict()
+                                if sharded or parallel
+                                else None
+                            ),
+                            "buffer": (
+                                buffer.stats.to_dict()
+                                if buffer is not None
+                                else None
+                            ),
+                        },
+                        "durability": (
+                            durability.metrics_dict()
+                            if durability is not None
+                            else None
+                        ),
+                        "health": (
+                            wrapper.health_dict() if wrapper is not None else None
+                        ),
+                    }
+                if closer is not None:
+                    closer.close()
+                    closer = None
+                buffer = durability = None
+    except ShutdownRequested as exc:
+        # The daemon's drain, on the batch path: flush the buffer, final
+        # checkpoint, close the WAL, tear down workers and their /dev/shm
+        # mailboxes -- an interrupted run leaks nothing.
+        actions = teardown_run(
+            index=index, buffer=buffer, durability=durability, closer=closer
+        )
+        print(describe_teardown(actions, str(exc)), file=sys.stderr)
+        set_enabled(False)
+        return 130
+    except BaseException:
+        # Crash path: still release workers/shm and WAL file handles, but
+        # take no checkpoint -- recovery semantics stay those of a crash.
+        teardown_run(
+            index=index, buffer=buffer, durability=durability,
+            closer=closer, checkpoint=False,
+        )
+        raise
     if args.metrics_out:
         if not _write_metrics(
             args.metrics_out,
@@ -661,6 +785,135 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.serve import EngineService, ServeConfig, ServeServer
+    from repro.serve.bench import build_primary
+
+    trace = Trace.load(args.trace)
+    domain = _domain(args.city_size)
+    histories = (
+        trace.histories(args.history) if args.kind == IndexKind.CT else None
+    )
+    positions = trace.current_positions(args.history)
+    if not positions:
+        print("trace has no objects at the history cut", file=sys.stderr)
+        return 1
+    index, store = build_primary(
+        args.kind, domain, histories=histories, shards=args.shards
+    )
+    durability = None
+    if args.wal_dir:
+        from repro.durability import DurabilityManager
+
+        durability = DurabilityManager(
+            args.wal_dir,
+            sync=args.sync_policy,
+            checkpoint_every=args.checkpoint_every,
+        )
+    service = EngineService(
+        index, store, args.kind, domain, durability=durability
+    )
+    service.load(positions, now=trace.load_time(args.history))
+    server = ServeServer(
+        service,
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            queue_depth=args.queue_depth,
+            write_batch=args.write_batch,
+            rate=args.rate,
+            burst=args.burst,
+            replicas=args.replicas,
+            refresh_interval=args.refresh,
+        ),
+    )
+
+    async def _run_daemon() -> None:
+        await server.start()
+        server.install_signal_handlers()
+        host, port = server.address
+        print(
+            f"serving {args.kind} ({len(positions)} objects) on "
+            f"{host}:{port} (pid {os.getpid()})",
+            flush=True,
+        )
+        if args.ready_file:
+            tmp = args.ready_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump({"host": host, "port": port, "pid": os.getpid()}, fh)
+                fh.write("\n")
+            os.replace(tmp, args.ready_file)
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_run_daemon())
+    finally:
+        service.close_index()
+        if args.ready_file:
+            try:
+                os.unlink(args.ready_file)
+            except OSError:
+                pass
+    if server.error is not None:
+        print(f"daemon died: {server.error!r}", file=sys.stderr)
+        return 1
+    print(f"drained: acked {service.acked}, applied {service.applied}")
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.serve.bench import format_serve_table, run_serve_bench
+
+    trace = Trace.load(args.trace)
+    domain = _domain(args.city_size)
+    try:
+        client_counts = tuple(
+            int(c) for c in args.clients.split(",") if c.strip()
+        )
+    except ValueError:
+        print(f"bad --clients list: {args.clients!r}", file=sys.stderr)
+        return 1
+    if not client_counts or min(client_counts) < 1:
+        print("--clients needs positive counts, e.g. 1,8,32", file=sys.stderr)
+        return 1
+    section = run_serve_bench(
+        trace,
+        args.history,
+        domain,
+        kind=args.kind,
+        client_counts=client_counts,
+        queue_depth=args.queue_depth,
+        write_batch=args.write_batch,
+        rate=args.rate,
+        replicas=args.replicas,
+        refresh_interval=args.refresh,
+        shards=args.shards,
+        query_ratio=args.ratio,
+        seed=args.seed,
+        loadgen_mode=args.mode,
+    )
+    print(
+        f"{section['n_updates']} updates + {section['n_queries']} queries "
+        f"per run, {section['sweep_cells']}-cell parity sweep"
+    )
+    print(format_serve_table(section))
+    print(f"parity: {'ok' if section['parity'] else 'FAIL'}   "
+          f"verify: {'ok' if section['verify_ok'] else 'FAIL'}")
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump({"serve": section}, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write --out file: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    return 0 if section["parity"] and section["verify_ok"] else 1
+
+
 def cmd_params(_args: argparse.Namespace) -> int:
     print(format_table1(SimulationParams(), CTParams()))
     return 0
@@ -682,6 +935,8 @@ COMMANDS = {
     "compare": cmd_compare,
     "recover": cmd_recover,
     "verify": cmd_verify,
+    "serve": cmd_serve,
+    "bench-serve": cmd_bench_serve,
     "params": cmd_params,
     "report": cmd_report,
 }

@@ -52,6 +52,7 @@ pipe transport when the probe fails or ``transport="pipe"`` is forced.
 
 from __future__ import annotations
 
+import io
 import os
 import pickle
 import struct
@@ -82,6 +83,27 @@ _POLL_S = 0.05
 #: Child-side cadence for the parent-alive check while idle on the command
 #: doorbell.  Only orphan-detection latency rides on it.
 _CHILD_POLL_S = 0.25
+
+
+def decode_frames(data: bytes):
+    """Decode one message from one *or two* concatenated pickle streams.
+
+    The dispatch hot path hoists the constant ``("apply", category)``
+    command header out of the per-sub-batch pickle (see
+    :func:`repro.parallel.workers.encode_cmd`): the wire bytes are then
+    the cached header pickle followed by the ops pickle.  Pickle streams
+    are self-terminating, so two sequential ``pickle.load`` calls split
+    them exactly; a plain single-pickle message (responses, control
+    commands) decodes unchanged.  Note ``pickle.loads`` alone would
+    *silently drop* the second stream -- hence this explicit decoder on
+    every receive path that can see encoded commands.
+    """
+    stream = io.BytesIO(data)
+    first = pickle.load(stream)
+    if stream.tell() >= len(data):
+        return first
+    body = pickle.load(stream)
+    return (*first, body)
 
 
 def shm_capacity() -> int:
@@ -167,9 +189,16 @@ class ShmMailbox:
         conn,
         liveness: Optional[Callable[[], bool]] = None,
         poll_s: float = _POLL_S,
+        data: Optional[bytes] = None,
     ) -> None:
-        """Publish one message; oversize payloads detour through ``conn``."""
-        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        """Publish one message; oversize payloads detour through ``conn``.
+
+        ``data`` lets the caller pass pre-encoded bytes (the hoisted-header
+        command framing of :func:`repro.parallel.workers.encode_cmd`);
+        they must decode back to ``obj`` via :func:`decode_frames`.
+        """
+        if data is None:
+            data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self._claim_slot(liveness, poll_s)
         buf = self._shm.buf
         seq = self._seq + 1  # odd: write in progress
@@ -207,7 +236,7 @@ class ShmMailbox:
             if seq % 2 or seq_after != seq:
                 raise EOFError("torn shared-memory message")
             self._free.release()
-        return pickle.loads(data)
+        return decode_frames(data)
 
     def recv(
         self,
@@ -270,8 +299,15 @@ class ShmChannel:
 
     # Parent side ------------------------------------------------------------
 
-    def send_cmd(self, cmd, conn, liveness=None, poll_s: float = _POLL_S) -> None:
-        self._req.send(cmd, conn, liveness, poll_s)
+    def send_cmd(
+        self,
+        cmd,
+        conn,
+        liveness=None,
+        poll_s: float = _POLL_S,
+        data: Optional[bytes] = None,
+    ) -> None:
+        self._req.send(cmd, conn, liveness, poll_s, data=data)
 
     def recv_resp(self, conn, liveness, poll_s: float = _POLL_S):
         return self._resp.recv(conn, liveness, poll_s)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import queue
 import threading
 from time import perf_counter
@@ -52,12 +53,40 @@ from repro.core.geometry import Rect
 from repro.engine.registry import IndexOptions, get_spec
 from repro.engine.sharded import Shard, build_shard
 from repro.obs.treestats import tree_stats
-from repro.parallel.shm import ShmChannel, shm_available
+from repro.parallel.shm import ShmChannel, decode_frames, shm_available
 from repro.storage.iostats import IOCategory, IOCounter, IOStats
 
 #: How often the awaiting parent re-checks worker liveness while blocked on
 #: a response.  Detection latency only -- correctness never times out.
 _POLL_S = 0.05
+
+#: Cached header pickles for the hoisted-header command framing, keyed by
+#: ``(tag, category)``.  The set of categories is tiny and fixed
+#: (:class:`~repro.storage.iostats.IOCategory`), so the cache never grows
+#: past a handful of entries.
+_HEADER_PICKLES: Dict[Tuple[str, str], bytes] = {}
+
+
+def encode_cmd(cmd: tuple) -> bytes:
+    """Pickle a worker command, hoisting the ``("apply", category)`` header.
+
+    A dispatch round sends one ``("apply", category, ops)`` sub-batch per
+    shard and the 2-tuple header is byte-identical across all of them (and
+    across every round of the run); re-pickling it per sub-batch was pure
+    waste.  The header is pickled once per ``(tag, category)`` pair and the
+    cached bytes are concatenated with the ops pickle -- two sequential
+    self-terminating pickle streams that :func:`~repro.parallel.shm.decode_frames`
+    reassembles into the original 3-tuple.  Every other command shape is a
+    single plain pickle, which the same decoder passes through unchanged.
+    """
+    if len(cmd) == 3 and cmd[0] == "apply":
+        key = (cmd[0], cmd[1])
+        header = _HEADER_PICKLES.get(key)
+        if header is None:
+            header = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
+            _HEADER_PICKLES[key] = header
+        return header + pickle.dumps(cmd[2], protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps(cmd, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class WorkerFailure(RuntimeError):
@@ -235,7 +264,10 @@ def _process_shard_main(
     def recv() -> tuple:
         if channel is not None:
             return channel.recv_cmd(conn)
-        return conn.recv()
+        # Commands arrive in the hoisted-header framing (encode_cmd); a
+        # plain conn.recv() would pickle.loads the first stream and
+        # silently drop the ops payload.
+        return decode_frames(conn.recv_bytes())
 
     try:
         stats = IOStats()
@@ -366,12 +398,13 @@ class ProcessWorker:
         if not self._proc.is_alive():
             raise WorkerFailure(f"shard {self.sid} worker process is dead")
         try:
+            data = encode_cmd(cmd)
             if self._channel is not None:
                 self._channel.send_cmd(
-                    cmd, self._conn, liveness=self._proc.is_alive
+                    cmd, self._conn, liveness=self._proc.is_alive, data=data
                 )
             else:
-                self._conn.send(cmd)
+                self._conn.send_bytes(data)
         except (BrokenPipeError, OSError):
             raise WorkerFailure(
                 f"shard {self.sid} worker process is dead"

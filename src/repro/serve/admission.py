@@ -1,0 +1,99 @@
+"""Per-client token-bucket admission control.
+
+The daemon's writer queue is bounded (queue-based load leveling); admission
+control keeps one aggressive client from consuming the whole bound.  Each
+client connection gets a token bucket refilled at ``rate`` tokens/second up
+to ``burst``; a write op costs one token per update.  An empty bucket does
+*not* queue the request -- the daemon answers ``RETRY_AFTER`` with the
+seconds until the bucket can cover the cost, and the client backs off.
+Rejecting explicitly is the point: the alternative (buffering without
+bound) turns overload into unbounded latency and an eventual OOM, invisible
+to the client until it is too late to shed anything.
+
+``rate <= 0`` disables admission control (every op admitted), which is the
+default for trusted single-tenant use and for the parity benches.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+
+class TokenBucket:
+    """A standard token bucket: refill continuously, spend on admit."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def try_acquire(self, cost: float, now: float) -> float:
+        """Spend ``cost`` tokens -> 0.0, or the seconds until it could."""
+        if now > self.updated:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self.updated) * self.rate
+            )
+            self.updated = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """One token bucket per client id, plus shed/admit accounting."""
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float = 0.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        #: A zero/negative burst defaults to one second's worth of tokens
+        #: (never below 1, or a single op could never be admitted).
+        self.burst = burst if burst > 0 else max(rate, 1.0)
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def admit(self, client_id: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """-> (admitted, retry_after_seconds)."""
+        if not self.enabled:
+            self.admitted += 1
+            return True, 0.0
+        now = self._clock()
+        bucket = self._buckets.get(client_id)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client_id] = bucket
+        wait = bucket.try_acquire(cost, now)
+        if wait <= 0.0:
+            self.admitted += 1
+            return True, 0.0
+        self.rejected += 1
+        return False, wait
+
+    def forget(self, client_id: str) -> None:
+        """Drop a disconnected client's bucket."""
+        self._buckets.pop(client_id, None)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "enabled": self.enabled,
+            "rate": self.rate,
+            "burst": self.burst,
+            "clients": len(self._buckets),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,111 @@
+"""Unified graceful shutdown for the daemon *and* the batch CLI path.
+
+The daemon drains on SIGTERM (``ServeServer.install_signal_handlers``);
+before this module the batch commands simply died on the default handler,
+leaking whatever was in flight: worker processes and their ``/dev/shm``
+mailbox segments (``--parallel process``), a WAL tail past the last
+checkpoint (``--wal-dir``), and any updates coalescing in the
+``UpdateBuffer``.  :func:`handle_signals` converts SIGINT/SIGTERM into a
+:class:`ShutdownRequested` exception raised at the next bytecode boundary
+of the main thread, and :func:`teardown_run` performs the same drain the
+daemon does -- flush the buffer, final checkpoint, close durability, close
+the worker pool -- on both the success and the interrupted path.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+
+class ShutdownRequested(Exception):
+    """SIGINT/SIGTERM arrived; unwind through the teardown path."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signal.Signals(signum).name)
+        self.signum = signum
+
+
+@contextmanager
+def handle_signals(
+    signums: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[None]:
+    """Raise :class:`ShutdownRequested` in the main thread on delivery.
+
+    Previous handlers are restored on exit, so nesting (and pytest's own
+    SIGINT handling) keep working.  Off the main thread -- where
+    ``signal.signal`` is illegal -- this is a no-op context.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum: int, _frame) -> None:
+        raise ShutdownRequested(signum)
+
+    previous = {}
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _raise)
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def teardown_run(
+    *,
+    index=None,
+    buffer=None,
+    durability=None,
+    closer=None,
+    checkpoint: bool = True,
+) -> List[str]:
+    """Drain + checkpoint + close; safe on both clean and interrupted exits.
+
+    Every step is individually guarded (a teardown must never mask the
+    original exception) and the performed steps are returned for the
+    caller's messaging:
+
+    * pending ``UpdateBuffer`` entries -- already WAL-logged and acked --
+      are flushed into the index so the final checkpoint covers them;
+    * an attached :class:`~repro.durability.DurabilityManager` takes a
+      final checkpoint (the WAL tail past it is then empty, not torn) and
+      closes its segment files;
+    * ``closer.close()`` tears down worker processes/threads and unlinks
+      their ``/dev/shm`` mailbox segments.
+    """
+    actions: List[str] = []
+    if buffer is not None and index is not None and len(buffer):
+        try:
+            buffer.flush(index, reason="final")
+            actions.append("flushed buffer")
+        except Exception:
+            pass
+    if durability is not None and durability.attached:
+        if checkpoint:
+            try:
+                durability.checkpoint()
+                actions.append("checkpointed")
+            except Exception:
+                pass
+        try:
+            durability.close()
+            actions.append("closed wal")
+        except Exception:
+            pass
+    if closer is not None:
+        try:
+            closer.close()
+            actions.append("closed workers")
+        except Exception:
+            pass
+    return actions
+
+
+def describe_teardown(actions: List[str], signame: Optional[str]) -> str:
+    done = ", ".join(actions) if actions else "nothing pending"
+    prefix = f"interrupted ({signame}): " if signame else ""
+    return f"{prefix}clean shutdown -- {done}"

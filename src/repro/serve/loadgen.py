@@ -1,0 +1,297 @@
+"""Multi-process client load generator for the serving daemon.
+
+Replays a citysim trace's online window against a running daemon: the
+trace's updates and a deterministic :class:`~repro.workload.QueryWorkload`
+are merged into one timeline, partitioned across N client processes --
+updates by ``oid % N`` so each object's update order is preserved by its
+one owning client, queries round-robin -- and each client plays its slice
+as fast as the daemon admits it, recording one end-to-end latency sample
+per op (retries included: the client-observed latency is the number that
+matters under load shedding).
+
+A ``RETRY_AFTER`` response is counted as a reject and retried after the
+server-suggested backoff, up to ``max_retries``; a slice that exhausts its
+retries drops the op and says so.  p50/p99/max are computed here from the
+raw samples by nearest-rank (the obs ``Summary`` keeps only
+count/mean/min/max -- see EXPERIMENTS.md for the methodology note).
+
+Process mode is the default (real client concurrency, one process per
+client, fork-preferred); ``mode="thread"`` exists for fast in-process
+tests and single-CPU smoke runs.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import threading
+import time
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.citysim import Trace
+from repro.core.geometry import Rect
+from repro.serve.protocol import ServeClient
+from repro.workload import QueryWorkload
+
+#: Loadgen op tuples (plain data -- they cross process boundaries):
+#: ("update", oid, x, y, t) and ("range", lx, ly, hx, hy, fresh).
+Op = tuple
+
+
+def build_ops(
+    trace: Trace,
+    n_history: int,
+    domain: Rect,
+    *,
+    query_ratio: float = 100.0,
+    query_extent: float = 0.001,
+    seed: int = 0,
+    fresh_queries: bool = False,
+) -> List[Op]:
+    """One merged update+query timeline from the trace's online window."""
+    updates = [
+        ("update", rec.oid, rec.point[0], rec.point[1], rec.t)
+        for rec in trace.online_updates(n_history)
+    ]
+    if not updates:
+        raise ValueError("trace has no online samples past the history length")
+    ops: List[Tuple[float, int, Op]] = [
+        (up[4], i, up) for i, up in enumerate(updates)
+    ]
+    if query_ratio > 0:
+        t_start, t_end = trace.online_span(n_history)
+        span = max(t_end - t_start, 1e-9)
+        rate = len(updates) / span / query_ratio
+        queries = QueryWorkload(
+            domain, rate, query_extent, seed=seed
+        ).between(t_start, t_end)
+        for j, query in enumerate(queries):
+            ops.append(
+                (
+                    query.t,
+                    len(updates) + j,
+                    (
+                        "range",
+                        query.rect.lo[0],
+                        query.rect.lo[1],
+                        query.rect.hi[0],
+                        query.rect.hi[1],
+                        fresh_queries,
+                    ),
+                )
+            )
+    ops.sort(key=lambda e: (e[0], e[1]))
+    return [op for _t, _i, op in ops]
+
+
+def split_ops(ops: Sequence[Op], n_clients: int) -> List[List[Op]]:
+    """Partition the timeline: updates by ``oid % N``, queries round-robin.
+
+    Per-object update order is preserved inside its owning client's slice,
+    so the daemon's final state is the same as the inline run's no matter
+    how the clients' requests interleave (last write per object wins, and
+    each object has exactly one writer).
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    slices: List[List[Op]] = [[] for _ in range(n_clients)]
+    qi = 0
+    for op in ops:
+        if op[0] == "update":
+            slices[op[1] % n_clients].append(op)
+        else:
+            slices[qi % n_clients].append(op)
+            qi += 1
+    return slices
+
+
+def _run_client(
+    host: str,
+    port: int,
+    ops: Sequence[Op],
+    codec: str,
+    max_retries: int,
+    backoff_cap: float,
+) -> Dict[str, object]:
+    latencies: Dict[str, List[float]] = {"update": [], "range": []}
+    acked = rejected = retries = dropped = errors = 0
+    t_start = perf_counter()
+    with ServeClient(host, port, codec=codec) as client:
+        for op in ops:
+            kind = op[0]
+            t0 = perf_counter()
+            attempts = 0
+            while True:
+                if kind == "update":
+                    response = client.request(
+                        "update", oid=op[1], point=[op[2], op[3]], t=op[4]
+                    )
+                else:
+                    response = client.request(
+                        "range",
+                        rect=[[op[1], op[2]], [op[3], op[4]]],
+                        fresh=bool(op[5]),
+                    )
+                if response.get("ok"):
+                    acked += 1
+                    break
+                if response.get("code") == "RETRY_AFTER":
+                    rejected += 1
+                    if attempts >= max_retries:
+                        dropped += 1
+                        break
+                    attempts += 1
+                    retries += 1
+                    time.sleep(
+                        min(float(response.get("retry_after", 0.01)), backoff_cap)
+                    )
+                    continue
+                errors += 1
+                break
+            latencies[kind].append(perf_counter() - t0)
+    return {
+        "ops": len(ops),
+        "acked": acked,
+        "rejected": rejected,
+        "retries": retries,
+        "dropped": dropped,
+        "errors": errors,
+        "wall_s": perf_counter() - t_start,
+        "latencies": latencies,
+    }
+
+
+def _client_proc_main(
+    result_queue,
+    idx: int,
+    host: str,
+    port: int,
+    ops: Sequence[Op],
+    codec: str,
+    max_retries: int,
+    backoff_cap: float,
+) -> None:
+    try:
+        result = _run_client(host, port, ops, codec, max_retries, backoff_cap)
+    except Exception as exc:  # surface child failures instead of hanging
+        result = {"fatal": f"{type(exc).__name__}: {exc}"}
+    result_queue.put((idx, result))
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted samples (q in [0, 1])."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    ordered = sorted(values)
+    if not ordered:
+        return {"count": 0}
+    return {
+        "count": len(ordered),
+        "mean_ms": sum(ordered) / len(ordered) * 1e3,
+        "p50_ms": percentile(ordered, 0.50) * 1e3,
+        "p99_ms": percentile(ordered, 0.99) * 1e3,
+        "max_ms": ordered[-1] * 1e3,
+    }
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    ops: Sequence[Op],
+    *,
+    n_clients: int,
+    mode: str = "process",
+    codec: str = "json",
+    max_retries: int = 16,
+    backoff_cap: float = 0.2,
+) -> Dict[str, object]:
+    """Drive ``ops`` through ``n_clients`` concurrent clients -> summary."""
+    if mode not in ("process", "thread"):
+        raise ValueError(f"unknown loadgen mode {mode!r}")
+    slices = [s for s in split_ops(ops, n_clients) if s]
+    results: List[Optional[Dict[str, object]]] = [None] * len(slices)
+    t0 = perf_counter()
+    if mode == "process":
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(method)
+        result_queue = ctx.SimpleQueue()
+        procs = [
+            ctx.Process(
+                target=_client_proc_main,
+                args=(
+                    result_queue,
+                    idx,
+                    host,
+                    port,
+                    chunk,
+                    codec,
+                    max_retries,
+                    backoff_cap,
+                ),
+                name=f"loadgen-client-{idx}",
+                daemon=True,
+            )
+            for idx, chunk in enumerate(slices)
+        ]
+        for proc in procs:
+            proc.start()
+        for _ in procs:
+            idx, result = result_queue.get()
+            results[idx] = result
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung child backstop
+                proc.terminate()
+    else:
+        def _worker(idx: int, chunk: Sequence[Op]) -> None:
+            try:
+                results[idx] = _run_client(
+                    host, port, chunk, codec, max_retries, backoff_cap
+                )
+            except Exception as exc:
+                results[idx] = {"fatal": f"{type(exc).__name__}: {exc}"}
+
+        threads = [
+            threading.Thread(target=_worker, args=(idx, chunk), daemon=True)
+            for idx, chunk in enumerate(slices)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    wall = perf_counter() - t0
+    fatal = [r["fatal"] for r in results if r and "fatal" in r]
+    if fatal:
+        raise RuntimeError(f"loadgen client failed: {fatal[0]}")
+    done: List[Dict[str, object]] = [r for r in results if r is not None]
+    merged: Dict[str, List[float]] = {"update": [], "range": []}
+    for result in done:
+        for kind, values in result["latencies"].items():  # type: ignore[union-attr]
+            merged[kind].extend(values)
+    all_samples = merged["update"] + merged["range"]
+    acked = sum(int(r["acked"]) for r in done)
+    rejected = sum(int(r["rejected"]) for r in done)
+    attempts = acked + rejected + sum(int(r["errors"]) for r in done)
+    return {
+        "n_clients": n_clients,
+        "ops": sum(int(r["ops"]) for r in done),
+        "acked": acked,
+        "rejected": rejected,
+        "retries": sum(int(r["retries"]) for r in done),
+        "dropped": sum(int(r["dropped"]) for r in done),
+        "errors": sum(int(r["errors"]) for r in done),
+        "reject_rate": rejected / attempts if attempts else 0.0,
+        "wall_s": wall,
+        "ops_per_s": acked / wall if wall > 0 else 0.0,
+        "latency": {
+            "all": latency_summary(all_samples),
+            "update": latency_summary(merged["update"]),
+            "range": latency_summary(merged["range"]),
+        },
+    }

@@ -1,0 +1,85 @@
+"""Hoisted-header command framing (PR 7 follow-up).
+
+``("apply", category, ops)`` sub-batches share a byte-identical 2-tuple
+header across every shard and every round; ``encode_cmd`` pickles it once
+per ``(tag, category)`` and concatenates the cached bytes with the ops
+pickle.  These tests pin the framing itself (round-trip, cache reuse,
+single-stream passthrough) and that a forced-pipe worker -- whose receive
+path had to switch from ``conn.recv()`` to explicit ``decode_frames`` --
+still applies and queries correctly.
+"""
+
+import pickle
+
+from repro.core.geometry import Rect
+from repro.engine.registry import IndexKind, IndexOptions
+from repro.parallel.shm import decode_frames
+from repro.parallel.workers import _HEADER_PICKLES, ProcessWorker, encode_cmd
+
+DOMAIN = Rect((0.0, 0.0), (100.0, 100.0))
+
+
+def test_apply_command_round_trips():
+    ops = [("insert", 7, (1.0, 2.0), 0.5), ("update", 7, (1.0, 2.0), (3.0, 4.0), 1.0)]
+    cmd = ("apply", "update", ops)
+    assert decode_frames(encode_cmd(cmd)) == cmd
+
+
+def test_header_bytes_cached_and_shared():
+    _HEADER_PICKLES.clear()
+    a = encode_cmd(("apply", "update", [("insert", 1, (0.0, 0.0), 0.0)]))
+    b = encode_cmd(("apply", "update", [("insert", 2, (9.0, 9.0), 1.0)]))
+    header = _HEADER_PICKLES[("apply", "update")]
+    assert a.startswith(header) and b.startswith(header)
+    # Exactly one cache entry per category: the header was pickled once.
+    assert list(_HEADER_PICKLES) == [("apply", "update")]
+    encode_cmd(("apply", "build", []))
+    assert ("apply", "build") in _HEADER_PICKLES
+
+
+def test_non_apply_commands_stay_single_stream():
+    for cmd in [("query", "query", (0.0, 0.0), (5.0, 5.0)), ("stats",), ("ping", 3), ("shutdown",)]:
+        data = encode_cmd(cmd)
+        assert decode_frames(data) == cmd
+        # Single stream: plain pickle.loads agrees, proving responses and
+        # control commands are untouched by the framing change.
+        assert pickle.loads(data) == cmd
+
+
+def test_naive_loads_would_drop_the_ops_body():
+    """The hazard the explicit decoder exists for: pickle.loads silently
+    ignores trailing bytes, so it would decode the header and lose the ops."""
+    cmd = ("apply", "update", [("insert", 1, (0.0, 0.0), 0.0)])
+    data = encode_cmd(cmd)
+    assert pickle.loads(data) == ("apply", "update")  # body dropped!
+    assert decode_frames(data) == cmd
+
+
+def test_pipe_transport_applies_hoisted_batches():
+    worker = ProcessWorker(
+        IndexKind.LAZY,
+        0,
+        DOMAIN,
+        IndexOptions(max_entries=5),
+        transport="pipe",
+    )
+    try:
+        assert worker.result().get("ready")
+        worker.submit(
+            (
+                "apply",
+                "update",
+                [
+                    ("insert", 1, (10.0, 10.0), 0.0),
+                    ("insert", 2, (20.0, 20.0), 0.5),
+                    ("update", 1, (10.0, 10.0), (30.0, 30.0), 1.0),
+                ],
+            )
+        )
+        resp = worker.result()
+        assert resp["ok"] and resp["applied"] == 3
+        worker.submit(("query", "query", (0.0, 0.0), (100.0, 100.0)))
+        resp = worker.result()
+        assert sorted(oid for oid, _ in resp["matches"]) == [1, 2]
+    finally:
+        worker.close()

@@ -1,0 +1,104 @@
+"""End-to-end: the serve bench harness on a synthetic trace.
+
+Covers the BENCH ``serve`` section contract -- p50/p99 latency present and
+finite, zero rejects with admission off, and exact result parity between
+the served run and the inline timeline-order reference.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.citysim import Trace
+from repro.core.geometry import Rect
+from repro.serve.bench import (
+    build_primary,
+    format_serve_table,
+    inline_reference,
+    run_serve_bench,
+    sweep_index,
+)
+from repro.serve.loadgen import build_ops
+from repro.workload import IndexKind
+
+DOMAIN = Rect((0.0, 0.0), (100.0, 100.0))
+
+
+def _synthetic_trace(n_objects=30, n_samples=12, seed=7):
+    rng = random.Random(seed)
+    trace = Trace()
+    for oid in range(n_objects):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        for step in range(n_samples):
+            trace.add(oid, (x, y), float(step))
+            x = min(99.9, max(0.1, x + rng.uniform(-3, 3)))
+            y = min(99.9, max(0.1, y + rng.uniform(-3, 3)))
+    return trace
+
+
+N_HISTORY = 6
+
+
+def test_inline_reference_matches_direct_build():
+    trace = _synthetic_trace()
+    ops = build_ops(trace, N_HISTORY, DOMAIN, seed=1)
+    positions = trace.current_positions(N_HISTORY)
+    reference = inline_reference(
+        IndexKind.LAZY, DOMAIN, positions, ops, load_time=0.0
+    )
+    # Final state = last update per object (or its loaded position).
+    final = dict(positions)
+    for op in ops:
+        if op[0] == "update":
+            final[op[1]] = (op[2], op[3])
+    got = {oid: tuple(pos) for oid, pos in reference.range_search(DOMAIN)}
+    assert got == {oid: tuple(pos) for oid, pos in final.items()}
+
+
+def test_serve_bench_section_parity_and_percentiles():
+    trace = _synthetic_trace()
+    section = run_serve_bench(
+        trace,
+        N_HISTORY,
+        DOMAIN,
+        kind=IndexKind.LAZY,
+        client_counts=(1, 2),
+        refresh_interval=0.1,
+        loadgen_mode="thread",
+        sweep_n=4,
+    )
+    assert section["parity"] is True
+    assert section["verify_ok"] is True
+    assert section["client_counts"] == [1, 2]
+    assert section["n_updates"] == 30 * (12 - N_HISTORY)
+    for run in section["runs"]:
+        assert run["parity"] and run["verify_ok"]
+        assert run["rejected"] == 0 and run["reject_rate"] == 0.0
+        assert run["acked_seq"] == run["applied_seq"] == run["acked"]
+        latency = run["latency"]["all"]
+        assert latency["count"] == run["acked"]
+        for key in ("p50_ms", "p99_ms", "max_ms"):
+            assert math.isfinite(latency[key]) and latency[key] > 0.0
+        assert latency["p50_ms"] <= latency["p99_ms"] <= latency["max_ms"]
+        assert run["ops_per_s"] > 0.0
+    table = format_serve_table(section)
+    assert "clients" in table and "ok" in table
+
+
+def test_build_primary_sharded_matches_unsharded_sweep():
+    trace = _synthetic_trace()
+    positions = trace.current_positions(N_HISTORY)
+    flat, _ = build_primary(IndexKind.LAZY, DOMAIN)
+    sharded, _ = build_primary(IndexKind.LAZY, DOMAIN, shards=2)
+    for oid, point in positions.items():
+        flat.insert(oid, tuple(point), now=0.0)
+        sharded.insert(oid, tuple(point), now=0.0)
+    assert sweep_index(flat, DOMAIN, 4) == sweep_index(sharded, DOMAIN, 4)
+    sharded_close = getattr(sharded, "close", None)
+    if sharded_close is not None:
+        sharded_close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

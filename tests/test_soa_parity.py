@@ -127,6 +127,12 @@ def test_inline_layout_parity(kind, restore_layout):
     assert soa[2] == obj[2], "snapshot documents diverged"
 
 
+def _ledger_bytes(ledger) -> bytes:
+    """Canonical serialized form: parity must hold byte-for-byte, not just
+    under ``==`` (which would tolerate e.g. int/float drift in counters)."""
+    return json.dumps(ledger, sort_keys=True, separators=(",", ":")).encode()
+
+
 def _run_parallel(layout, ops, mode, **kwargs):
     prev = set_default_layout(layout)
     try:
@@ -148,17 +154,30 @@ def test_thread_pool_layout_parity(restore_layout):
     soa = _run_parallel("soa", ops, "thread")
     obj = _run_parallel("object", ops, "thread")
     assert soa[0] == obj[0]
-    assert soa[1] == obj[1]
+    assert _ledger_bytes(soa[1]) == _ledger_bytes(obj[1])
 
 
 def test_process_pool_layout_parity(restore_layout):
     """Process workers fork after set_default_layout, so each pool runs
-    entirely on one layout; results and ledgers must still match."""
+    entirely on one layout; results and ledgers must still match -- and
+    the ledgers byte-identically, across the hoisted-header command
+    framing the process transport uses."""
     ops = _trace(n=40, rounds=2)
     soa = _run_parallel("soa", ops, "process")
     obj = _run_parallel("object", ops, "process")
     assert soa[0] == obj[0]
-    assert soa[1] == obj[1]
+    assert _ledger_bytes(soa[1]) == _ledger_bytes(obj[1])
+
+
+def test_process_pool_ledger_matches_thread_pool(restore_layout):
+    """Thread workers execute raw command tuples; process workers round-trip
+    them through encode_cmd/decode_frames.  Byte-identical ledgers across
+    the two transports prove the hoisted header changes framing only."""
+    ops = _trace(n=40, rounds=2)
+    thread = _run_parallel("soa", ops, "thread")
+    process = _run_parallel("soa", ops, "process")
+    assert thread[0] == process[0]
+    assert _ledger_bytes(thread[1]) == _ledger_bytes(process[1])
 
 
 def test_process_pool_matches_inline(restore_layout):
