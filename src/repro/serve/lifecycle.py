@@ -78,14 +78,20 @@ def teardown_run(
       their ``/dev/shm`` mailbox segments.
     """
     actions: List[str] = []
+    flushed = True
     if buffer is not None and index is not None and len(buffer):
         try:
             buffer.flush(index, reason="final")
             actions.append("flushed buffer")
         except Exception:
-            pass
+            # The buffered records are WAL-logged and acked but did not
+            # reach the index; a checkpoint now would cover (and truncate)
+            # their WAL records while the snapshot lacks them.  Leave the
+            # WAL tail intact so recovery replays them instead.
+            flushed = False
+            actions.append("buffer flush failed (wal tail kept)")
     if durability is not None and durability.attached:
-        if checkpoint:
+        if checkpoint and flushed:
             try:
                 durability.checkpoint()
                 actions.append("checkpointed")

@@ -16,9 +16,12 @@ Concurrency architecture (queue-based load leveling):
   a slow write burst cannot block reads beyond the queue bound.  ``fresh``
   reads opt into read-your-writes by quiescing the queue first and running
   on the writer executor.
-* **Checkpoints** happen only at provable quiescent points: the queue is
-  empty and the call runs on the event loop with no ``await`` in between,
-  so no handler can log a WAL record the checkpoint would falsely cover.
+* **Checkpoints** happen only at provable quiescent points: write intake
+  is paused first (the ``checkpoint`` op sheds with ``RETRY_AFTER``, the
+  drain with ``SHUTTING_DOWN``), the queue is joined until
+  ``acked == applied`` holds, and the call then runs on the event loop
+  with no ``await`` in between, so no handler can log a WAL record the
+  checkpoint would falsely cover.
 
 Crash model: an exception escaping the WAL-append/apply path (e.g. an
 injected fault) aborts the daemon *without* drain or final checkpoint --
@@ -55,6 +58,13 @@ from repro.serve.protocol import (
 )
 from repro.serve.replica import ReplicaSet
 from repro.serve.service import EngineService
+
+#: Ops the protocol understands; anything else is ERR_UNSUPPORTED and its
+#: latency is bucketed under ``serve.op.unknown`` so client-supplied op
+#: strings cannot grow the metrics registry without bound.
+KNOWN_OPS = frozenset(
+    {"update", "batch_update", "range", "knn", "stats", "checkpoint", "shutdown"}
+)
 
 
 @dataclass
@@ -111,6 +121,7 @@ class ServeServer:
         self._clients: Set[asyncio.StreamWriter] = set()
         self._client_seq = 0
         self._accepting = False
+        self._checkpointing = False
         self._stopping = False
         self._stopped: Optional[asyncio.Future] = None
         self._started_at = 0.0
@@ -269,18 +280,21 @@ class ServeServer:
                     break
             t0 = perf_counter()
             try:
-                await self._loop.run_in_executor(
-                    self._writer_pool, self.service.apply, batch
-                )
-            except Exception as exc:
+                # task_done for the claimed batch runs in the finally so a
+                # crash-path cancellation mid-apply still releases anyone
+                # blocked in queue.join() (graceful drains, fresh reads).
+                try:
+                    await self._loop.run_in_executor(
+                        self._writer_pool, self.service.apply, batch
+                    )
+                except Exception as exc:
+                    self._fatal(exc)
+                    return
+            finally:
                 for _ in batch:
                     queue.task_done()
-                self._fatal(exc)
-                return
             self._observe("serve.writer.batch", float(len(batch)))
             self._observe("serve.writer.apply_s", perf_counter() - t0)
-            for _ in batch:
-                queue.task_done()
             if queue.empty():
                 # Quiescent: queue drained and the writer thread idle.  No
                 # await between the check and the checkpoint, so no handler
@@ -352,8 +366,9 @@ class ServeServer:
                     # recovery semantics stay exact.
                     self._fatal(exc)
                     return
+                op_name = op if op in KNOWN_OPS else "unknown"
                 self._observe(
-                    f"serve.op.{op}.latency_s", perf_counter() - t0
+                    f"serve.op.{op_name}.latency_s", perf_counter() - t0
                 )
                 try:
                     await write_message(writer, self._with_id(response, rid), tag)
@@ -416,6 +431,26 @@ class ServeServer:
         if not self._accepting:
             return error_response(
                 None, ERR_SHUTTING_DOWN, "daemon is draining"
+            )
+        if cost > self.config.queue_depth:
+            # Could never fit even an empty queue; RETRY_AFTER would be a
+            # permanent livelock for a compliant client, so reject outright.
+            self._count("serve.rejected.oversize")
+            return error_response(
+                None,
+                ERR_BAD_REQUEST,
+                f"batch of {cost} exceeds queue bound "
+                f"{self.config.queue_depth}; split it",
+            )
+        if self._checkpointing:
+            # Intake is paused so the checkpoint can reach a stable
+            # acked == applied point; transient, so shed with RETRY_AFTER.
+            self._count("serve.rejected.checkpoint")
+            return error_response(
+                None,
+                ERR_RETRY_AFTER,
+                "checkpoint in progress",
+                retry_after=0.05,
             )
         admitted, wait = self.admission.admit(client_id, float(cost))
         if not admitted:
@@ -577,10 +612,27 @@ class ServeServer:
             return error_response(
                 None, ERR_UNSUPPORTED, "daemon runs without --wal-dir"
             )
-        await self._quiesce()
-        # Event loop + empty queue + idle writer = quiescence; no await
-        # between join() returning and the checkpoint call.
-        ordinal = self.service.checkpoint()
+        # Pause write intake first: queue.join() returning only means the
+        # counter hit zero at some point -- other handler coroutines in the
+        # ready queue can run ack_update (WAL append + enqueue) before this
+        # coroutine is rescheduled, and a checkpoint taken then would cover
+        # an acked-but-unapplied record.  With intake paused, re-join until
+        # acked == applied holds on the loop with no await before the
+        # checkpoint call; that state can no longer change under us.
+        self._checkpointing = True
+        try:
+            await self._quiesce()
+            while self.service.acked != self.service.applied:
+                if self.error is not None or self._stopping:
+                    # A fatal drain releases join() without applying, so
+                    # acked == applied may never hold again.
+                    return error_response(
+                        None, ERR_SHUTTING_DOWN, "daemon is stopping"
+                    )
+                await self._quiesce()
+            ordinal = self.service.checkpoint()
+        finally:
+            self._checkpointing = False
         self._count("serve.checkpoint")
         return ok_response(
             None, checkpoint=ordinal, covered_acked=self.service.acked
