@@ -56,6 +56,14 @@ writes ``BENCH_driver.json`` in a stable schema:
   exact result parity between a post-drain query sweep through the
   daemon and an inline timeline-order run, and a clean ``verify_index``
   after the graceful drain;
+* ``resilience``: the exactly-once serving rails (PR 9) -- one seeded
+  chaos run (kill profile) at smoke scale: a supervised daemon is
+  SIGKILLed mid-workload under concurrent idempotent writers, restarts
+  through WAL recovery, and the harness audits the wreckage before
+  returning -- zero lost acked writes, zero double-applied stamps, clean
+  ``verify_index`` (all enforced unconditionally); the section reports
+  retry / dedup / reject accounting, restart count, and recovery MTTR
+  (wall-clock figures are trend-watching, like every other timing here);
 * ``geometry``: the Rect hot-path micro-kernels
   (``benchmarks/bench_geometry.py``) -- method vs. flat-tuple kernel
   ns/op for intersects / contains_point / union / enlargement;
@@ -100,7 +108,7 @@ from repro.workload import (  # noqa: E402
     make_index,
 )
 
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 ENGINE_BATCH = 64
 ENGINE_SHARDS = 4
@@ -496,6 +504,62 @@ def run_rebalance_bench():
             "engine": live.engine_dict(),
         },
         "snapshot_byte_identical": identical,
+    }
+
+
+def run_resilience_bench(seed):
+    """The ``resilience`` section: one seeded chaos run, kill profile.
+
+    A supervised ``repro serve`` daemon (WAL sync=always) is SIGKILLed
+    mid-workload while idempotent writers keep retrying through it; the
+    harness then recovers the WAL offline and audits exactly-once.  The
+    invariants are gated here, not just recorded: a lost acked write, a
+    double-applied stamp, or a dirty verify fails the whole bench run.
+    Retry/MTTR figures are timing-dependent and exist for trend-watching.
+    """
+    import shutil
+    import tempfile
+
+    from repro.chaos import ChaosConfig, run_chaos
+
+    run_dir = Path(tempfile.mkdtemp(prefix="bench-resilience-"))
+    try:
+        report = run_chaos(
+            ChaosConfig(
+                run_dir=run_dir,
+                seed=seed,
+                profile="kill",
+                writers=2,
+                objects=16,
+                min_ops=30,
+            )
+        )
+    finally:
+        shutil.rmtree(run_dir, ignore_errors=True)
+    assert report["ok"], json.dumps(report["invariants"], indent=2)
+    work = report["workload"]
+    acked = int(work["ops_acked"])
+    rejects = int(work["rejects"])
+    return {
+        "seed": report["seed"],
+        "profile": report["profile"],
+        "seed_line": report["seed_line"],
+        "ok": bool(report["ok"]),
+        "acked": acked,
+        "acked_first_try": work["acked_first_try"],
+        "acked_retried": work["acked_retried"],
+        "dedup_acks": work["dedup_acks"],
+        "rejects": rejects,
+        "reject_rate": rejects / (acked + rejects) if acked + rejects else 0.0,
+        "transport_errors": work["transport_errors"],
+        "reconnects": work["reconnects"],
+        "ambiguous": work["ambiguous"],
+        "kills": report["faults"]["kills"],
+        "restarts": report["supervisor"]["restarts"],
+        "mttr_mean_s": report["mttr"]["mean_s"],
+        "mttr_max_s": report["mttr"]["max_s"],
+        "wall_s": report["wall_s"],
+        "invariants": report["invariants"],
     }
 
 
@@ -901,6 +965,19 @@ def main(argv=None) -> int:
             f"parity {'OK' if run['parity'] else 'FAIL'}"
         )
 
+    # Resilience (PR 9): SIGKILL a supervised daemon mid-workload; the
+    # harness gates the exactly-once invariants before returning.
+    resilience = run_resilience_bench(args.seed)
+    mttr = resilience["mttr_mean_s"]
+    print(
+        f"  resilience: {resilience['acked']} acked "
+        f"({resilience['acked_retried']} retried, "
+        f"{resilience['dedup_acks']} deduped), "
+        f"{resilience['restarts']} restarts, mttr "
+        + (f"{mttr:.2f}s" if mttr is not None else "n/a")
+        + f", lost {resilience['invariants']['acked_writes_lost']}"
+    )
+
     payload = {
         "schema_version": SCHEMA_VERSION,
         "generated_by": "benchmarks/bench_regression.py",
@@ -920,6 +997,7 @@ def main(argv=None) -> int:
         "parallel": parallel,
         "rebalance": rebalance,
         "serve": serve,
+        "resilience": resilience,
         "geometry": geometry,
         "soa": soa,
     }

@@ -1,0 +1,34 @@
+"""Deterministic chaos testing for the serving stack.
+
+``repro chaos --seed S`` replays a fault schedule derived entirely from
+the seed -- daemon SIGKILLs, connection resets, stalled reads, torn WAL
+tails, CRC flips -- against a supervised live daemon under concurrent
+writers, then audits the exactly-once invariants: no acked write lost, no
+write double-applied, ``verify_index`` clean, replica staleness bounded,
+and service restored within the restart budget.
+
+* :mod:`repro.chaos.proxy` -- the in-process TCP fault proxy (RSTs and
+  stalls without root or iptables);
+* :mod:`repro.chaos.harness` -- the seeded schedule, the workload
+  writers, the supervisor wiring, and the invariant audit.
+"""
+
+from repro.chaos.harness import (
+    PROFILES,
+    ChaosConfig,
+    ChaosEvent,
+    ChaosSchedule,
+    format_chaos_report,
+    run_chaos,
+)
+from repro.chaos.proxy import FaultProxy
+
+__all__ = [
+    "PROFILES",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "FaultProxy",
+    "format_chaos_report",
+    "run_chaos",
+]

@@ -1,0 +1,215 @@
+"""An in-process TCP fault proxy: resets and stalled reads on demand.
+
+The chaos harness puts this between its clients and the serving daemon so
+network faults are injectable without root, namespaces, or iptables:
+
+* :meth:`FaultProxy.reset_all` -- abruptly closes every live link with
+  ``SO_LINGER`` zero, so both peers see a hard RST mid-stream (the
+  client's next read raises ``ConnectionResetError``, exactly like a
+  dropped NAT entry or a peer crash).
+* :meth:`FaultProxy.stall` -- pauses forwarding in both directions for a
+  duration: bytes keep arriving at the proxy but nothing moves, so client
+  reads hang until their socket timeout fires (the "server is up but the
+  network is wedged" failure the retry deadline exists for).
+
+The upstream address is *resolved per connection* through a callable --
+typically a reader of the daemon's ready file -- because the supervised
+daemon re-binds an ephemeral port on every restart.  While the daemon is
+down the resolver fails or the dial is refused; the proxy closes the
+client side immediately and the resilient client treats it as the
+transport error it is.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Forwarding chunk size; small enough that a stall takes effect quickly.
+_CHUNK = 65536
+
+
+class FaultProxy:
+    """A threaded TCP relay with injectable resets and stalls."""
+
+    def __init__(
+        self,
+        upstream: Callable[[], Tuple[str, int]],
+        *,
+        host: str = "127.0.0.1",
+        clock=time.monotonic,
+    ) -> None:
+        self._upstream = upstream
+        self._host = host
+        self._clock = clock
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._links: List[Tuple[socket.socket, socket.socket]] = []
+        self._lock = threading.Lock()
+        self._stall_until = 0.0
+        self._stopping = False
+        self.counters: Dict[str, int] = {
+            "connections": 0,
+            "upstream_failures": 0,
+            "resets": 0,
+            "stalls": 0,
+        }
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, 0))
+        listener.listen(64)
+        self._listener = listener
+        self.address = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fault-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            links = list(self._links)
+            self._links.clear()
+        for pair in links:
+            for sock in pair:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    # -- fault controls ----------------------------------------------------
+
+    def reset_all(self) -> int:
+        """RST every live link; returns how many were cut."""
+        with self._lock:
+            links = list(self._links)
+            self._links.clear()
+        for pair in links:
+            for sock in pair:
+                try:
+                    # Linger-zero close sends RST instead of FIN: the peer
+                    # sees ECONNRESET mid-read, not a clean EOF.
+                    sock.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),
+                    )
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        if links:
+            self.counters["resets"] += len(links)
+        return len(links)
+
+    def stall(self, duration_s: float) -> None:
+        """Freeze forwarding (both directions) for ``duration_s``."""
+        self._stall_until = max(
+            self._stall_until, self._clock() + duration_s
+        )
+        self.counters["stalls"] += 1
+
+    @property
+    def stalled(self) -> bool:
+        return self._clock() < self._stall_until
+
+    @property
+    def live_links(self) -> int:
+        with self._lock:
+            return len(self._links)
+
+    # -- relay internals ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            self.counters["connections"] += 1
+            try:
+                server = socket.create_connection(
+                    self._upstream(), timeout=2.0
+                )
+            except (OSError, ValueError):
+                # Daemon down (mid-restart) or ready file unreadable: the
+                # client gets an immediate close -- a transport error its
+                # retry loop knows how to handle.
+                self.counters["upstream_failures"] += 1
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            for sock in (client, server):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._links.append((client, server))
+            for src, dst in ((client, server), (server, client)):
+                threading.Thread(
+                    target=self._pump,
+                    args=(src, dst),
+                    name="fault-proxy-pump",
+                    daemon=True,
+                ).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        # Poll readability instead of parking in a blocking recv: a thread
+        # blocked in recv holds the kernel file reference, which defers
+        # the socket teardown -- and therefore the linger-zero RST that
+        # :meth:`reset_all`'s close is supposed to fire immediately.
+        try:
+            while True:
+                readable, _, _ = select.select([src], [], [], 0.05)
+                if not readable:
+                    continue
+                data = src.recv(_CHUNK)
+                if not data:
+                    break
+                # A stall holds received bytes here instead of forwarding:
+                # the downstream peer's read blocks until its own timeout.
+                while self._clock() < self._stall_until:
+                    time.sleep(0.01)
+                dst.sendall(data)
+        except (OSError, ValueError):
+            pass  # ValueError: select on a socket closed under us (fd -1)
+        finally:
+            self._drop(src, dst)
+
+    def _drop(self, a: socket.socket, b: socket.socket) -> None:
+        with self._lock:
+            self._links = [
+                pair for pair in self._links if a not in pair and b not in pair
+            ]
+        for sock in (a, b):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FaultProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

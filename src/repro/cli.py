@@ -12,10 +12,15 @@ Commands:
   durability directory, optionally repairing recoverable violations;
 * ``serve``      -- run the concurrent serving daemon (asyncio TCP, bounded
   writer queue, admission control, snapshot read replicas) on a trace's
-  current positions until SIGINT/SIGTERM drains it;
+  current positions until SIGINT/SIGTERM drains it; with ``--wal-dir`` a
+  restart boots through crash recovery instead of the trace, and
+  ``--supervise`` keeps a crashed daemon restarting within a budget;
 * ``bench-serve``-- drive a daemon with the multi-process load generator at
   several client counts and print/dump p50/p99 latency, sustained ops/sec,
   reject rate, and result parity against an inline run;
+* ``chaos``      -- replay a seeded fault schedule (SIGKILLs, connection
+  resets, stalled reads, torn WAL tails) against a supervised live daemon
+  and audit the exactly-once invariants;
 * ``params``     -- print Table 1.
 
 Every command is deterministic given ``--seed``.
@@ -237,6 +242,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint every N applied updates at quiescent "
                             "points (0 = baseline + final only)")
     serve.add_argument("--city-size", type=float, default=1000.0)
+    serve.add_argument("--supervise", action="store_true",
+                       help="run the daemon as a supervised child: crashes "
+                            "restart it through WAL recovery within a budget "
+                            "(requires --wal-dir and --ready-file)")
+    serve.add_argument("--max-restarts", type=int, default=5,
+                       help="supervisor restart budget (default: 5)")
+    serve.add_argument("--restart-backoff", type=float, default=0.2,
+                       help="supervisor backoff base in seconds, doubled per "
+                            "consecutive restart (default: 0.2)")
+    serve.add_argument("--ready-timeout", type=float, default=30.0,
+                       help="seconds the supervisor waits for readiness "
+                            "after each (re)spawn (default: 30)")
+    serve.add_argument("--fault-schedule", metavar="JSON", default=None,
+                       help="arm the WAL with a durability FaultSchedule "
+                            "(inline JSON or a file path; a file is consumed "
+                            "one-shot so a supervised restart comes up "
+                            "unarmed)")
 
     bench_serve = sub.add_parser(
         "bench-serve", help="load-generate against the daemon, report p50/p99"
@@ -264,6 +286,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--city-size", type=float, default=1000.0)
     bench_serve.add_argument("--out", metavar="JSON", default=None,
                              help="dump the BENCH serve section to this file")
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault schedule vs a live supervised daemon"
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="derives the fault schedule, workload, and retry "
+                            "jitter (default: 0)")
+    chaos.add_argument("--profile", default="mixed",
+                       choices=("kill", "network", "storage", "mixed"),
+                       help="fault mix: daemon SIGKILLs, connection resets + "
+                            "stalls, crash + WAL-tail debris, or one of "
+                            "everything (default: mixed)")
+    chaos.add_argument("--writers", type=int, default=3,
+                       help="concurrent writer clients (default: 3)")
+    chaos.add_argument("--objects", type=int, default=48,
+                       help="moving objects in the workload (default: 48)")
+    chaos.add_argument("--min-ops", type=int, default=150,
+                       help="acked writes per writer before the run may end "
+                            "(default: 150)")
+    chaos.add_argument("--kind", default=IndexKind.LAZY,
+                       choices=IndexKind.ALL)
+    chaos.add_argument("--staleness-bound", type=float, default=5.0,
+                       help="max tolerated replica staleness age in seconds "
+                            "(default: 5)")
+    chaos.add_argument("--run-dir", metavar="DIR", default=None,
+                       help="working directory (default: a fresh temp dir, "
+                            "removed when the run passes)")
+    chaos.add_argument("--out", metavar="JSON", default=None,
+                       help="write the full chaos report here")
+    chaos.add_argument("--keep", action="store_true",
+                       help="keep the run directory even on success")
 
     sub.add_parser("params", help="print Table 1")
     return parser
@@ -785,6 +838,30 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _load_fault_injector(spec: str):
+    """``--fault-schedule``: inline JSON or a file path (consumed one-shot).
+
+    The file form exists for the supervised daemon: the supervisor's
+    restarted child re-reads its argv, and deleting the file after arming
+    makes the injected crash a one-time event instead of a crash loop.
+    """
+    import os
+
+    from repro.durability import FaultSchedule
+
+    text = spec
+    if os.path.isfile(spec):
+        with open(spec, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            os.unlink(spec)
+        except OSError:
+            pass
+    schedule = FaultSchedule.from_json(text)
+    print(f"armed: {schedule.seed_line()}", flush=True)
+    return schedule.injector()
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
@@ -792,31 +869,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import EngineService, ServeConfig, ServeServer
     from repro.serve.bench import build_primary
 
-    trace = Trace.load(args.trace)
+    if args.supervise:
+        return _cmd_serve_supervised(args)
+
     domain = _domain(args.city_size)
-    histories = (
-        trace.histories(args.history) if args.kind == IndexKind.CT else None
-    )
-    positions = trace.current_positions(args.history)
-    if not positions:
-        print("trace has no objects at the history cut", file=sys.stderr)
-        return 1
-    index, store = build_primary(
-        args.kind, domain, histories=histories, shards=args.shards
+    fault = (
+        _load_fault_injector(args.fault_schedule)
+        if args.fault_schedule
+        else None
     )
     durability = None
     if args.wal_dir:
-        from repro.durability import DurabilityManager
+        from repro.durability import DurabilityManager, list_checkpoints
 
+        has_checkpoint = bool(list_checkpoints(args.wal_dir))
+    else:
+        has_checkpoint = False
+
+    recovery_report = None
+    if has_checkpoint:
+        # A restart: the WAL directory -- not the trace -- is the truth.
+        # Re-loading the trace here would take a fresh baseline checkpoint
+        # covering records never applied, silently dropping acked writes.
+        from repro.durability import RecoveryError, recover
+
+        try:
+            index, recovery_report = recover(args.wal_dir)
+        except RecoveryError as exc:
+            print(f"recovery failed: {exc}", file=sys.stderr)
+            return 1
+        kind = recovery_report.kind or args.kind
+        if kind != args.kind:
+            print(
+                f"recovered kind {kind!r} overrides --kind {args.kind!r}",
+                file=sys.stderr,
+            )
+        store = getattr(index, "pager", None) or Pager()
+        n_loaded = len(index)
+    else:
+        trace = Trace.load(args.trace)
+        kind = args.kind
+        histories = (
+            trace.histories(args.history) if kind == IndexKind.CT else None
+        )
+        positions = trace.current_positions(args.history)
+        if not positions:
+            print("trace has no objects at the history cut", file=sys.stderr)
+            return 1
+        index, store = build_primary(
+            kind, domain, histories=histories, shards=args.shards
+        )
+        n_loaded = len(positions)
+    if args.wal_dir:
         durability = DurabilityManager(
             args.wal_dir,
             sync=args.sync_policy,
             checkpoint_every=args.checkpoint_every,
+            fault=fault,
         )
-    service = EngineService(
-        index, store, args.kind, domain, durability=durability
-    )
-    service.load(positions, now=trace.load_time(args.history))
+    service = EngineService(index, store, kind, domain, durability=durability)
+    if recovery_report is not None:
+        service.adopt_recovered(recovery_report)
+        if durability is not None:
+            # Fold the replayed WAL tail into a fresh checkpoint now, so
+            # the next crash recovers from here instead of re-replaying.
+            service.checkpoint()
+        print(
+            f"recovered: {recovery_report.records_replayed} records past "
+            f"checkpoint #{recovery_report.checkpoint_ordinal}, "
+            f"{len(service.positions)} objects",
+            flush=True,
+        )
+    else:
+        service.load(positions, now=trace.load_time(args.history))
     server = ServeServer(
         service,
         ServeConfig(
@@ -836,7 +961,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         server.install_signal_handlers()
         host, port = server.address
         print(
-            f"serving {args.kind} ({len(positions)} objects) on "
+            f"serving {kind} ({n_loaded} objects) on "
             f"{host}:{port} (pid {os.getpid()})",
             flush=True,
         )
@@ -862,6 +987,131 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 1
     print(f"drained: acked {service.acked}, applied {service.applied}")
     return 0
+
+
+def _serve_child_argv(args: argparse.Namespace) -> List[str]:
+    """Reconstruct the plain (unsupervised) ``serve`` argv for the child."""
+    argv = [
+        sys.executable, "-m", "repro", "serve", args.trace,
+        "--history", str(args.history),
+        "--kind", str(args.kind),
+        "--host", args.host,
+        "--port", str(args.port),
+        "--ready-file", args.ready_file,
+        "--wal-dir", args.wal_dir,
+        "--sync-policy", args.sync_policy,
+        "--checkpoint-every", str(args.checkpoint_every),
+        "--queue-depth", str(args.queue_depth),
+        "--write-batch", str(args.write_batch),
+        "--rate", str(args.rate),
+        "--burst", str(args.burst),
+        "--replicas", str(args.replicas),
+        "--refresh", str(args.refresh),
+        "--shards", str(args.shards),
+        "--city-size", str(args.city_size),
+    ]
+    if args.fault_schedule:
+        argv += ["--fault-schedule", args.fault_schedule]
+    return argv
+
+
+def _cmd_serve_supervised(args: argparse.Namespace) -> int:
+    import signal
+    import subprocess
+
+    from repro.resilience import (
+        Supervisor,
+        SupervisorError,
+        SupervisorPolicy,
+        file_ready_check,
+    )
+
+    if not args.wal_dir or not args.ready_file:
+        print("--supervise requires --wal-dir and --ready-file",
+              file=sys.stderr)
+        return 2
+    argv = _serve_child_argv(args)
+    supervisor = Supervisor(
+        lambda: subprocess.Popen(argv),
+        ready_check=file_ready_check(args.ready_file),
+        policy=SupervisorPolicy(
+            max_restarts=args.max_restarts,
+            backoff_base=args.restart_backoff,
+            ready_timeout=args.ready_timeout,
+        ),
+    )
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda _s, _f: supervisor.stop())
+    try:
+        supervisor.start()
+    except SupervisorError as exc:
+        print(f"supervised daemon never became ready: {exc}",
+              file=sys.stderr)
+        return 1
+    print(
+        f"supervising pid {supervisor.child_pid} "
+        f"(budget: {args.max_restarts} restarts)",
+        flush=True,
+    )
+    code = supervisor.run()
+    for event in supervisor.events:
+        mttr = f"{event.mttr_s:.2f}s" if event.mttr_s is not None else "?"
+        print(
+            f"restart #{event.restart}: exit {event.exit_code}, "
+            f"backoff {event.backoff_s:.2f}s, "
+            f"{'ready' if event.ready else 'NOT READY'}, mttr {mttr}"
+        )
+    summary = supervisor.to_dict()
+    mean = summary["mttr_mean_s"]
+    print(
+        f"supervisor: {summary['restarts']}/{summary['budget']} restarts"
+        + (f", mttr mean {mean:.2f}s" if mean is not None else "")
+    )
+    if supervisor.exhausted:
+        print("restart budget exhausted; giving up", file=sys.stderr)
+        return code or 1
+    return 0 if code == 0 else code
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.chaos import ChaosConfig, format_chaos_report, run_chaos
+
+    if args.run_dir:
+        run_dir = Path(args.run_dir)
+        ephemeral = False
+    else:
+        run_dir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+        ephemeral = True
+    cfg = ChaosConfig(
+        run_dir=run_dir,
+        seed=args.seed,
+        profile=args.profile,
+        writers=args.writers,
+        objects=args.objects,
+        min_ops=args.min_ops,
+        kind=args.kind,
+        staleness_bound_s=args.staleness_bound,
+    )
+    report = run_chaos(cfg)
+    print(format_chaos_report(report))
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True, default=str)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"cannot write --out file: {exc}", file=sys.stderr)
+            return 1
+        print(f"report: {args.out}")
+    if ephemeral and report["ok"] and not args.keep:
+        shutil.rmtree(run_dir, ignore_errors=True)
+    else:
+        print(f"run dir: {run_dir}")
+    return 0 if report["ok"] else 1
 
 
 def cmd_bench_serve(args: argparse.Namespace) -> int:
@@ -937,6 +1187,7 @@ COMMANDS = {
     "verify": cmd_verify,
     "serve": cmd_serve,
     "bench-serve": cmd_bench_serve,
+    "chaos": cmd_chaos,
     "params": cmd_params,
     "report": cmd_report,
 }

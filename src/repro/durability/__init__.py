@@ -29,11 +29,16 @@ from repro.durability.checkpoint import (
     load_latest_checkpoint,
     next_ordinal,
     read_checkpoint,
+    read_checkpoint_info,
     write_checkpoint,
 )
 from repro.durability.faults import (
     FaultInjector,
+    FaultSchedule,
+    FaultSpec,
     InjectedCrash,
+    append_corrupt_frame,
+    append_torn_frame,
     corrupt_record,
     drop_segment,
     tear_tail,
@@ -64,8 +69,13 @@ __all__ = [
     "load_latest_checkpoint",
     "next_ordinal",
     "read_checkpoint",
+    "read_checkpoint_info",
     "write_checkpoint",
     "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "append_corrupt_frame",
+    "append_torn_frame",
     "InjectedCrash",
     "corrupt_record",
     "drop_segment",

@@ -48,6 +48,9 @@ class CheckpointInfo:
     ordinal: int
     covered_seq: int
     kind: str
+    #: Application state embedded alongside the snapshot (e.g. the serving
+    #: layer's idempotency watermark); ``None`` for pre-``app_state`` files.
+    app_state: Optional[dict] = None
 
 
 def checkpoint_path(directory: Union[str, Path], ordinal: int) -> Path:
@@ -89,6 +92,7 @@ def write_checkpoint(
     kind: Optional[str] = None,
     retain: int = 2,
     fault=None,
+    app_state: Optional[dict] = None,
 ) -> CheckpointInfo:
     """Atomically publish a checkpoint of ``index``.
 
@@ -99,6 +103,11 @@ def write_checkpoint(
 
     ``retain`` older checkpoints are kept as fallbacks for a checkpoint
     file that itself turns out damaged.
+
+    ``app_state`` is an optional JSON-safe dict stored verbatim in the
+    envelope: state that must survive the WAL truncation this checkpoint
+    triggers (the serving layer's dedup watermark lives here).  Readers
+    that predate the key ignore it.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -112,6 +121,8 @@ def write_checkpoint(
         "kind": snapshot.get("kind"),
         "snapshot": snapshot,
     }
+    if app_state is not None:
+        envelope["app_state"] = app_state
     path = checkpoint_path(directory, ordinal)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding="utf-8") as fh:
@@ -127,6 +138,7 @@ def write_checkpoint(
         ordinal=ordinal,
         covered_seq=covered_seq,
         kind=str(envelope["kind"]),
+        app_state=app_state,
     )
 
 
@@ -168,13 +180,50 @@ def read_checkpoint(path: Union[str, Path]):
     except (KeyError, TypeError, ValueError) as exc:
         raise SnapshotError(f"malformed checkpoint envelope: {exc}") from exc
     index = load_document(snapshot)
+    app_state = envelope.get("app_state")
     info = CheckpointInfo(
         path=path,
         ordinal=ordinal,
         covered_seq=covered_seq,
         kind=str(envelope.get("kind")),
+        app_state=app_state if isinstance(app_state, dict) else None,
     )
     return index, info
+
+
+def read_checkpoint_info(path: Union[str, Path]) -> CheckpointInfo:
+    """Decode only a checkpoint's metadata envelope -- no index rebuild.
+
+    For callers that need ``covered_seq``/``app_state`` without paying for
+    snapshot materialization (e.g. a fresh
+    :class:`~repro.durability.manager.DurabilityManager` resuming the
+    global sequence past a checkpoint whose covered segments were all
+    truncated).  Raises :class:`SnapshotError` on damage.
+    """
+    path = Path(path)
+    try:
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"not a checkpoint file: {exc}") from exc
+    if not isinstance(envelope, dict):
+        raise SnapshotError("checkpoint envelope must be an object")
+    if envelope.get("version") != CHECKPOINT_VERSION:
+        raise SnapshotError(
+            f"unsupported checkpoint version {envelope.get('version')!r}"
+        )
+    try:
+        covered_seq = int(envelope["covered_seq"])
+        ordinal = int(envelope["ordinal"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed checkpoint envelope: {exc}") from exc
+    app_state = envelope.get("app_state")
+    return CheckpointInfo(
+        path=path,
+        ordinal=ordinal,
+        covered_seq=covered_seq,
+        kind=str(envelope.get("kind")),
+        app_state=app_state if isinstance(app_state, dict) else None,
+    )
 
 
 def load_latest_checkpoint(directory: Union[str, Path]):

@@ -19,9 +19,13 @@ the durable prefix*.
 
 from __future__ import annotations
 
+import json
 import os
+import random
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.durability.wal import _HEADER, list_segments, segment_path
 
@@ -91,6 +95,206 @@ class FaultInjector:
                 f"crash before publishing checkpoint {tmp_path.name}"
             )
 
+    @classmethod
+    def from_schedule(cls, schedule: "FaultSchedule") -> Optional["FaultInjector"]:
+        """The injector for a schedule's live crash point (or ``None``)."""
+        return schedule.injector()
+
+
+# -- seedable fault schedules --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault in a :class:`FaultSchedule`.
+
+    ``at`` is the fault's trigger coordinate: the 1-based physical event
+    count for live crash points (append / fsync number), the 0-based record
+    index for ``crc_flip``, and the byte count for ``torn_tail``.
+    """
+
+    kind: str
+    at: int = 1
+    torn_bytes: int = 0
+    flip: int = 0xFF
+
+    CRASH_APPEND = "crash_append"
+    CRASH_SYNC = "crash_sync"
+    CRASH_CHECKPOINT = "crash_checkpoint"
+    TORN_TAIL = "torn_tail"
+    CRC_FLIP = "crc_flip"
+
+    LIVE = (CRASH_APPEND, CRASH_SYNC, CRASH_CHECKPOINT)
+    SURGERY = (TORN_TAIL, CRC_FLIP)
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.LIVE + self.SURGERY:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("fault trigger point must be >= 0")
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "torn_bytes": self.torn_bytes,
+            "flip": self.flip,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FaultSpec":
+        return cls(
+            kind=str(doc["kind"]),
+            at=int(doc.get("at", 1)),
+            torn_bytes=int(doc.get("torn_bytes", 0)),
+            flip=int(doc.get("flip", 0xFF)),
+        )
+
+    def describe(self) -> str:
+        extra = ""
+        if self.kind in (self.CRASH_APPEND, self.TORN_TAIL) and self.torn_bytes:
+            extra = f"(torn={self.torn_bytes})"
+        elif self.kind == self.CRC_FLIP:
+            extra = f"(flip=0x{self.flip:02X})"
+        return f"{self.kind}@{self.at}{extra}"
+
+
+class FaultSchedule:
+    """A reproducible, serializable sequence of faults.
+
+    The chaos harness's contract is that *any* failure reproduces from its
+    seed line alone: ``FaultSchedule.generate(seed)`` derives the exact
+    same fault specs every time, ``to_json``/``from_json`` round-trip them
+    for report embedding, :meth:`injector` builds the live
+    :class:`FaultInjector`, and :meth:`apply_surgery` performs the
+    post-mortem file damage (torn tail, CRC flip) on a WAL directory.
+    """
+
+    def __init__(
+        self, specs: Sequence[FaultSpec], *, seed: Optional[int] = None
+    ) -> None:
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = seed
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        n_faults: int = 2,
+        kinds: Optional[Sequence[str]] = None,
+        max_at: int = 64,
+    ) -> "FaultSchedule":
+        """Derive ``n_faults`` specs deterministically from ``seed``.
+
+        Same arguments -> byte-identical schedule; the seed is remembered
+        so :meth:`seed_line` can print the reproduction command.
+        """
+        if n_faults < 0:
+            raise ValueError("n_faults must be >= 0")
+        allowed = tuple(kinds) if kinds else FaultSpec.LIVE + FaultSpec.SURGERY
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(n_faults):
+            kind = rng.choice(allowed)
+            if kind == FaultSpec.TORN_TAIL:
+                # Tear a few bytes: enough to shear the final frame, never
+                # the whole segment.
+                spec = FaultSpec(kind, at=rng.randint(1, 12))
+            elif kind == FaultSpec.CRC_FLIP:
+                spec = FaultSpec(
+                    kind, at=rng.randint(0, 7), flip=rng.randint(1, 0xFF)
+                )
+            elif kind == FaultSpec.CRASH_APPEND:
+                spec = FaultSpec(
+                    kind,
+                    at=rng.randint(1, max_at),
+                    torn_bytes=rng.choice((0, rng.randint(1, 7))),
+                )
+            elif kind == FaultSpec.CRASH_SYNC:
+                spec = FaultSpec(kind, at=rng.randint(1, max(1, max_at // 8)))
+            else:
+                spec = FaultSpec(FaultSpec.CRASH_CHECKPOINT, at=1)
+            specs.append(spec)
+        return cls(specs, seed=seed)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FaultSchedule":
+        specs = [FaultSpec.from_dict(entry) for entry in doc.get("specs", [])]
+        seed = doc.get("seed")
+        return cls(specs, seed=None if seed is None else int(seed))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(text))
+
+    def seed_line(self) -> str:
+        """One line that reproduces this schedule exactly."""
+        origin = (
+            f"seed={self.seed}" if self.seed is not None else "explicit specs"
+        )
+        faults = ", ".join(s.describe() for s in self.specs) or "none"
+        return f"FaultSchedule({origin}): {faults}"
+
+    # -- execution --------------------------------------------------------
+
+    @property
+    def live_specs(self) -> List[FaultSpec]:
+        return [s for s in self.specs if s.kind in FaultSpec.LIVE]
+
+    @property
+    def surgery_specs(self) -> List[FaultSpec]:
+        return [s for s in self.specs if s.kind in FaultSpec.SURGERY]
+
+    def injector(self) -> Optional[FaultInjector]:
+        """A :class:`FaultInjector` armed with the first live crash spec
+        (an injector crashes once), or ``None`` with no live fault."""
+        live = self.live_specs
+        if not live:
+            return None
+        spec = live[0]
+        if spec.kind == FaultSpec.CRASH_APPEND:
+            return FaultInjector(
+                crash_on_append=spec.at, torn_bytes=spec.torn_bytes
+            )
+        if spec.kind == FaultSpec.CRASH_SYNC:
+            return FaultInjector(crash_on_sync=spec.at)
+        return FaultInjector(crash_on_checkpoint_replace=True)
+
+    def apply_surgery(self, directory: Union[str, Path]) -> List[str]:
+        """Apply the post-mortem specs to a WAL directory; returns what was
+        done.  Damage that cannot land (no segments yet, record index past
+        the end) is skipped and reported -- surgery models opportunistic
+        real-world corruption, not a hard precondition."""
+        applied: List[str] = []
+        for spec in self.surgery_specs:
+            try:
+                if spec.kind == FaultSpec.TORN_TAIL:
+                    path = tear_tail(directory, nbytes=spec.at)
+                    applied.append(f"torn_tail({spec.at}B) -> {path.name}")
+                else:
+                    path = corrupt_record(directory, spec.at, flip=spec.flip)
+                    applied.append(
+                        f"crc_flip(record {spec.at}) -> {path.name}"
+                    )
+            except (FileNotFoundError, IndexError) as exc:
+                applied.append(f"{spec.kind}@{spec.at} skipped: {exc}")
+        return applied
+
+    def __repr__(self) -> str:
+        return self.seed_line()
+
 
 # -- post-mortem file surgery --------------------------------------------------
 
@@ -136,6 +340,48 @@ def corrupt_record(
         f"segment {path.name} has only {index} complete records; "
         f"cannot corrupt record {record_index}"
     )
+
+
+def append_torn_frame(
+    directory: Union[str, Path], nbytes: int = 16
+) -> Path:
+    """Append a *partial* frame to the newest segment: a valid header
+    declaring a payload longer than the ``nbytes`` of garbage that follow.
+
+    This is the crash-honest tail fault: what a dying process leaves past
+    the fsynced prefix.  Recovery sees a torn tail, replays every complete
+    record, and trims the debris -- no acked data is touched (unlike
+    :func:`tear_tail`, which truncates real bytes and may shear the final
+    acked record).
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    path = _last_segment(directory)
+    with open(path, "ab") as fh:
+        fh.write(_HEADER.pack(nbytes + 64, 0))
+        fh.write(b"\xa5" * nbytes)
+    return path
+
+
+def append_corrupt_frame(
+    directory: Union[str, Path], *, flip: int = 0xFF
+) -> Path:
+    """Append a *complete* frame whose CRC does not match its payload.
+
+    Models in-flight bytes that reached the file scrambled when the
+    process died: the framing is intact, so only the checksum catches it.
+    Recovery stops at the bad frame -- the full acked prefix before it
+    replays -- and repair trims it.
+    """
+    if not 0 <= flip <= 0xFF:
+        raise ValueError("flip must be a byte value")
+    path = _last_segment(directory)
+    payload = b'{"op":"ins","seq":0,"oid":0}'
+    crc = (zlib.crc32(payload) ^ max(1, flip)) & 0xFFFFFFFF
+    with open(path, "ab") as fh:
+        fh.write(_HEADER.pack(len(payload), crc))
+        fh.write(payload)
+    return path
 
 
 def drop_segment(directory: Union[str, Path], number: Optional[int] = None) -> Path:

@@ -27,7 +27,9 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.durability.checkpoint import (
     CheckpointInfo,
+    list_checkpoints,
     next_ordinal,
+    read_checkpoint_info,
     write_checkpoint,
 )
 from repro.durability.recovery import SHARD_DIR_PREFIX
@@ -80,6 +82,11 @@ class DurabilityManager:
         self._applied_since_checkpoint = 0
         self.last_checkpoint: Optional[CheckpointInfo] = None
         self.checkpoints_taken = 0
+        #: Optional zero-argument callable returning a JSON-safe dict of
+        #: application state (e.g. the serving layer's dedup watermark)
+        #: embedded in each checkpoint envelope -- state that must survive
+        #: the WAL truncation the checkpoint performs.
+        self.state_provider = None
 
     # -- attachment ------------------------------------------------------
 
@@ -97,8 +104,19 @@ class DurabilityManager:
                 )
         else:
             self._wals[0] = self._open_wal(self.directory)
-        # Continue the global sequence past anything already on disk.
+        # Continue the global sequence past anything already on disk --
+        # including the newest checkpoint's covered seq: with every covered
+        # segment truncated, the WALs alone would restart numbering inside
+        # the covered range and recovery would skip the new records as
+        # already applied.
         self._seq = max(wal.last_seq for wal in self._wals.values())
+        for _ordinal, path in reversed(list_checkpoints(self.directory)):
+            try:
+                info = read_checkpoint_info(path)
+            except Exception:
+                continue  # damaged checkpoint: recovery's problem, not ours
+            self._seq = max(self._seq, info.covered_seq)
+            break
         return self
 
     def _open_wal(self, directory: Path) -> WriteAheadLog:
@@ -130,10 +148,18 @@ class DurabilityManager:
 
     # -- the UpdateLog surface (what the buffer and driver call) ---------
 
-    def log_insert(self, oid: int, point: Sequence[float], t: float) -> int:
+    def log_insert(
+        self,
+        oid: int,
+        point: Sequence[float],
+        t: float,
+        *,
+        client: Optional[str] = None,
+        rid: Optional[int] = None,
+    ) -> int:
         return self._wal_for(point).append(
             WalOp.INSERT, oid=oid, point=_position(point), t=t,
-            seq=self._next_seq(),
+            seq=self._next_seq(), client=client, rid=rid,
         )
 
     def log_update(
@@ -142,12 +168,16 @@ class DurabilityManager:
         old_point: Sequence[float],
         point: Sequence[float],
         t: float,
+        *,
+        client: Optional[str] = None,
+        rid: Optional[int] = None,
     ) -> int:
         # Routed by the *new* position: replay goes through the router,
         # which re-derives any cross-shard move from its restored owner map.
         return self._wal_for(point).append(
             WalOp.UPDATE, oid=oid, point=_position(point),
             old_point=_position(old_point), t=t, seq=self._next_seq(),
+            client=client, rid=rid,
         )
 
     def log_delete(
@@ -191,6 +221,7 @@ class DurabilityManager:
         # A self-healing wrapper exposes the structure currently serving
         # via ``snapshot_target``; snapshot that, not the wrapper.
         target = getattr(self._index, "snapshot_target", self._index)
+        app_state = self.state_provider() if self.state_provider else None
         info = write_checkpoint(
             target,
             self.directory,
@@ -199,6 +230,7 @@ class DurabilityManager:
             kind=self._kind,
             retain=self.retain,
             fault=self._fault,
+            app_state=app_state,
         )
         # The marker makes the checkpoint visible in the log itself; the
         # truncation pass then drops every segment the snapshot covers.

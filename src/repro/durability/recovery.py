@@ -76,6 +76,14 @@ class RecoveryReport:
     #: None when verification was skipped or unavailable.
     verify_ok: Optional[bool] = None
     verify_violations: List[str] = field(default_factory=list)
+    #: ``app_state`` dict of the loaded checkpoint (``None`` when absent):
+    #: application state -- e.g. the serving dedup watermark -- that the
+    #: checkpoint carried past its WAL truncation.
+    app_state: Optional[Dict[str, object]] = None
+    #: ``(client, rid, seq)`` idempotency stamps of the *replayed* data
+    #: records, in replay order -- the WAL-tail half of rebuilding the
+    #: dedup journal after a restart (``app_state`` holds the other half).
+    dedup_records: List[Tuple[str, int, int]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -93,6 +101,7 @@ class RecoveryReport:
             "replay_s": self.replay_s,
             "verify_ok": self.verify_ok,
             "verify_violations": list(self.verify_violations),
+            "dedup_records": len(self.dedup_records),
         }
 
 
@@ -176,6 +185,7 @@ def recover(
         report.checkpoint_ordinal = info.ordinal
         report.checkpoint_seq = info.covered_seq
         report.kind = info.kind
+        report.app_state = info.app_state
     elif index_factory is not None:
         index = index_factory()
         info = None
@@ -221,6 +231,10 @@ def recover(
         if record.op in WalOp.DATA:
             _apply_record(index, report.kind, record)
             report.records_replayed += 1
+            if record.client is not None and record.rid is not None:
+                report.dedup_records.append(
+                    (record.client, record.rid, record.seq)
+                )
         last_good = record.seq
         expected = record.seq + 1
     if not stopped and (report.torn_tail or report.corrupt_segments):

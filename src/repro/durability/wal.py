@@ -71,7 +71,14 @@ class WalError(RuntimeError):
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One logical log entry (decoded form of one frame payload)."""
+    """One logical log entry (decoded form of one frame payload).
+
+    ``client``/``rid`` are the optional idempotency stamp a serving write
+    carries (``repro.resilience``): retries of one logical write share one
+    ``(client, rid)`` pair, so recovery can rebuild the dedup watermark and
+    the chaos harness can prove no pair was applied twice.  Pre-stamp logs
+    decode fine -- both keys are absent and default to ``None``.
+    """
 
     op: str
     seq: int
@@ -79,6 +86,8 @@ class WalRecord:
     oid: Optional[int] = None
     point: Optional[Tuple[float, ...]] = None
     old_point: Optional[Tuple[float, ...]] = None
+    client: Optional[str] = None
+    rid: Optional[int] = None
 
     def to_payload(self) -> bytes:
         doc: Dict[str, object] = {"op": self.op, "seq": self.seq}
@@ -90,6 +99,10 @@ class WalRecord:
             doc["pt"] = list(self.point)
         if self.old_point is not None:
             doc["old"] = list(self.old_point)
+        if self.client is not None:
+            doc["cl"] = self.client
+        if self.rid is not None:
+            doc["rid"] = self.rid
         return json.dumps(doc, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -103,6 +116,8 @@ class WalRecord:
                 oid=doc.get("oid"),
                 point=None if doc.get("pt") is None else tuple(doc["pt"]),
                 old_point=None if doc.get("old") is None else tuple(doc["old"]),
+                client=doc.get("cl"),
+                rid=doc.get("rid"),
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise WalError(f"undecodable WAL payload: {exc}") from exc
@@ -332,6 +347,8 @@ class WriteAheadLog:
         old_point: Optional[Tuple[float, ...]] = None,
         t: Optional[float] = None,
         seq: Optional[int] = None,
+        client: Optional[str] = None,
+        rid: Optional[int] = None,
     ) -> int:
         """Append one record; returns its sequence number.
 
@@ -344,7 +361,8 @@ class WriteAheadLog:
             seq = self._next_seq
         self._next_seq = max(self._next_seq, seq + 1)
         record = WalRecord(
-            op=op, seq=seq, t=t, oid=oid, point=point, old_point=old_point
+            op=op, seq=seq, t=t, oid=oid, point=point, old_point=old_point,
+            client=client, rid=rid,
         )
         frame = record.to_frame()
         if self._fault is not None:

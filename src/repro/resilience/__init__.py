@@ -1,0 +1,50 @@
+"""``repro.resilience`` -- exactly-once serving under failure.
+
+The serving daemon (PR 8) made the index concurrent; this package makes it
+survive the failures a long-lived service actually meets:
+
+* :mod:`repro.resilience.dedup` -- the bounded per-client idempotency
+  watermark the server journals through the WAL and checkpoint
+  ``app_state``, so a retried write acks its original result instead of
+  double-applying, across daemon restarts;
+* :mod:`repro.resilience.client` -- :class:`ResilientServeClient`: stamped
+  retries with capped full-jitter backoff, per-request deadlines,
+  transparent reconnect, and a circuit breaker;
+* :mod:`repro.resilience.supervisor` -- the ``repro serve --supervise``
+  loop: crash detection, budgeted backoff restarts through WAL recovery,
+  readiness re-signalling, and MTTR accounting.
+
+The deterministic chaos harness that drives all three against injected
+faults lives in :mod:`repro.chaos`.
+"""
+
+from repro.resilience.client import (
+    BreakerOpen,
+    CircuitBreaker,
+    DeadlineExceeded,
+    ResilientServeClient,
+    RetryPolicy,
+)
+from repro.resilience.dedup import DedupHit, DedupJournal
+from repro.resilience.supervisor import (
+    RestartEvent,
+    Supervisor,
+    SupervisorError,
+    SupervisorPolicy,
+    file_ready_check,
+)
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "DedupHit",
+    "DedupJournal",
+    "ResilientServeClient",
+    "RestartEvent",
+    "RetryPolicy",
+    "Supervisor",
+    "SupervisorError",
+    "SupervisorPolicy",
+    "file_ready_check",
+]

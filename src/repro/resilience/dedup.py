@@ -1,0 +1,175 @@
+"""Idempotent writes: the per-client dedup watermark journal.
+
+Exactly-once semantics under retries rest on one rule: every logical write
+carries a ``(client_id, request_id)`` stamp, retries of the same logical
+write reuse the same stamp, and the server checks the stamp *before* the
+write path runs.  A stamp at or below the client's watermark is a replay:
+the server acks with the cached result of the original attempt instead of
+applying again.  The stamp rides on the WAL record (``WalRecord.client`` /
+``rid``), so the journal is rebuilt after a crash from the checkpoint's
+``app_state`` plus the replayed WAL tail -- a retry that straddles a daemon
+restart still dedups.
+
+The journal is bounded: per client it keeps the watermark (highest rid
+seen) plus a window of the most recent cached acks.  A replay that falls
+below the window is still *detected* (rid <= watermark) -- only the cached
+ack payload is gone, so the response degrades to a bare dedup ack.  Clients
+issue rids monotonically with one logical write in flight per connection
+(:class:`repro.resilience.client.ResilientServeClient` enforces this), so
+"rid <= watermark" and "already applied" coincide.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DedupHit:
+    """A detected replay: the cached ack of the original application."""
+
+    rid: int
+    #: Ack sequence of the original apply; ``None`` when the cached ack was
+    #: evicted from the bounded window (the replay is still a replay).
+    seq: Optional[int]
+    #: How many updates the original (batch) request applied.
+    accepted: int = 1
+
+
+class _ClientState:
+    __slots__ = ("max_rid", "acks")
+
+    def __init__(self) -> None:
+        self.max_rid = 0
+        #: rid -> (seq, accepted), oldest first, bounded by the journal window.
+        self.acks: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+
+
+class DedupJournal:
+    """Bounded per-client idempotency watermarks + cached acks.
+
+    Single-threaded by design: the daemon consults it only on the event
+    loop, the same place WAL appends happen, so check-then-record is atomic
+    with respect to other requests.
+    """
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError("dedup window must be >= 1")
+        self.window = window
+        self._clients: Dict[str, _ClientState] = {}
+        self.hits = 0
+        self.misses = 0
+        #: Replays whose cached ack had been evicted (detected, degraded).
+        self.evicted_hits = 0
+
+    # -- the serving-path surface -----------------------------------------
+
+    def check(self, client: str, rid: int) -> Optional[DedupHit]:
+        """``None`` -> a new write (caller applies then :meth:`record`);
+        a :class:`DedupHit` -> a replay (caller acks it, applies nothing)."""
+        state = self._clients.get(client)
+        if state is None or rid > state.max_rid:
+            self.misses += 1
+            return None
+        self.hits += 1
+        cached = state.acks.get(rid)
+        if cached is None:
+            self.evicted_hits += 1
+            return DedupHit(rid=rid, seq=None)
+        seq, accepted = cached
+        return DedupHit(rid=rid, seq=seq, accepted=accepted)
+
+    def record(self, client: str, rid: int, seq: int, accepted: int = 1) -> None:
+        """Remember one applied write's ack under its stamp."""
+        state = self._clients.setdefault(client, _ClientState())
+        state.max_rid = max(state.max_rid, rid)
+        state.acks[rid] = (seq, accepted)
+        state.acks.move_to_end(rid)
+        while len(state.acks) > self.window:
+            state.acks.popitem(last=False)
+
+    # -- journaling through checkpoint + WAL tail --------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-safe snapshot for the checkpoint envelope's ``app_state``."""
+        return {
+            "window": self.window,
+            "clients": {
+                client: {
+                    "max_rid": state.max_rid,
+                    "acks": [
+                        [rid, seq, accepted]
+                        for rid, (seq, accepted) in state.acks.items()
+                    ],
+                }
+                for client, state in self._clients.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Optional[Dict[str, object]]) -> "DedupJournal":
+        if not state:
+            return cls()
+        journal = cls(window=int(state.get("window", 256)))
+        clients = state.get("clients") or {}
+        for client, doc in clients.items():
+            cs = _ClientState()
+            cs.max_rid = int(doc.get("max_rid", 0))
+            for rid, seq, accepted in doc.get("acks", []):
+                cs.acks[int(rid)] = (int(seq), int(accepted))
+            journal._clients[str(client)] = cs
+        return journal
+
+    def absorb_replay(
+        self, stamps: Iterable[Tuple[str, int, int]]
+    ) -> int:
+        """Fold the WAL tail's ``(client, rid, seq)`` stamps in (recovery's
+        ``RecoveryReport.dedup_records``); returns stamps absorbed.
+
+        Batch stamps repeat one rid across the batch's records; the last
+        record's seq wins, matching the live ack (the batch's last seq).
+        """
+        n = 0
+        for client, rid, seq in stamps:
+            state = self._clients.setdefault(client, _ClientState())
+            if rid in state.acks:
+                old_seq, accepted = state.acks[rid]
+                state.acks[rid] = (max(old_seq, seq), accepted + 1)
+                state.acks.move_to_end(rid)
+            else:
+                self.record(client, rid, seq)
+            n += 1
+        return n
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def clients(self) -> int:
+        return len(self._clients)
+
+    @property
+    def entries(self) -> int:
+        return sum(len(s.acks) for s in self._clients.values())
+
+    def watermark(self, client: str) -> int:
+        state = self._clients.get(client)
+        return state.max_rid if state is not None else 0
+
+    def metrics_dict(self) -> Dict[str, int]:
+        return {
+            "window": self.window,
+            "clients": self.clients,
+            "entries": self.entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evicted_hits": self.evicted_hits,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DedupJournal(clients={self.clients}, entries={self.entries}, "
+            f"hits={self.hits})"
+        )

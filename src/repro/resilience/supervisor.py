@@ -1,0 +1,253 @@
+"""The supervisor: crash detection, budgeted restart, readiness re-signal.
+
+``repro serve --supervise`` runs this loop as the parent of the daemon
+process: spawn the child, wait for its readiness signal, monitor for exit.
+A non-zero exit is a crash: the supervisor (optionally) lets a hook inspect
+or damage the WAL directory first (the chaos harness injects torn tails /
+CRC flips here -- the crash already happened, the damage models what the
+dying process left behind), backs off exponentially, respawns the child --
+which recovers through the WAL -- and waits for readiness to reappear.
+Each recovery's MTTR (crash detected -> ready again) is recorded.
+
+The restart budget bounds the loop: a daemon that keeps dying (bad disk,
+poisoned WAL it cannot repair) stops being restarted instead of flapping
+forever.  A clean exit (code 0) or an operator stop ends supervision.
+
+Everything is injectable -- ``spawn`` returns any object with the
+``subprocess.Popen`` surface (``poll``/``pid``/``terminate``/``kill``/
+``wait``), and clock/sleep are parameters -- so the state machine unit
+tests with fake processes and a fake clock, no forking required.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+
+class SupervisorError(RuntimeError):
+    """The supervised daemon could not be brought (back) to readiness."""
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart budget and cadence of one supervisor."""
+
+    max_restarts: int = 5
+    backoff_base: float = 0.2
+    backoff_cap: float = 5.0
+    ready_timeout: float = 30.0
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if self.ready_timeout <= 0 or self.poll_interval <= 0:
+            raise ValueError("timeouts must be > 0")
+
+    def backoff(self, restart: int) -> float:
+        """Delay before the ``restart``-th (1-based) respawn."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (restart - 1)))
+
+
+@dataclass
+class RestartEvent:
+    """One crash -> recovery cycle, the unit MTTR is measured over."""
+
+    restart: int
+    exit_code: Optional[int]
+    backoff_s: float = 0.0
+    mttr_s: float = 0.0
+    ready: bool = False
+    surgery: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "restart": self.restart,
+            "exit_code": self.exit_code,
+            "backoff_s": self.backoff_s,
+            "mttr_s": self.mttr_s,
+            "ready": self.ready,
+            "surgery": list(self.surgery),
+        }
+
+
+def file_ready_check(
+    ready_file: Union[str, Path]
+) -> Callable[[object], bool]:
+    """Readiness = the ready file exists and names the *current* child.
+
+    The daemon writes ``{host, port, pid}`` atomically once accepting; a
+    SIGKILL leaves the previous incarnation's file behind, so the pid match
+    is what distinguishes "still stale" from "recovered".
+    """
+    path = Path(ready_file)
+
+    def check(child: object) -> bool:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return False
+        return doc.get("pid") == getattr(child, "pid", None)
+
+    return check
+
+
+class Supervisor:
+    """Spawn, watch, and restart one daemon process within a budget."""
+
+    def __init__(
+        self,
+        spawn: Callable[[], object],
+        *,
+        ready_check: Callable[[object], bool],
+        policy: Optional[SupervisorPolicy] = None,
+        on_crash: Optional[Callable[[int], Optional[List[str]]]] = None,
+        clock=time.monotonic,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self._spawn = spawn
+        self._ready_check = ready_check
+        self.policy = policy or SupervisorPolicy()
+        self._on_crash = on_crash
+        self._clock = clock
+        self._stop_event = threading.Event()
+        self._custom_sleep = sleep
+        self.child: Optional[object] = None
+        self.restarts = 0
+        self.events: List[RestartEvent] = []
+        self.exhausted = False
+        self.last_exit_code: Optional[int] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _sleep(self, delay: float) -> None:
+        if self._custom_sleep is not None:
+            self._custom_sleep(delay)
+        else:
+            # Event.wait so an operator stop() interrupts long backoffs.
+            self._stop_event.wait(delay)
+
+    @property
+    def child_pid(self) -> Optional[int]:
+        return getattr(self.child, "pid", None)
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop_event.is_set()
+
+    def _wait_ready(self, child: object) -> bool:
+        t_end = self._clock() + self.policy.ready_timeout
+        while self._clock() < t_end:
+            if self._stop_event.is_set():
+                return True  # the stop path takes over
+            if child.poll() is not None:
+                return False  # died before signalling readiness
+            if self._ready_check(child):
+                return True
+            self._sleep(self.policy.poll_interval)
+        return False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> object:
+        """Spawn the first incarnation and wait for readiness."""
+        self.child = self._spawn()
+        if not self._wait_ready(self.child):
+            if self.child.poll() is None:
+                self.child.kill()
+                self.child.wait(timeout=10.0)
+            raise SupervisorError(
+                "daemon did not become ready within "
+                f"{self.policy.ready_timeout:.1f}s"
+            )
+        return self.child
+
+    def run(self) -> int:
+        """Supervise until clean exit, operator stop, or budget exhaustion.
+
+        Returns the final child exit code (non-zero when the budget ran
+        out on a still-crashing daemon).
+        """
+        if self.child is None:
+            self.start()
+        assert self.child is not None
+        while True:
+            if self._stop_event.is_set():
+                return self._stop_child()
+            code = self.child.poll()
+            if code is None:
+                self._sleep(self.policy.poll_interval)
+                continue
+            self.last_exit_code = code
+            if code == 0:
+                return 0  # clean drain: supervision is over
+            detected = self._clock()
+            if self.restarts >= self.policy.max_restarts:
+                self.exhausted = True
+                return code
+            self.restarts += 1
+            event = RestartEvent(restart=self.restarts, exit_code=code)
+            if self._on_crash is not None:
+                event.surgery = list(self._on_crash(self.restarts) or [])
+            event.backoff_s = self.policy.backoff(self.restarts)
+            self._sleep(event.backoff_s)
+            if self._stop_event.is_set():
+                self.events.append(event)
+                return self._stop_child()
+            self.child = self._spawn()
+            event.ready = self._wait_ready(self.child)
+            event.mttr_s = self._clock() - detected
+            self.events.append(event)
+            if not event.ready and not self._stop_event.is_set():
+                # Ready never came: treat as another crash on the next
+                # iteration (kill a hung child so poll() turns non-None).
+                if self.child.poll() is None:
+                    self.child.kill()
+
+    def stop(self) -> None:
+        """Request an orderly end: SIGTERM the child (graceful drain) and
+        let :meth:`run` return once it exits.  Thread-safe."""
+        self._stop_event.set()
+
+    def _stop_child(self) -> int:
+        child = self.child
+        if child is None:
+            return self.last_exit_code or 0
+        if child.poll() is None:
+            try:
+                child.terminate()
+            except OSError:
+                pass
+            try:
+                code = child.wait(timeout=30.0)
+            except Exception:
+                child.kill()
+                code = child.wait(timeout=10.0)
+        else:
+            code = child.poll()
+        self.last_exit_code = code
+        return code if code is not None else 0
+
+    # -- introspection -----------------------------------------------------
+
+    def mttr_values(self) -> List[float]:
+        return [e.mttr_s for e in self.events if e.ready]
+
+    def to_dict(self) -> Dict[str, object]:
+        mttrs = self.mttr_values()
+        return {
+            "restarts": self.restarts,
+            "budget": self.policy.max_restarts,
+            "exhausted": self.exhausted,
+            "last_exit_code": self.last_exit_code,
+            "mttr_mean_s": sum(mttrs) / len(mttrs) if mttrs else None,
+            "mttr_max_s": max(mttrs) if mttrs else None,
+            "events": [e.to_dict() for e in self.events],
+        }

@@ -9,10 +9,16 @@ as fast as the daemon admits it, recording one end-to-end latency sample
 per op (retries included: the client-observed latency is the number that
 matters under load shedding).
 
-A ``RETRY_AFTER`` response is counted as a reject and retried after the
-server-suggested backoff, up to ``max_retries``; a slice that exhausts its
-retries drops the op and says so.  p50/p99/max are computed here from the
-raw samples by nearest-rank (the obs ``Summary`` keeps only
+Each client is a :class:`~repro.resilience.ResilientServeClient`: writes
+carry ``(client_id, rid)`` idempotency stamps, a ``RETRY_AFTER`` response
+is retried after a capped *full-jitter* backoff (the server's hint raises
+the jitter ceiling, it never becomes a lockstep sleep -- N clients
+sleeping exactly ``retry_after`` re-arrive as the same thundering herd
+that was just shed), and connection loss reconnects transparently.  A
+logical op that exhausts its retries or its deadline is dropped and said
+so; acks are split into first-try and retried so shed-and-recover
+behaviour is visible in the report.  p50/p99/max are computed here from
+the raw samples by nearest-rank (the obs ``Summary`` keeps only
 count/mean/min/max -- see EXPERIMENTS.md for the methodology note).
 
 Process mode is the default (real client concurrency, one process per
@@ -24,14 +30,20 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import random
 import threading
-import time
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.citysim import Trace
 from repro.core.geometry import Rect
-from repro.serve.protocol import ServeClient
+from repro.resilience import (
+    BreakerOpen,
+    DeadlineExceeded,
+    ResilientServeClient,
+    RetryPolicy,
+)
+from repro.serve.protocol import ServeError
 from repro.workload import QueryWorkload
 
 #: Loadgen op tuples (plain data -- they cross process boundaries):
@@ -113,50 +125,62 @@ def _run_client(
     codec: str,
     max_retries: int,
     backoff_cap: float,
+    idx: int = 0,
+    seed: int = 0,
 ) -> Dict[str, object]:
+    """One client slice on a :class:`ResilientServeClient`.
+
+    The client handles the whole retry discipline (stamps, jittered
+    backoff, reconnect); this loop only classifies terminal outcomes.
+    ``idx``/``seed`` make both the client identity and its jitter stream
+    deterministic per slice.
+    """
     latencies: Dict[str, List[float]] = {"update": [], "range": []}
-    acked = rejected = retries = dropped = errors = 0
+    dropped = errors = 0
+    policy = RetryPolicy(
+        max_attempts=max(1, max_retries + 1), backoff_cap=backoff_cap
+    )
     t_start = perf_counter()
-    with ServeClient(host, port, codec=codec) as client:
+    with ResilientServeClient(
+        host,
+        port,
+        client_id=f"lg-{idx}",
+        codec=codec,
+        policy=policy,
+        rng=random.Random((seed << 16) ^ idx),
+    ) as client:
         for op in ops:
             kind = op[0]
             t0 = perf_counter()
-            attempts = 0
-            while True:
+            try:
                 if kind == "update":
-                    response = client.request(
-                        "update", oid=op[1], point=[op[2], op[3]], t=op[4]
-                    )
+                    client.update(op[1], (op[2], op[3]), op[4])
                 else:
-                    response = client.request(
-                        "range",
-                        rect=[[op[1], op[2]], [op[3], op[4]]],
-                        fresh=bool(op[5]),
+                    client.range(
+                        (op[1], op[2]), (op[3], op[4]), fresh=bool(op[5])
                     )
-                if response.get("ok"):
-                    acked += 1
-                    break
-                if response.get("code") == "RETRY_AFTER":
-                    rejected += 1
-                    if attempts >= max_retries:
-                        dropped += 1
-                        break
-                    attempts += 1
-                    retries += 1
-                    time.sleep(
-                        min(float(response.get("retry_after", 0.01)), backoff_cap)
-                    )
-                    continue
+            except (BreakerOpen, DeadlineExceeded, ServeError):
+                # Retries/deadline exhausted on a shedding or draining
+                # daemon: the op is dropped (for a stamped write this is
+                # *ambiguous*, which is fine here -- loadgen measures
+                # throughput; the chaos harness is what resolves
+                # ambiguity by re-driving the same stamp).
+                dropped += 1
+            except (ConnectionError, OSError):
                 errors += 1
-                break
             latencies[kind].append(perf_counter() - t0)
+        counters = dict(client.counters)
     return {
         "ops": len(ops),
-        "acked": acked,
-        "rejected": rejected,
-        "retries": retries,
+        "acked": counters["acked"],
+        "acked_first_try": counters["acked_first_try"],
+        "acked_retried": counters["acked_retried"],
+        "rejected": counters["rejects"],
+        "retries": counters["retries"],
         "dropped": dropped,
-        "errors": errors,
+        "errors": errors + counters["transport_errors"],
+        "reconnects": counters["reconnects"],
+        "dedup_acks": counters["dedup_acks"],
         "wall_s": perf_counter() - t_start,
         "latencies": latencies,
     }
@@ -171,9 +195,12 @@ def _client_proc_main(
     codec: str,
     max_retries: int,
     backoff_cap: float,
+    seed: int,
 ) -> None:
     try:
-        result = _run_client(host, port, ops, codec, max_retries, backoff_cap)
+        result = _run_client(
+            host, port, ops, codec, max_retries, backoff_cap, idx, seed
+        )
     except Exception as exc:  # surface child failures instead of hanging
         result = {"fatal": f"{type(exc).__name__}: {exc}"}
     result_queue.put((idx, result))
@@ -210,6 +237,7 @@ def run_loadgen(
     codec: str = "json",
     max_retries: int = 16,
     backoff_cap: float = 0.2,
+    seed: int = 0,
 ) -> Dict[str, object]:
     """Drive ``ops`` through ``n_clients`` concurrent clients -> summary."""
     if mode not in ("process", "thread"):
@@ -233,6 +261,7 @@ def run_loadgen(
                     codec,
                     max_retries,
                     backoff_cap,
+                    seed,
                 ),
                 name=f"loadgen-client-{idx}",
                 daemon=True,
@@ -252,7 +281,8 @@ def run_loadgen(
         def _worker(idx: int, chunk: Sequence[Op]) -> None:
             try:
                 results[idx] = _run_client(
-                    host, port, chunk, codec, max_retries, backoff_cap
+                    host, port, chunk, codec, max_retries, backoff_cap,
+                    idx, seed,
                 )
             except Exception as exc:
                 results[idx] = {"fatal": f"{type(exc).__name__}: {exc}"}
@@ -282,10 +312,14 @@ def run_loadgen(
         "n_clients": n_clients,
         "ops": sum(int(r["ops"]) for r in done),
         "acked": acked,
+        "acked_first_try": sum(int(r.get("acked_first_try", 0)) for r in done),
+        "acked_retried": sum(int(r.get("acked_retried", 0)) for r in done),
         "rejected": rejected,
         "retries": sum(int(r["retries"]) for r in done),
         "dropped": sum(int(r["dropped"]) for r in done),
         "errors": sum(int(r["errors"]) for r in done),
+        "reconnects": sum(int(r.get("reconnects", 0)) for r in done),
+        "dedup_acks": sum(int(r.get("dedup_acks", 0)) for r in done),
         "reject_rate": rejected / attempts if attempts else 0.0,
         "wall_s": wall,
         "ops_per_s": acked / wall if wall > 0 else 0.0,

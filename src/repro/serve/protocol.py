@@ -251,12 +251,35 @@ class ServeClient:
         self._sock.sendall(data)
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and correlate its response by ``id``.
+
+        Any failure that can leave the stream desynchronized -- a timeout
+        or reset mid-frame (the next read would start inside a stale
+        payload), or a response whose ``id`` is not the one just sent (a
+        late reply to an earlier, abandoned request) -- closes the socket
+        before raising: this connection must not be reused.
+        """
         self._next_id += 1
-        message = {"op": op, "id": self._next_id, **fields}
-        self._sock.sendall(pack_frame(message, self.codec))
-        prefix = _recv_exactly(self._sock, PREFIX_SIZE)
-        length, tag = unpack_prefix(prefix)
-        return decode_payload(_recv_exactly(self._sock, length), tag)
+        rid = self._next_id
+        message = {"op": op, "id": rid, **fields}
+        try:
+            self._sock.sendall(pack_frame(message, self.codec))
+            prefix = _recv_exactly(self._sock, PREFIX_SIZE)
+            length, tag = unpack_prefix(prefix)
+            response = decode_payload(_recv_exactly(self._sock, length), tag)
+        except (OSError, ProtocolError):
+            # OSError covers ConnectionError and socket timeouts; either
+            # way the frame boundary is lost.
+            self.close()
+            raise
+        got = response.get("id")
+        if got != rid:
+            self.close()
+            raise ProtocolError(
+                f"response id {got!r} does not match request id {rid}; "
+                "closing the desynced connection"
+            )
+        return response
 
     def _checked(self, response: Dict[str, Any]) -> Dict[str, Any]:
         if not response.get("ok"):

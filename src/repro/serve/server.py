@@ -424,6 +424,32 @@ class ServeServer:
         oid, x, y, t = entry
         return int(oid), (float(x), float(y)), float(t)
 
+    @staticmethod
+    def _parse_stamp(message: Dict[str, Any]) -> Optional[Tuple[str, int]]:
+        """The optional ``(client, rid)`` idempotency stamp, validated.
+
+        Both fields or neither; the client name is the *client-chosen*
+        identity (stable across reconnects -- the per-connection admission
+        id is not), the rid a positive int.  Raises ``ValueError`` on a
+        half-stamped or malformed request.
+        """
+        client, rid = message.get("client"), message.get("rid")
+        if client is None and rid is None:
+            return None
+        if not isinstance(client, str) or not client or len(client) > 128:
+            raise ValueError("idempotency stamp needs a client string (<=128)")
+        if not isinstance(rid, int) or isinstance(rid, bool) or rid < 1:
+            raise ValueError("idempotency stamp needs a positive integer rid")
+        return client, rid
+
+    def _dedup_response(self, hit) -> Dict[str, Any]:
+        """Ack a replayed write with its original result, applying nothing."""
+        self._count("serve.dedup.hit")
+        fields: Dict[str, Any] = {"deduped": True, "accepted": hit.accepted}
+        if hit.seq is not None:
+            fields["seq"] = hit.seq
+        return ok_response(None, **fields)
+
     def _admit_writes(
         self, client_id: str, cost: int
     ) -> Optional[Dict[str, Any]]:
@@ -480,15 +506,29 @@ class ServeServer:
             oid, pos, t = self._parse_update(
                 (message["oid"], *message["point"], message["t"])
             )
+            stamp = self._parse_stamp(message)
         except (KeyError, TypeError, ValueError) as exc:
             return error_response(None, ERR_BAD_REQUEST, f"bad update: {exc}")
+        if stamp is not None:
+            # Replays dedup *before* every other gate: a retry of an
+            # already-applied write must be acked, never shed or charged
+            # against admission a second time.
+            hit = self.service.dedup.check(*stamp)
+            if hit is not None:
+                return self._dedup_response(hit)
         rejection = self._admit_writes(client_id, 1)
         if rejection is not None:
             return rejection
         assert self._queue is not None
         # ack_update logs the WAL record; put_nowait cannot raise QueueFull
         # because capacity was checked above and nothing awaited since.
-        op = self.service.ack_update(oid, pos, t)
+        if stamp is not None:
+            op = self.service.ack_update(
+                oid, pos, t, client=stamp[0], rid=stamp[1]
+            )
+            self.service.dedup.record(stamp[0], stamp[1], op[4])
+        else:
+            op = self.service.ack_update(oid, pos, t)
         self._queue.put_nowait(op)
         self._count("serve.accepted")
         self._observe("serve.queue.depth", float(self._queue.qsize()))
@@ -504,17 +544,27 @@ class ServeServer:
             )
         try:
             updates = [self._parse_update(entry) for entry in raw]
+            stamp = self._parse_stamp(message)
         except (TypeError, ValueError) as exc:
             return error_response(None, ERR_BAD_REQUEST, f"bad update: {exc}")
+        if stamp is not None:
+            # One stamp covers the whole batch (it was acked all-or-
+            # nothing); the replay acks the original batch result.
+            hit = self.service.dedup.check(*stamp)
+            if hit is not None:
+                return self._dedup_response(hit)
         rejection = self._admit_writes(client_id, len(updates))
         if rejection is not None:
             return rejection
         assert self._queue is not None
+        client, rid = stamp if stamp is not None else (None, None)
         last_seq = 0
         for oid, pos, t in updates:
-            op = self.service.ack_update(oid, pos, t)
+            op = self.service.ack_update(oid, pos, t, client=client, rid=rid)
             self._queue.put_nowait(op)
             last_seq = op[4]
+        if stamp is not None:
+            self.service.dedup.record(client, rid, last_seq, len(updates))
         self._count("serve.accepted", len(updates))
         self._observe("serve.queue.depth", float(self._queue.qsize()))
         return ok_response(

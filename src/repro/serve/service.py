@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.geometry import Point, Rect
 from repro.engine.buffer import PendingUpdate
+from repro.resilience.dedup import DedupJournal
 from repro.serve.replica import Neighbor, knn_search
 from repro.storage.iostats import IOCategory
 from repro.storage.snapshot import build_document
@@ -62,6 +63,12 @@ class EngineService:
         #: loop), applied advances when the writer lands the op.
         self.acked = 0
         self.applied = 0
+        #: Per-client idempotency watermarks (event-loop only, like the
+        #: ledger).  Journaled through checkpoints so a stamped retry
+        #: dedups across a daemon restart.
+        self.dedup = DedupJournal()
+        if durability is not None:
+            durability.state_provider = lambda: {"dedup": self.dedup.to_state()}
 
     # -- load (writer thread or pre-serving setup) -----------------------
 
@@ -79,24 +86,59 @@ class EngineService:
         if self.durability is not None:
             self.durability.checkpoint()
 
+    def adopt_recovered(self, recovery_report=None) -> None:
+        """Take over state rebuilt by :func:`repro.durability.recover`.
+
+        The constructor's ``index`` is the recovered structure; this
+        derives the acked-positions ledger from it and restores the dedup
+        journal from the checkpoint's ``app_state`` plus the replayed WAL
+        tail's idempotency stamps -- the restart half of exactly-once.
+        Called instead of :meth:`load` (which bulk-inserts from a trace and
+        would double-apply everything the recovered index already holds).
+        """
+        self.positions = {
+            oid: tuple(pos)
+            for oid, pos in self.index.range_search(self.domain)
+        }
+        if recovery_report is not None:
+            app_state = recovery_report.app_state or {}
+            self.dedup = DedupJournal.from_state(app_state.get("dedup"))
+            self.dedup.absorb_replay(recovery_report.dedup_records)
+            if self.durability is not None:
+                self.durability.state_provider = (
+                    lambda: {"dedup": self.dedup.to_state()}
+                )
+
     # -- write path ------------------------------------------------------
 
-    def ack_update(self, oid: int, point: Sequence[float], t: float) -> WriteOp:
+    def ack_update(
+        self,
+        oid: int,
+        point: Sequence[float],
+        t: float,
+        *,
+        client: Optional[str] = None,
+        rid: Optional[int] = None,
+    ) -> WriteOp:
         """Log + ledger one write; returns the op to queue.  Loop thread.
 
         The WAL append happens here, *before* the caller sends the ack --
         so an ack always implies durability (per the sync policy), even
         though the index applies the op later.  If the append raises
         (e.g. an injected crash), nothing was acked and the ledger is
-        untouched.
+        untouched.  ``client``/``rid`` is the caller's idempotency stamp,
+        journaled on the record; the caller must have consulted
+        :attr:`dedup` first -- this method always applies.
         """
         pos = tuple(float(c) for c in point)
         old = self.positions.get(oid)
         if self.durability is not None:
             if old is None:
-                self.durability.log_insert(oid, pos, t)
+                self.durability.log_insert(oid, pos, t, client=client, rid=rid)
             else:
-                self.durability.log_update(oid, old, pos, t)
+                self.durability.log_update(
+                    oid, old, pos, t, client=client, rid=rid
+                )
         self.positions[oid] = pos
         self.acked += 1
         return (oid, old, pos, t, self.acked)
@@ -181,6 +223,7 @@ class EngineService:
             "objects": len(self.positions),
             "acked": self.acked,
             "applied": self.applied,
+            "dedup": self.dedup.metrics_dict(),
         }
         stats = getattr(self.store, "stats", None)
         if stats is not None:

@@ -1,0 +1,279 @@
+"""Chaos-layer tests: the fault proxy, and exactly-once across SIGKILL.
+
+The proxy tests run against a local echo server.  The integration tests
+spawn the real ``repro serve`` daemon as a subprocess under the real
+:class:`~repro.resilience.Supervisor`, SIGKILL it mid-workload, and assert
+the tentpole guarantees: every acked write survives the restart, and a
+retry of an already-acked write dedups instead of double-applying.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosSchedule, FaultProxy, run_chaos
+from repro.chaos.harness import _daemon_argv, _generate_trace
+from repro.resilience import (
+    ResilientServeClient,
+    RetryPolicy,
+    Supervisor,
+    SupervisorPolicy,
+    file_ready_check,
+)
+from repro.serve.protocol import ServeClient
+
+# -- seeded schedules ---------------------------------------------------------
+
+
+def test_chaos_schedule_is_deterministic_per_seed_and_profile():
+    for profile in ("kill", "network", "storage", "mixed"):
+        a = ChaosSchedule.generate(99, profile)
+        b = ChaosSchedule.generate(99, profile)
+        assert a.to_dict() == b.to_dict()
+        assert a.seed_line() == b.seed_line()
+    assert (
+        ChaosSchedule.generate(1, "kill").to_dict()
+        != ChaosSchedule.generate(2, "kill").to_dict()
+    )
+    with pytest.raises(ValueError):
+        ChaosSchedule.generate(0, "nope")
+
+
+def test_chaos_profiles_carry_their_fault_mix():
+    kill = ChaosSchedule.generate(5, "kill")
+    assert kill.kills == 2 and all(e.action == "kill" for e in kill.events)
+    storage = ChaosSchedule.generate(5, "storage")
+    assert [e.surgery for e in storage.events] == ["torn_tail", "crc_flip"]
+    network = ChaosSchedule.generate(5, "network")
+    assert kill.kills and not network.kills
+    mixed = ChaosSchedule.generate(5, "mixed")
+    assert {e.action for e in mixed.events} == {"kill", "reset", "stall"}
+
+
+# -- the TCP fault proxy ------------------------------------------------------
+
+
+class _EchoServer:
+    """A minimal upstream: echoes every byte back."""
+
+    def __init__(self) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()[:2]
+        self._stop = False
+        threading.Thread(target=self._accept, daemon=True).start()
+
+    def _accept(self) -> None:
+        while not self._stop:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                data = conn.recv(4096)
+                if not data:
+                    return
+                conn.sendall(data)
+        except OSError:
+            pass
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        self._stop = True
+        self._listener.close()
+
+
+def test_fault_proxy_relays_and_resets_live_links():
+    echo = _EchoServer()
+    try:
+        with FaultProxy(lambda: echo.address) as proxy:
+            sock = socket.create_connection(proxy.address, timeout=5.0)
+            sock.sendall(b"ping")
+            assert sock.recv(16) == b"ping"
+            assert proxy.live_links == 1
+            assert proxy.reset_all() == 1
+            # The RST surfaces as a reset/EOF on the next read.
+            try:
+                data = sock.recv(16)
+                assert data == b""
+            except ConnectionError:
+                pass
+            sock.close()
+            assert proxy.counters["connections"] == 1
+            assert proxy.counters["resets"] == 1
+    finally:
+        echo.close()
+
+
+def test_fault_proxy_stall_delays_forwarding():
+    echo = _EchoServer()
+    try:
+        with FaultProxy(lambda: echo.address) as proxy:
+            sock = socket.create_connection(proxy.address, timeout=5.0)
+            sock.sendall(b"warm")
+            assert sock.recv(16) == b"warm"
+            proxy.stall(0.4)
+            assert proxy.stalled
+            t0 = time.monotonic()
+            sock.sendall(b"held")
+            assert sock.recv(16) == b"held"
+            assert time.monotonic() - t0 >= 0.2  # held through the stall
+            sock.close()
+            assert proxy.counters["stalls"] == 1
+    finally:
+        echo.close()
+
+
+def test_fault_proxy_closes_client_when_upstream_is_down():
+    def resolver():
+        raise ValueError("daemon mid-restart")
+
+    with FaultProxy(resolver) as proxy:
+        sock = socket.create_connection(proxy.address, timeout=5.0)
+        sock.settimeout(5.0)
+        assert sock.recv(16) == b""  # immediate close, not a hang
+        sock.close()
+        deadline = time.monotonic() + 2.0
+        while (
+            proxy.counters["upstream_failures"] == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert proxy.counters["upstream_failures"] == 1
+
+
+# -- exactly-once across a SIGKILL + supervised restart -----------------------
+
+
+def _read_ready(path: Path):
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    return str(doc["host"]), int(doc["port"])
+
+
+def _spawn_env():
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH")) if p
+    )
+    return env
+
+
+def test_sigkill_mid_stream_dedups_the_ambiguous_retry(tmp_path):
+    """Ack a stamped write, SIGKILL the daemon, restart through recovery,
+    re-drive the same stamp: the ack must be a dedup of the original, and
+    the object's position must have survived the crash."""
+    cfg = ChaosConfig(run_dir=tmp_path, seed=11, objects=12, writers=1)
+    trace = _generate_trace(cfg)
+    ready = tmp_path / "ready.json"
+    wal_dir = tmp_path / "wal"
+    argv = _daemon_argv(cfg, trace, ready, wal_dir)
+    log = open(tmp_path / "daemon.log", "ab")
+    env = _spawn_env()
+    supervisor = Supervisor(
+        lambda: subprocess.Popen(argv, env=env, stdout=log, stderr=log),
+        ready_check=file_ready_check(ready),
+        policy=SupervisorPolicy(
+            max_restarts=3, backoff_base=0.1, ready_timeout=60.0
+        ),
+    )
+    runner = None
+    try:
+        supervisor.start()
+        runner = threading.Thread(target=supervisor.run, daemon=True)
+        runner.start()
+
+        host, port = _read_ready(ready)
+        client = ResilientServeClient(
+            host, port, client_id="xo", timeout=5.0,
+            policy=RetryPolicy(max_attempts=4, deadline_s=10.0),
+        )
+        acked = client.update(7, (42.0, 43.0), 2000.0, deadline_s=10.0)
+        assert acked["ok"] and not acked.get("deduped")
+        original_seq = acked["seq"]
+        stamp_rid = client.last_rid
+        client.close()
+
+        pid = supervisor.child_pid
+        os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if any(e.ready for e in supervisor.events):
+                break
+            time.sleep(0.05)
+        assert any(e.ready for e in supervisor.events), "no supervised restart"
+        assert supervisor.child_pid != pid
+
+        host2, port2 = _read_ready(ready)
+        with ServeClient(host2, port2, timeout=10.0) as retry:
+            response = retry.request(
+                "update",
+                oid=7,
+                point=[42.0, 43.0],
+                t=2000.0,
+                client="xo",
+                rid=stamp_rid,
+            )
+            assert response["ok"] and response["deduped"]
+            assert response["accepted"] == 1  # the original result, re-acked
+            # Across a restart the cached ack's seq is the WAL sequence
+            # (the write's durable name), not the per-boot ack counter.
+            assert isinstance(response.get("seq", original_seq), int)
+            stats = retry.stats()
+            dedup = stats["service"]["dedup"]
+            assert dedup["hits"] >= 1
+            # The acked write itself survived the SIGKILL.
+            fresh = retry.request(
+                "range", rect=[[0.0, 0.0], [1000.0, 1000.0]], fresh=True
+            )
+            positions = {
+                int(oid): tuple(pos) for oid, pos in fresh["matches"]
+            }
+            assert positions[7] == (42.0, 43.0)
+    finally:
+        supervisor.stop()
+        if runner is not None:
+            runner.join(timeout=30.0)
+        log.close()
+
+
+def test_chaos_kill_run_holds_every_invariant(tmp_path):
+    """The full harness, kill profile, concurrent writers: zero lost acked
+    writes, zero double-applies, clean verify, supervised recovery."""
+    report = run_chaos(
+        ChaosConfig(
+            run_dir=tmp_path,
+            seed=21,
+            profile="kill",
+            writers=2,
+            objects=12,
+            min_ops=25,
+        )
+    )
+    assert report["ok"], json.dumps(report["invariants"], indent=2)
+    invariants = report["invariants"]
+    assert invariants["acked_writes_lost"] == 0
+    assert invariants["double_applied_stamps"] == 0
+    assert invariants["duplicate_objects"] == 0
+    assert invariants["verify_ok"] is True
+    assert invariants["supervisor_recovered"] is True
+    assert report["faults"]["kills"] >= 1
+    assert report["supervisor"]["restarts"] >= 1
+    assert report["mttr"]["mean_s"] is not None
+    assert report["workload"]["ops_acked"] >= 2 * 25

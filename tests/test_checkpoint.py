@@ -129,4 +129,4 @@ class TestDamageFallback:
 
     def test_info_is_metadata_only(self):
         fields = set(CheckpointInfo.__dataclass_fields__)
-        assert fields == {"path", "ordinal", "covered_seq", "kind"}
+        assert fields == {"path", "ordinal", "covered_seq", "kind", "app_state"}

@@ -1,0 +1,435 @@
+"""Unit tests for ``repro.resilience``: breaker, retries, dedup, supervisor.
+
+Everything here runs against fake clocks and fake child processes -- no
+sockets, no subprocesses, no sleeps.  The live end-to-end behaviour is
+covered by ``tests/test_chaos.py`` and the ``repro chaos`` harness.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.durability import (
+    DurabilityManager,
+    FaultSchedule,
+    FaultSpec,
+    append_corrupt_frame,
+    append_torn_frame,
+    read_checkpoint_info,
+    recover,
+    scan_directory,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    DedupJournal,
+    RetryPolicy,
+    Supervisor,
+    SupervisorError,
+    SupervisorPolicy,
+    file_ready_check,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def sleep(self, delay: float) -> None:
+        self.t += max(delay, 0.001)
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_opens_after_threshold_and_half_open_probe_closes():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, cooldown_s=1.0, clock=clock)
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.acquire() == 0.0
+
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # below threshold
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.opens == 1
+
+    wait = breaker.acquire()
+    assert 0.0 < wait <= 1.0  # open: fail fast, come back later
+
+    clock.t += 1.5  # cooldown elapses
+    assert breaker.acquire() == 0.0  # exactly one probe admitted
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.consecutive_failures == 0
+
+
+def test_breaker_half_open_failure_reopens_immediately():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=2, cooldown_s=0.5, clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    clock.t += 1.0
+    assert breaker.acquire() == 0.0
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.record_failure()  # the probe failed: straight back to OPEN
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.opens == 2
+    assert breaker.acquire() > 0.0
+
+
+def test_breaker_success_resets_failure_streak():
+    breaker = CircuitBreaker(threshold=3, cooldown_s=1.0, clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED  # streak restarted
+
+
+def test_breaker_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=0.0)
+
+
+# -- retry policy -------------------------------------------------------------
+
+
+def test_retry_delay_is_deterministic_given_seed_and_bounded_by_cap():
+    policy = RetryPolicy(backoff_base=0.02, backoff_cap=0.5)
+    a = [policy.delay(n, 0.0, random.Random(42)) for n in range(1, 9)]
+    b = [policy.delay(n, 0.0, random.Random(42)) for n in range(1, 9)]
+    assert a == b
+    rng = random.Random(7)
+    for attempt in range(1, 30):
+        assert 0.0 <= policy.delay(attempt, 0.0, rng) <= 0.5
+
+
+def test_retry_hint_raises_the_jitter_ceiling_not_a_fixed_sleep():
+    policy = RetryPolicy(backoff_base=0.01, backoff_cap=10.0)
+    # With a 2.0s server hint the sleep is uniform(0, 2.0) -- jittered,
+    # never an exact lockstep 2.0s wait.
+    rng = random.Random(0)
+    delays = [policy.delay(1, 2.0, rng) for _ in range(64)]
+    assert max(delays) <= 2.0
+    assert max(delays) > 0.5  # the hint ceiling is actually used
+    assert len(set(delays)) > 1  # and it jitters
+
+
+# -- dedup journal ------------------------------------------------------------
+
+
+def test_dedup_miss_then_record_then_hit_with_cached_ack():
+    journal = DedupJournal()
+    assert journal.check("c1", 1) is None
+    journal.record("c1", 1, seq=17)
+    hit = journal.check("c1", 1)
+    assert hit is not None and hit.seq == 17 and hit.accepted == 1
+    # A new rid above the watermark is a miss again.
+    assert journal.check("c1", 2) is None
+    assert journal.metrics_dict()["hits"] == 1
+
+
+def test_dedup_detects_replay_even_after_window_eviction():
+    journal = DedupJournal(window=2)
+    for rid in (1, 2, 3):
+        journal.record("c1", rid, seq=rid * 10)
+    hit = journal.check("c1", 1)  # evicted, but still <= watermark
+    assert hit is not None and hit.seq is None
+    assert journal.evicted_hits == 1
+    hit3 = journal.check("c1", 3)
+    assert hit3 is not None and hit3.seq == 30
+
+
+def test_dedup_state_round_trip_and_replay_absorption():
+    journal = DedupJournal(window=8)
+    journal.record("a", 1, seq=5)
+    journal.record("b", 3, seq=9, accepted=4)
+    restored = DedupJournal.from_state(
+        json.loads(json.dumps(journal.to_state()))
+    )
+    assert restored.watermark("a") == 1
+    hit = restored.check("b", 3)
+    assert hit is not None and hit.accepted == 4
+    # The WAL tail's stamps fold in on top (restart path).
+    restored.absorb_replay([("a", 2, 11), ("c", 1, 12)])
+    assert restored.watermark("a") == 2
+    assert restored.check("c", 1).seq == 12
+
+
+# -- fault schedules ----------------------------------------------------------
+
+
+def test_fault_schedule_reproduces_from_seed_and_round_trips_json():
+    first = FaultSchedule.generate(1234, n_faults=4)
+    second = FaultSchedule.generate(1234, n_faults=4)
+    assert first.to_json() == second.to_json()
+    assert first.seed_line() == second.seed_line()
+    restored = FaultSchedule.from_json(first.to_json())
+    assert [s.to_dict() for s in restored.specs] == [
+        s.to_dict() for s in first.specs
+    ]
+    different = FaultSchedule.generate(1235, n_faults=4)
+    assert different.to_json() != first.to_json()
+
+
+def test_fault_schedule_splits_live_and_surgery_specs():
+    schedule = FaultSchedule(
+        [
+            FaultSpec(FaultSpec.CRASH_APPEND, at=3, torn_bytes=2),
+            FaultSpec(FaultSpec.TORN_TAIL, at=5),
+            FaultSpec(FaultSpec.CRC_FLIP, at=0),
+        ]
+    )
+    assert [s.kind for s in schedule.live_specs] == [FaultSpec.CRASH_APPEND]
+    assert len(schedule.surgery_specs) == 2
+    injector = schedule.injector()
+    assert injector is not None
+
+
+# -- crash-honest WAL tail debris ---------------------------------------------
+
+
+def _manager_with_records(tmp_path, n=6):
+    from repro.core.geometry import Rect
+    from repro.storage.pager import Pager
+    from repro.workload import make_index
+
+    domain = Rect((0.0, 0.0), (100.0, 100.0))
+    index = make_index("lazy", Pager(), domain)
+    manager = DurabilityManager(tmp_path, sync="always")
+    manager.attach(index, kind="lazy")
+    for oid in range(n):
+        pos = (float(oid), float(oid))
+        manager.log_insert(oid, pos, t=float(oid))
+        index.insert(oid, pos, now=float(oid))
+    manager.checkpoint()
+    for oid in range(n):
+        old = (float(oid), float(oid))
+        new = (float(oid) + 0.5, float(oid) + 0.5)
+        manager.log_update(oid, old, new, t=10.0 + oid)
+        index.update(oid, old, new, now=10.0 + oid)
+    return manager, index
+
+
+def test_torn_frame_debris_never_costs_acked_records(tmp_path):
+    manager, _index = _manager_with_records(tmp_path)
+    acked_seq = manager.last_seq
+    manager.close()
+    append_torn_frame(tmp_path, nbytes=9)  # crash debris past the tail
+    scan = scan_directory(tmp_path)
+    assert scan.torn_tail
+    recovered, report = recover(tmp_path)
+    assert report.torn_tail
+    # Tail-only damage: the "gap" sits past every acked record, meaning
+    # nothing complete was lost -- only debris was trimmed.
+    assert report.gap_at_seq in (0, acked_seq + 1)
+    # Every acked update replayed: positions reflect the post-update state.
+    from repro.core.geometry import Rect
+
+    positions = dict(recovered.range_search(Rect((0.0, 0.0), (100.0, 100.0))))
+    assert all(pos[0] != int(pos[0]) for pos in positions.values())
+    assert report.checkpoint_seq < acked_seq  # the tail really replayed
+
+
+def test_corrupt_frame_debris_never_costs_acked_records(tmp_path):
+    manager, _index = _manager_with_records(tmp_path)
+    manager.close()
+    append_corrupt_frame(tmp_path)
+    scan = scan_directory(tmp_path)
+    assert scan.corrupt_segments == 1
+    recovered, report = recover(tmp_path)
+    assert report.corrupt_segments == 1
+    from repro.core.geometry import Rect
+
+    positions = dict(recovered.range_search(Rect((0.0, 0.0), (100.0, 100.0))))
+    assert len(positions) == 6
+    assert all(pos[0] != int(pos[0]) for pos in positions.values())
+
+
+# -- checkpoint metadata / sequence resumption --------------------------------
+
+
+def test_read_checkpoint_info_skips_snapshot_materialization(tmp_path):
+    manager, _index = _manager_with_records(tmp_path)
+    info = manager.checkpoint()
+    manager.close()
+    meta = read_checkpoint_info(info.path)
+    assert meta.covered_seq == info.covered_seq
+    assert meta.ordinal == info.ordinal
+    assert meta.kind == "lazy"
+
+
+def test_manager_resumes_sequence_past_truncated_checkpoint(tmp_path):
+    manager, index = _manager_with_records(tmp_path)
+    manager.checkpoint()  # covers everything; truncation may empty the WAL
+    covered = manager.last_seq
+    manager.close()
+
+    fresh = DurabilityManager(tmp_path, sync="always")
+    fresh.attach(index, kind="lazy")
+    # Without the checkpoint guard this would restart below ``covered`` and
+    # recovery would skip the new records as already applied.
+    seq = fresh.log_update(0, (0.5, 0.5), (9.0, 9.0), t=99.0)
+    assert seq > covered
+    fresh.close()
+    index.update(0, (0.5, 0.5), (9.0, 9.0), now=99.0)
+
+    recovered, report = recover(tmp_path)
+    from repro.core.geometry import Rect
+
+    positions = dict(recovered.range_search(Rect((0.0, 0.0), (100.0, 100.0))))
+    assert positions[0] == (9.0, 9.0)
+    assert report.records_replayed >= 1
+
+
+# -- supervisor ---------------------------------------------------------------
+
+
+class FakeChild:
+    _next_pid = 1000
+
+    def __init__(self) -> None:
+        FakeChild._next_pid += 1
+        self.pid = FakeChild._next_pid
+        self.exit_code = None
+        self.ready = True
+        self.killed = False
+
+    def poll(self):
+        return self.exit_code
+
+    def wait(self, timeout=None):
+        return self.exit_code if self.exit_code is not None else 0
+
+    def kill(self):
+        self.killed = True
+        self.exit_code = -9
+
+    def terminate(self):
+        if self.exit_code is None:
+            self.exit_code = 0
+
+
+def _policy(**kw):
+    defaults = dict(
+        max_restarts=3, backoff_base=0.1, backoff_cap=1.0,
+        ready_timeout=5.0, poll_interval=0.05,
+    )
+    defaults.update(kw)
+    return SupervisorPolicy(**defaults)
+
+
+def test_supervisor_restarts_crashes_and_reports_mttr():
+    clock = FakeClock()
+    children = []
+    surgeries = []
+
+    def spawn():
+        child = FakeChild()
+        children.append(child)
+        return child
+
+    def scripted_sleep(delay):
+        clock.sleep(delay)
+        child = children[-1]
+        if child.exit_code is None:
+            # Incarnations 1 and 2 crash; the third drains cleanly.
+            child.exit_code = -9 if len(children) <= 2 else 0
+
+    supervisor = Supervisor(
+        spawn,
+        ready_check=lambda child: child.ready,
+        policy=_policy(),
+        on_crash=lambda n: surgeries.append(n) or [f"surgery-{n}"],
+        clock=clock,
+        sleep=scripted_sleep,
+    )
+    supervisor.start()
+    assert supervisor.run() == 0
+    assert supervisor.restarts == 2
+    assert len(children) == 3
+    assert surgeries == [1, 2]
+    assert all(event.ready for event in supervisor.events)
+    assert [event.surgery for event in supervisor.events] == [
+        ["surgery-1"], ["surgery-2"]
+    ]
+    mttrs = supervisor.mttr_values()
+    assert len(mttrs) == 2 and all(m > 0 for m in mttrs)
+    summary = supervisor.to_dict()
+    assert summary["exhausted"] is False
+    assert summary["mttr_mean_s"] == pytest.approx(sum(mttrs) / 2)
+    # Backoff doubles per consecutive restart.
+    assert supervisor.events[1].backoff_s == pytest.approx(
+        supervisor.events[0].backoff_s * 2
+    )
+
+
+def test_supervisor_budget_exhaustion_stops_the_crash_loop():
+    clock = FakeClock()
+    children = []
+
+    def spawn():
+        child = FakeChild()
+        children.append(child)
+        return child
+
+    def scripted_sleep(delay):
+        clock.sleep(delay)
+        if children[-1].exit_code is None:
+            children[-1].exit_code = -9  # every incarnation crashes
+
+    supervisor = Supervisor(
+        spawn,
+        ready_check=lambda child: child.ready,
+        policy=_policy(max_restarts=2),
+        clock=clock,
+        sleep=scripted_sleep,
+    )
+    supervisor.start()
+    assert supervisor.run() == -9
+    assert supervisor.exhausted
+    assert supervisor.restarts == 2
+    assert len(children) == 3  # original + two budgeted restarts
+
+
+def test_supervisor_start_fails_when_child_never_becomes_ready():
+    clock = FakeClock()
+
+    def spawn():
+        child = FakeChild()
+        child.ready = False
+        return child
+
+    supervisor = Supervisor(
+        spawn,
+        ready_check=lambda child: child.ready,
+        policy=_policy(ready_timeout=0.5),
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    with pytest.raises(SupervisorError):
+        supervisor.start()
+
+
+def test_file_ready_check_requires_matching_pid(tmp_path):
+    ready = tmp_path / "ready.json"
+    check = file_ready_check(ready)
+    child = FakeChild()
+    assert not check(child)  # no file yet
+    ready.write_text(json.dumps({"host": "x", "port": 1, "pid": child.pid}))
+    assert check(child)
+    # A stale file from the SIGKILLed previous incarnation must not count.
+    ready.write_text(json.dumps({"host": "x", "port": 1, "pid": child.pid - 1}))
+    assert not check(child)
+    ready.write_text("not json")
+    assert not check(child)
