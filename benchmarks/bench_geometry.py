@@ -262,6 +262,84 @@ def run_node_scan_bench(
     return out
 
 
+# -- PR 10: NP_SCAN_MIN crossover sweep ------------------------------------
+
+
+def run_scan_crossover_sweep(
+    sizes: Tuple[int, ...] = (8, 16, 24, 32, 48, 64, 96, 128, 192, 256),
+    repeat: int = 7,
+    seed: int = 23,
+) -> Dict[str, object]:
+    """Where does the numpy scan engine overtake the pure-Python loop?
+
+    Times ``node_intersecting_indices`` twice per node size -- once with
+    the numpy path forced (``NP_SCAN_MIN`` pinned to 1) and once with the
+    scalar loop forced (pinned past every size) -- and reports the
+    smallest size where the numpy path wins.  The shipped ``NP_SCAN_MIN``
+    should sit at or just above that crossover; DESIGN.md section 12
+    records the measured value per host class.
+    """
+    import repro.core.geometry as geometry
+
+    out: Dict[str, object] = {
+        "current_threshold": geometry.NP_SCAN_MIN,
+        "numpy_available": geometry._np is not None,
+        "repeat": repeat,
+        "sizes": {},
+        "measured_crossover": None,
+    }
+    if geometry._np is None:
+        return out
+    rng = random.Random(seed)
+    saved = geometry.NP_SCAN_MIN
+    crossover = None
+    try:
+        for n in sizes:
+            from array import array
+
+            los = (array("d"), array("d"))
+            his = (array("d"), array("d"))
+            for _ in range(n):
+                x = rng.uniform(0.0, DOMAIN - 80.0)
+                y = rng.uniform(0.0, DOMAIN - 80.0)
+                los[0].append(x)
+                los[1].append(y)
+                his[0].append(x + rng.uniform(1.0, 80.0))
+                his[1].append(y + rng.uniform(1.0, 80.0))
+            queries = []
+            for _ in range(256):
+                qx = rng.uniform(0.0, DOMAIN - 120.0)
+                qy = rng.uniform(0.0, DOMAIN - 120.0)
+                queries.append(
+                    (
+                        (qx, qy),
+                        (qx + rng.uniform(5.0, 120.0), qy + rng.uniform(5.0, 120.0)),
+                    )
+                )
+
+            def scan_all() -> int:
+                scan = geometry.node_intersecting_indices
+                for qlo, qhi in queries:
+                    scan(los, his, qlo, qhi)
+                return len(queries)
+
+            geometry.NP_SCAN_MIN = 1  # force the numpy engine
+            np_s, ops = _best_of(scan_all, repeat)
+            geometry.NP_SCAN_MIN = max(sizes) + 1  # force the scalar loop
+            py_s, _ = _best_of(scan_all, repeat)
+            out["sizes"][str(n)] = {
+                "numpy_ns_per_scan": np_s / ops * 1e9,
+                "python_ns_per_scan": py_s / ops * 1e9,
+                "numpy_wins": np_s < py_s,
+            }
+            if crossover is None and np_s < py_s:
+                crossover = n
+    finally:
+        geometry.NP_SCAN_MIN = saved
+    out["measured_crossover"] = crossover
+    return out
+
+
 # -- PR 7: worker dispatch round-trip (thread / pipe / shm) ----------------
 
 
@@ -378,6 +456,22 @@ def main(argv=None) -> int:
                 f"object {row['object_ns_per_scan']:8.1f} ns/scan "
                 f"({row['speedup']:.2f}x)"
             )
+
+    crossover = run_scan_crossover_sweep(repeat=args.repeat)
+    result["scan_crossover"] = crossover
+    if crossover["numpy_available"]:
+        for n, row in crossover["sizes"].items():
+            marker = "np" if row["numpy_wins"] else "py"
+            print(
+                f"  scan[{n:>3}] numpy {row['numpy_ns_per_scan']:8.1f} "
+                f"python {row['python_ns_per_scan']:8.1f} ns/scan  <- {marker}"
+            )
+        print(
+            f"  crossover: numpy wins from n={crossover['measured_crossover']} "
+            f"(shipped NP_SCAN_MIN={crossover['current_threshold']})"
+        )
+    else:
+        print("  scan crossover: numpy unavailable, sweep skipped")
 
     if not args.skip_dispatch:
         dispatch = run_dispatch_bench(n_pings=args.pings)

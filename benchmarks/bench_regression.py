@@ -64,6 +64,14 @@ writes ``BENCH_driver.json`` in a stable schema:
   ``verify_index`` (all enforced unconditionally); the section reports
   retry / dedup / reject accounting, restart count, and recovery MTTR
   (wall-clock figures are trend-watching, like every other timing here);
+* ``lsm``: the LSM-R-tree's reason to exist (PR 10) -- per-update I/O for
+  lsm / rtree / ct over the same deterministic update-heavy window at
+  increasing seed sizes (steady-state: an unmeasured warm-up window
+  absorbs the post-seed compaction transient first).  CI gates the flat
+  curve (largest-scale LSM per-update I/O <= 1.15x the smallest), the
+  head-to-head (LSM beats the CT-R-tree per update at the largest
+  scale), and read amplification (mean runs probed per query <=
+  ``max_runs`` + 1);
 * ``geometry``: the Rect hot-path micro-kernels
   (``benchmarks/bench_geometry.py``) -- method vs. flat-tuple kernel
   ns/op for intersects / contains_point / union / enlargement;
@@ -108,7 +116,7 @@ from repro.workload import (  # noqa: E402
     make_index,
 )
 
-SCHEMA_VERSION = 9
+SCHEMA_VERSION = 10
 
 ENGINE_BATCH = 64
 ENGINE_SHARDS = 4
@@ -120,6 +128,15 @@ REBALANCE_SHARDS = 4
 REBALANCE_OBJECTS = 120
 REBALANCE_ROUNDS = 6
 SERVE_CLIENT_COUNTS = (1, 8, 32)
+LSM_SCALES = (200, 800, 2000)
+LSM_MEMTABLE = 32
+LSM_SIZE_RATIO = 4
+LSM_MAX_RUNS = 12
+# One full tier-1 compaction cycle: memtable * ratio^2 updates cover 16
+# flushes, 4 tier-0 merges, and 1 tier-1 merge -- the same merge schedule
+# at every scale, so the windows are comparable (see _measure_update_window).
+LSM_WINDOW = LSM_MEMTABLE * LSM_SIZE_RATIO * LSM_SIZE_RATIO
+LSM_QUERIES = 32
 
 
 def run_kind(
@@ -600,6 +617,186 @@ def run_layout_parity(bundle):
     }
 
 
+def _lsm_scale_workload(n_objects, seed=7):
+    """Deterministic update-heavy script at ``n_objects`` scale.
+
+    Returns (histories, start positions, warm-up ops, measured ops,
+    query rects).  The same script drives every index kind so the
+    per-update I/O numbers are directly comparable; histories exist only
+    because the CT-R-tree needs a profile to build from.
+    """
+    import random
+
+    from repro.core.geometry import Rect
+
+    rng = random.Random(seed)
+    histories = {}
+    start = {}
+    for oid in range(n_objects):
+        trail = [
+            ((rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)), 900.0 + i)
+            for i in range(5)
+        ]
+        histories[oid] = trail
+        start[oid] = trail[-1][0]
+
+    def window():
+        return [
+            (rng.randrange(n_objects),
+             (rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)))
+            for _ in range(LSM_WINDOW)
+        ]
+
+    warmup = window()
+    measured = window()
+    rects = []
+    for _ in range(LSM_QUERIES):
+        x, y = rng.uniform(0.0, 90.0), rng.uniform(0.0, 90.0)
+        rects.append(Rect((x, y), (x + 10.0, y + 10.0)))
+    return histories, start, warmup, measured, rects
+
+
+def _measure_update_window(kind, n_objects):
+    """Per-update I/O for ``kind`` over the measured window at one scale.
+
+    Methodology (refines tests/test_lsm.py::TestFlatUpdateCost): seed the
+    index, run an unmeasured warm-up window under BUILD to absorb the
+    post-seed transient (leftover sub-memtable runs merging with the
+    window's churn), then for the LSM kind drain to a phase boundary --
+    flush the memtable remainder and compact to quiescence, still under
+    BUILD -- so every scale starts the measured window at the same point
+    of the compaction cycle.  The window itself is one full tier-1 cycle
+    (``memtable * ratio^2`` updates): it contains the identical flush and
+    merge schedule at every scale, which is what makes the per-update
+    numbers comparable; a window that cuts the cycle mid-phase catches a
+    big merge at one scale and not another and reads as slope where there
+    is none.  The measured updates (flushes and compactions included) are
+    charged under UPDATE; everything before is BUILD.
+    """
+    from repro.core.geometry import Rect as _Rect
+    from repro.storage.iostats import IOCategory
+
+    domain = _Rect((0.0, 0.0), (100.0, 100.0))
+    histories, start, warmup, measured, rects = _lsm_scale_workload(n_objects)
+    pager = Pager()
+    kwargs = {"query_rate": 0.5}
+    if kind == IndexKind.CT:
+        kwargs["histories"] = histories
+    elif kind == IndexKind.LSM:
+        kwargs.update(
+            lsm_memtable=LSM_MEMTABLE,
+            lsm_size_ratio=LSM_SIZE_RATIO,
+            lsm_max_runs=LSM_MAX_RUNS,
+        )
+    index = make_index(kind, pager, domain, **kwargs)
+    pos = dict(start)
+    with pager.stats.category(IOCategory.BUILD):
+        for oid in range(n_objects):
+            index.insert(oid, pos[oid], now=1000.0 + oid)
+        t = 1000.0 + n_objects
+        for oid, point in warmup:
+            index.update(oid, pos[oid], point, now=t)
+            pos[oid] = point
+            t += 1.0
+        if kind == IndexKind.LSM:  # phase boundary: empty memtable,
+            index.flush("bench")   # quiescent run set
+            index.maybe_compact()
+    before = pager.stats.total(IOCategory.UPDATE)
+    t0 = perf_counter()
+    with pager.stats.category(IOCategory.UPDATE):
+        for oid, point in measured:
+            index.update(oid, pos[oid], point, now=t)
+            pos[oid] = point
+            t += 1.0
+    wall = perf_counter() - t0
+    update_ios = pager.stats.total(IOCategory.UPDATE) - before
+    q_before = pager.stats.total(IOCategory.QUERY)
+    with pager.stats.category(IOCategory.QUERY):
+        for rect in rects:
+            index.range_search(rect)
+    entry = {
+        "ios_per_update": update_ios / len(measured),
+        "update_ios": update_ios,
+        "wall_clock_s": wall,
+        "ios_per_query": (
+            (pager.stats.total(IOCategory.QUERY) - q_before) / len(rects)
+        ),
+    }
+    if kind == IndexKind.LSM:
+        entry["n_runs"] = index.run_count
+        entry["read_amplification"] = index.read_amplification
+        entry["memtable_pending"] = len(index.memtable)
+    return entry
+
+
+def run_lsm_bench(indexes):
+    """The ``lsm`` document section: flat per-update cost head-to-head.
+
+    The paper's pitch for an LSM organisation is that per-update cost is a
+    function of the memtable, not the index: classic R-tree (and CT)
+    updates walk a tree whose height grows with the object count, while an
+    LSM update is a WAL append plus an in-memory coalesce, with flushes
+    amortised across the memtable.  This section measures per-update I/O
+    for lsm / rtree / ct over the *same* deterministic update window at
+    increasing seed sizes and records the gates CI enforces:
+
+    * ``flat_ratio`` -- LSM per-update I/O at the largest scale over the
+      smallest; must stay <= ``flat_gate`` (the curve is flat);
+    * ``beats_ct_at_scale`` -- LSM per-update I/O below the CT-R-tree's
+      at the largest scale (the head-to-head the ISSUE names);
+    * ``read_amp_within_bound`` -- mean runs probed per query never
+      exceeds ``max_runs`` + 1 (every run plus the memtable).
+    """
+    scales = {}
+    for n in LSM_SCALES:
+        row = {"n_objects": n, "kinds": {}}
+        for kind in (IndexKind.LSM, IndexKind.RTREE, IndexKind.CT):
+            row["kinds"][kind] = _measure_update_window(kind, n)
+        scales[str(n)] = row
+        lsm_row = row["kinds"][IndexKind.LSM]
+        print(
+            f"  lsm scale {n:>5}: "
+            f"lsm {lsm_row['ios_per_update']:6.2f} I/O/upd  "
+            f"rtree {row['kinds'][IndexKind.RTREE]['ios_per_update']:6.2f}  "
+            f"ct {row['kinds'][IndexKind.CT]['ios_per_update']:6.2f}  "
+            f"({lsm_row['n_runs']} runs, "
+            f"read amp {lsm_row['read_amplification']:.2f})"
+        )
+    lo, hi = str(min(LSM_SCALES)), str(max(LSM_SCALES))
+    lsm_lo = scales[lo]["kinds"][IndexKind.LSM]["ios_per_update"]
+    lsm_hi = scales[hi]["kinds"][IndexKind.LSM]["ios_per_update"]
+    ct_hi = scales[hi]["kinds"][IndexKind.CT]["ios_per_update"]
+    max_read_amp = max(
+        row["kinds"][IndexKind.LSM]["read_amplification"]
+        for row in scales.values()
+    )
+    return {
+        "window": LSM_WINDOW,
+        "queries_per_scale": LSM_QUERIES,
+        "config": {
+            "memtable_size": LSM_MEMTABLE,
+            "size_ratio": LSM_SIZE_RATIO,
+            "max_runs": LSM_MAX_RUNS,
+        },
+        "scales": scales,
+        "flat_gate": 1.15,
+        "flat_ratio": lsm_hi / lsm_lo if lsm_lo else 0.0,
+        "lsm_vs_ct_at_scale": lsm_hi / ct_hi if ct_hi else 0.0,
+        "beats_ct_at_scale": lsm_hi < ct_hi,
+        "read_amp_bound": LSM_MAX_RUNS + 1,
+        "max_read_amplification": max_read_amp,
+        "read_amp_within_bound": max_read_amp <= LSM_MAX_RUNS + 1,
+        # The driver workload's numbers (same trace as ``indexes``), for
+        # the committed-baseline trend: query-heavier, so LSM pays its
+        # read amplification there.
+        "driver_workload": {
+            "lsm_ios_per_update": indexes[IndexKind.LSM]["ios_per_update"],
+            "ct_ios_per_update": indexes[IndexKind.CT]["ios_per_update"],
+            "rtree_ios_per_update": indexes[IndexKind.RTREE]["ios_per_update"],
+        },
+    }
+
+
 def throughput_entry(result, engine=None):
     wall = result.wall_clock_s
     entry = {
@@ -942,6 +1139,16 @@ def main(argv=None) -> int:
         + f"  parity {'OK' if parity['identical_snapshot'] else 'DIVERGED'}"
     )
 
+    # LSM-R-tree (PR 10): flat per-update cost head-to-head at increasing
+    # scales; the flat-curve / beats-CT / read-amp gates live in CI.
+    lsm = run_lsm_bench(indexes)
+    print(
+        f"  lsm flat ratio {lsm['flat_ratio']:.3f} (gate {lsm['flat_gate']}), "
+        f"vs ct at scale {lsm['lsm_vs_ct_at_scale']:.3f}, "
+        f"read amp {lsm['max_read_amplification']:.2f} "
+        f"(bound {lsm['read_amp_bound']})"
+    )
+
     # Serving layer (PR 8): one daemon per client count, driven by the
     # multi-process loadgen; parity + verify are enforced inside.
     from repro.serve.bench import run_serve_bench
@@ -996,6 +1203,7 @@ def main(argv=None) -> int:
         "health": health,
         "parallel": parallel,
         "rebalance": rebalance,
+        "lsm": lsm,
         "serve": serve,
         "resilience": resilience,
         "geometry": geometry,

@@ -101,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="race the four indexes on a trace")
     compare.add_argument("trace", help="trace CSV path")
+    compare.add_argument("--index", action="append", default=None,
+                         choices=IndexKind.ALL, metavar="KIND", dest="index",
+                         help="race only this index kind (repeatable; "
+                              f"choices: {', '.join(IndexKind.ALL)}; "
+                              "default: all of them)")
     compare.add_argument("--history", type=int, default=110)
     compare.add_argument("--ratio", type=float, default=100.0,
                          help="update/query ratio (default: the Table-1 baseline)")
@@ -167,6 +172,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "the partition is re-cut with an atomic "
                               "cutover (needs --shards or --parallel; not "
                               "with --wal-dir)")
+    compare.add_argument("--lsm-memtable", type=int, default=None, metavar="N",
+                         help="LSM-R-tree: flush the memtable every N distinct "
+                              "objects (default: 256)")
+    compare.add_argument("--lsm-size-ratio", type=int, default=None, metavar="T",
+                         help="LSM-R-tree: size-tiered compaction ratio "
+                              "(default: 4)")
+    compare.add_argument("--lsm-max-runs", type=int, default=None, metavar="N",
+                         help="LSM-R-tree: compact whenever more than N runs "
+                              "exist (default: 8)")
 
     recover = sub.add_parser(
         "recover", help="recover an index from a WAL directory after a crash"
@@ -511,6 +525,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         sharded = False  # the parallel router replaces the inline one
+    kinds = tuple(dict.fromkeys(args.index)) if args.index else IndexKind.ALL
     print(f"{len(stream)} updates, {len(queries)} queries (ratio {args.ratio:g})")
     if pooled:
         print(f"buffer pool: {args.buffer_pool} frames (LRU, write-back)")
@@ -559,7 +574,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     index = buffer = durability = closer = None
     try:
         with handle_signals():
-            for kind in IndexKind.ALL:
+            for kind in kinds:
                 closer = buffer = durability = None
                 rebalancer = None
                 if rebalance:
@@ -608,6 +623,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     index = make_index(
                         kind, store, domain,
                         histories=histories, query_rate=query_rate,
+                        lsm_memtable=args.lsm_memtable,
+                        lsm_size_ratio=args.lsm_size_ratio,
+                        lsm_max_runs=args.lsm_max_runs,
                     )
                     store_metrics = pager.metrics_dict
                 buffer = (

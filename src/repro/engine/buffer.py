@@ -196,6 +196,23 @@ class UpdateBuffer:
     def pending_for(self, oid: int) -> Optional[PendingUpdate]:
         return self._pending.get(oid)
 
+    def iter_pending(self) -> List[PendingUpdate]:
+        """The pending updates in arrival (seq) order; read-only callers.
+
+        The LSM memtable serves queries straight from here (main memory,
+        uncharged) and snapshots serialize it in this canonical order.
+        """
+        return sorted(self._pending.values(), key=lambda u: u.seq)
+
+    def drop(self, oid: int) -> Optional[PendingUpdate]:
+        """Discard the pending update for ``oid`` (a delete superseded it).
+
+        The WAL is *not* thinned -- each dropped update was individually
+        acknowledged and stays individually recoverable; the caller's
+        tombstone supersedes it on replay exactly as it did live.
+        """
+        return self._pending.pop(oid, None)
+
     def put(
         self,
         oid: int,

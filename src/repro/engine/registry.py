@@ -29,20 +29,27 @@ from repro.rtree.rtree import RTree
 
 
 class IndexKind:
-    """The four structures of the paper's evaluation (Section 4.2)."""
+    """The paper's four structures (Section 4.2) plus the LSM-R-tree.
+
+    The LSM kind follows "An Update-intensive LSM-based R-tree Index"
+    (PAPERS.md): out-of-place writes through a memtable keep per-update
+    cost flat where the in-place kinds grow with tree size.
+    """
 
     RTREE = "rtree"
     LAZY = "lazy"
     ALPHA = "alpha"
     CT = "ct"
+    LSM = "lsm"
 
-    ALL = (RTREE, LAZY, ALPHA, CT)
+    ALL = (RTREE, LAZY, ALPHA, CT, LSM)
 
     LABELS = {
         RTREE: "R-tree",
         LAZY: "lazy-R-tree",
         ALPHA: "alpha-tree",
         CT: "CT-R-tree",
+        LSM: "LSM-R-tree",
     }
 
 
@@ -61,6 +68,12 @@ class IndexOptions:
     query_rate: float = 50.0
     adaptive: bool = True
     split: str = "quadratic"
+    #: LSM-R-tree knobs (the other kinds ignore them); None falls back to
+    #: the :class:`~repro.lsm.LSMConfig` defaults.
+    lsm_memtable: Optional[int] = None
+    lsm_size_ratio: Optional[int] = None
+    lsm_max_runs: Optional[int] = None
+    lsm_auto_compact: bool = True
 
     @property
     def params(self) -> CTParams:
@@ -153,6 +166,37 @@ def _make_ct(store: PageStore, domain: Rect, options: IndexOptions) -> SpatialIn
     return tree
 
 
+def _make_lsm(store: PageStore, domain: Rect, options: IndexOptions) -> SpatialIndex:
+    del domain
+    from repro.lsm import LSMConfig, LSMRTree
+
+    defaults = LSMConfig()
+    config = LSMConfig(
+        memtable_size=(
+            options.lsm_memtable
+            if options.lsm_memtable is not None
+            else defaults.memtable_size
+        ),
+        size_ratio=(
+            options.lsm_size_ratio
+            if options.lsm_size_ratio is not None
+            else defaults.size_ratio
+        ),
+        max_runs=(
+            options.lsm_max_runs
+            if options.lsm_max_runs is not None
+            else defaults.max_runs
+        ),
+        auto_compact=options.lsm_auto_compact,
+    )
+    return LSMRTree(
+        store,
+        max_entries=options.max_entries,
+        split=options.split,
+        config=config,
+    )
+
+
 _REGISTRY: Dict[str, IndexSpec] = {}
 
 
@@ -226,6 +270,15 @@ register_index(
         snapshot_kind="ct",
     )
 )
+register_index(
+    IndexSpec(
+        kind=IndexKind.LSM,
+        label=IndexKind.LABELS[IndexKind.LSM],
+        factory=_make_lsm,
+        delete=_delete_pointer,
+        snapshot_kind="lsm",
+    )
+)
 
 
 def make_index(
@@ -239,6 +292,10 @@ def make_index(
     query_rate: float = 50.0,
     adaptive: bool = True,
     split: str = "quadratic",
+    lsm_memtable: Optional[int] = None,
+    lsm_size_ratio: Optional[int] = None,
+    lsm_max_runs: Optional[int] = None,
+    lsm_auto_compact: bool = True,
 ) -> SpatialIndex:
     """Construct one of the registered indexes on ``pager``.
 
@@ -256,6 +313,10 @@ def make_index(
         query_rate=query_rate,
         adaptive=adaptive,
         split=split,
+        lsm_memtable=lsm_memtable,
+        lsm_size_ratio=lsm_size_ratio,
+        lsm_max_runs=lsm_max_runs,
+        lsm_auto_compact=lsm_auto_compact,
     )
     return get_spec(kind).factory(pager, domain, options)
 

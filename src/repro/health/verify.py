@@ -38,6 +38,7 @@ from repro.core.geometry import Point, Rect
 from repro.core.overflow import OWNER_QS, DataPage, NodeBuffer, QSEntry
 from repro.engine.sharded import ShardedIndex
 from repro.hashindex import HashIndex
+from repro.lsm.tree import LSMRTree
 from repro.rtree.alpha import AlphaTree
 from repro.rtree.lazy import LazyRTree
 from repro.rtree.node import Entry
@@ -196,6 +197,9 @@ def verify_index(index, *, kind: Optional[str] = None) -> VerifyReport:
         # falls through to the registry path below.
         report.kind = "sharded"
         _verify_sharded(index, report)
+    elif isinstance(index, LSMRTree):
+        report.kind = "lsm"
+        _verify_lsm(index, report)
     elif isinstance(index, CTRTree):
         report.kind = "ct"
         _verify_ct(index, report)
@@ -399,6 +403,93 @@ def _iter_hash_entries(hash_index: HashIndex) -> Iterator[Tuple[int, int]]:
         for slot, value in enumerate(page.slots):
             if value is not None:
                 yield bucket_no * per + slot, bucket_no
+
+
+# -- LSM-R-tree ------------------------------------------------------------
+
+
+def _verify_lsm(lsm: LSMRTree, report: VerifyReport, prefix: str = "") -> None:
+    """Run-level R-tree invariants plus the LSM's own cross-run promises.
+
+    * every run tree passes the structural walk (MBR containment, fanout,
+      level/parent consistency, per-run size counter);
+    * a run's sorted oid side table agrees exactly with its tree contents
+      (the membership probes queries rely on must not lie);
+    * no oid is both live and tombstoned within one run;
+    * the bloom filter admits every oid the run mentions (no false
+      negatives -- a lying bloom silently drops suppression);
+    * tombstone accounting: every tombstone still suppresses some older
+      version (compaction must have dropped the garbage ones);
+    * the live counter equals the resolved newest-version-only object
+      count across memtable + runs (each object resolves exactly once).
+    """
+    resolved = 0
+    suppressed: set = set(lsm._mem_dead)
+    for pending in lsm.memtable.iter_pending():
+        if pending.oid in lsm._mem_dead:
+            report.add(
+                "lsm-memtable",
+                f"{prefix}memtable",
+                f"oid {pending.oid} is both pending and tombstoned",
+            )
+        resolved += 1
+        suppressed.add(pending.oid)
+    report.checked_objects += resolved
+    runs = lsm.runs
+    for i in range(len(runs) - 1, -1, -1):
+        run = runs[i]
+        loc = f"{prefix}run {i} (seq {run.seq})"
+        _verify_rtree(run.tree, report, prefix=f"{loc}: ")
+        stored = sorted(oid for oid, _ in run.tree.iter_objects())
+        side = list(run.oids)
+        if stored != side:
+            report.add(
+                "lsm-side-table",
+                loc,
+                f"oid side table holds {len(side)} oids, tree stores "
+                f"{len(stored)}; membership probes would lie",
+            )
+        overlap = set(run.oids) & set(run.tombstones)
+        if overlap:
+            report.add(
+                "lsm-tombstone",
+                loc,
+                f"oids both live and tombstoned: {sorted(overlap)[:5]}",
+            )
+        for oid in run.oids:
+            if oid not in run.bloom:
+                report.add(
+                    "lsm-bloom",
+                    loc,
+                    f"bloom filter denies stored oid {oid} "
+                    "(false negative)",
+                )
+            if oid not in suppressed:
+                resolved += 1
+        for oid in run.tombstones:
+            if oid not in run.bloom:
+                report.add(
+                    "lsm-bloom",
+                    loc,
+                    f"bloom filter denies tombstoned oid {oid} "
+                    "(false negative)",
+                )
+            if oid not in suppressed and not any(
+                runs[j].mentions(oid) for j in range(i)
+            ):
+                report.add(
+                    "lsm-tombstone",
+                    loc,
+                    f"tombstone for oid {oid} suppresses nothing older",
+                )
+        suppressed.update(run.oids)
+        suppressed.update(run.tombstones)
+    if resolved != len(lsm):
+        report.add(
+            "size-counter",
+            f"{prefix}lsm",
+            f"live counter {len(lsm)} != resolved objects {resolved}",
+        )
 
 
 # -- CT-R-tree -------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Immutable runs: bulk-loaded R-trees with oid/tombstone side tables.
+
+A run is what one memtable flush (or one compaction merge) produces: an
+STR-packed R-tree over the flushed points, a sorted ``array('q')`` of the
+oids it holds, a sorted array of the oids it *tombstones* (deletes that
+must suppress older runs), and a bloom filter over both.  Runs are never
+mutated after construction -- compaction replaces whole runs.
+
+Membership metadata (oid arrays, blooms) is main-memory and uncharged,
+consistent with the repo's accounting rule that parent pointers and hash
+directories are uncharged bookkeeping (DESIGN.md section 5); the run's
+*tree pages* are charged normally on query and compaction reads.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.geometry import Point
+from repro.lsm.bloom import BloomFilter
+from repro.rtree.bulk import str_pack
+from repro.rtree.rtree import RTree
+from repro.storage.pager import Pager
+
+
+def _sorted_array(values: Iterable[int]) -> array:
+    arr = array("q", sorted(values))
+    return arr
+
+
+def _in_sorted(arr: array, key: int) -> bool:
+    idx = bisect_left(arr, key)
+    return idx < len(arr) and arr[idx] == key
+
+
+class Run:
+    """One immutable sorted run of the LSM-R-tree."""
+
+    __slots__ = ("tree", "oids", "tombstones", "seq", "bloom")
+
+    def __init__(
+        self,
+        tree: RTree,
+        oids: Iterable[int],
+        tombstones: Iterable[int],
+        seq: int,
+    ) -> None:
+        self.tree = tree
+        self.oids = _sorted_array(oids)
+        self.tombstones = _sorted_array(tombstones)
+        self.seq = seq
+        self.bloom = BloomFilter.from_keys(
+            list(self.oids) + list(self.tombstones)
+        )
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    @property
+    def size(self) -> int:
+        """Total entries the run accounts for (live + tombstones); the
+        quantity size-tiered compaction tiers on."""
+        return len(self.oids) + len(self.tombstones)
+
+    def mentions(self, oid: int) -> bool:
+        """Does this run say *anything* about ``oid`` (live or tombstone)?
+
+        A newer run mentioning an oid supersedes every older version of it.
+        Bloom-gated: the common negative answers without a binary search.
+        """
+        if oid not in self.bloom:
+            return False
+        return _in_sorted(self.oids, oid) or _in_sorted(self.tombstones, oid)
+
+    def contains_live(self, oid: int) -> bool:
+        if oid not in self.bloom:
+            return False
+        return _in_sorted(self.oids, oid)
+
+    def is_tombstoned(self, oid: int) -> bool:
+        if oid not in self.bloom:
+            return False
+        return _in_sorted(self.tombstones, oid)
+
+    def read_items(self) -> List[Tuple[int, Point]]:
+        """Every (oid, point) in the run via a *charged* page walk.
+
+        Compaction uses this: merging runs re-reads their pages, and that
+        cost must land on the ledger like any other page I/O.
+        """
+        out: List[Tuple[int, Point]] = []
+        pager = self.tree.pager
+        stack = [self.tree.root_pid]
+        while stack:
+            node = pager.read(stack.pop())
+            if node.is_leaf:
+                out.extend(node.entries.iter_points())
+            else:
+                stack.extend(node.entries.child_list())
+        return out
+
+    def page_count(self) -> int:
+        """Number of tree pages (uncharged walk)."""
+        return self.tree.node_count()
+
+    def free_pages(self) -> None:
+        """Release every page of the run's tree (uncharged, like any free)."""
+        pager = self.tree.pager
+        stack = [self.tree.root_pid]
+        while stack:
+            pid = stack.pop()
+            node = pager.inspect(pid)
+            if not node.is_leaf:
+                stack.extend(node.entries.child_list())
+            pager.free(pid)
+
+    def __repr__(self) -> str:
+        return (
+            f"Run(seq={self.seq}, live={len(self.oids)}, "
+            f"tombstones={len(self.tombstones)}, pages={self.page_count()})"
+        )
+
+
+def build_run(
+    pager: Pager,
+    items: Sequence[Tuple[int, Point]],
+    tombstones: Iterable[int],
+    seq: int,
+    *,
+    max_entries: int = 20,
+    split: str = "quadratic",
+    fill: float = 0.9,
+) -> Run:
+    """STR-pack ``items`` into a fresh immutable run on ``pager``.
+
+    Charged under whatever I/O category is active at the caller (the
+    memtable flushes inside the driver's UPDATE scope; loads inside BUILD),
+    so flush cost lands on the ledger exactly where the work happened.
+
+    ``shrink_on_delete=False``: runs are append-only, and STR tiling
+    legitimately leaves a final under-filled node per slice, which the
+    traditional minimum-fill invariant would flag.
+    """
+    tree = RTree(
+        pager,
+        max_entries=max_entries,
+        split=split,
+        shrink_on_delete=False,
+    )
+    ordered = sorted(items, key=lambda item: item[0])
+    if ordered:
+        str_pack(tree, ordered, fill=fill)
+    return Run(tree, (oid for oid, _ in ordered), tombstones, seq)

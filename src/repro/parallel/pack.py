@@ -1,0 +1,152 @@
+"""Columnar wire framing for bulk apply sub-batches.
+
+The dispatch hot path ships ``("apply", category, ops)`` sub-batches where
+``ops`` is a list of small tuples full of float coordinates.  Pickling that
+list walks every tuple and boxes every float -- per dispatch, per shard.
+This module packs the common op shapes into one flat binary frame instead:
+a tag byte per op plus four columnar arrays (oids ``int64``, timestamps
+``float64``, coordinates ``float64``), memcpy'd straight from ``array``
+buffers.  On the shared-memory transport the frame lands in the mapped
+segment as raw bytes -- the coordinate columns cross the process boundary
+without ever being pickled; on the pipe fallback the same bytes travel
+through ``send_bytes`` unchanged.
+
+Only the hot shapes are packed -- 2-D ``insert``/``update`` ops with float
+coordinates.  Anything else (deletes, other dimensions, exotic payload
+types) makes :func:`pack_ops` return None and the caller falls back to the
+historical pickle framing; the wire format is an optimization, never a
+constraint on the protocol.
+
+Frame layout (little-endian)::
+
+    magic   4 bytes  b"RPK1"
+    count   uint32   number of ops
+    n_old   uint32   number of ops carrying an old position
+    tags    count bytes   0 = insert, 1 = update, 2 = update w/ None old
+    oids    count * int64
+    ts      count * float64
+    points  count * 2 float64   new position per op
+    olds    n_old * 2 float64   old positions, in op order, tag==1 only
+
+:func:`unpack_ops` reconstructs the exact tuple list ``pack_ops`` saw, so
+``unpack_ops(pack_ops(ops)) == ops`` whenever packing succeeded.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import List, Optional
+
+#: Frame magic: never a valid pickle prefix (pickle protocol 2+ frames
+#: start with b"\x80"), so a receiver can sniff frame-vs-pickle cheaply.
+MAGIC = b"RPK1"
+
+_PREAMBLE = struct.Struct("<4sII")
+
+_TAG_INSERT = 0
+_TAG_UPDATE = 1
+_TAG_UPDATE_NO_OLD = 2
+
+
+def _is_point2(value: object) -> bool:
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[0], float)
+        and isinstance(value[1], float)
+    )
+
+
+def pack_ops(ops: List[tuple]) -> Optional[bytes]:
+    """Pack an apply sub-batch into one columnar frame, or None.
+
+    None means "this batch has a shape the fast frame does not model --
+    pickle it like before".  Succeeds only when every op is a 2-D
+    ``insert``/``update`` with float coordinates and a float timestamp.
+    """
+    count = len(ops)
+    if count == 0:
+        return None
+    tags = bytearray(count)
+    oids = array("q")
+    ts = array("d")
+    points = array("d")
+    olds = array("d")
+    for i, op in enumerate(ops):
+        tag = op[0]
+        if tag == "insert":
+            if len(op) != 4 or not _is_point2(op[2]):
+                return None
+            oid, point, t = op[1], op[2], op[3]
+            tags[i] = _TAG_INSERT
+        elif tag == "update":
+            if len(op) != 5 or not _is_point2(op[3]):
+                return None
+            oid, old, point, t = op[1], op[2], op[3], op[4]
+            if old is None:
+                tags[i] = _TAG_UPDATE_NO_OLD
+            elif _is_point2(old):
+                tags[i] = _TAG_UPDATE
+                olds.append(old[0])
+                olds.append(old[1])
+            else:
+                return None
+        else:
+            return None
+        if not isinstance(oid, int) or not isinstance(t, float):
+            return None
+        oids.append(oid)
+        ts.append(t)
+        points.append(point[0])
+        points.append(point[1])
+    return b"".join(
+        (
+            _PREAMBLE.pack(MAGIC, count, len(olds) // 2),
+            bytes(tags),
+            oids.tobytes(),
+            ts.tobytes(),
+            points.tobytes(),
+            olds.tobytes(),
+        )
+    )
+
+
+def is_packed(data: bytes, offset: int = 0) -> bool:
+    """Does ``data[offset:]`` start with a columnar frame?"""
+    return data[offset : offset + 4] == MAGIC
+
+
+def unpack_ops(data: bytes, offset: int = 0) -> List[tuple]:
+    """Decode a frame back into the original op-tuple list."""
+    magic, count, n_old = _PREAMBLE.unpack_from(data, offset)
+    if magic != MAGIC:
+        raise ValueError("not a packed ops frame")
+    pos = offset + _PREAMBLE.size
+    tags = data[pos : pos + count]
+    pos += count
+    oids = array("q")
+    oids.frombytes(data[pos : pos + 8 * count])
+    pos += 8 * count
+    ts = array("d")
+    ts.frombytes(data[pos : pos + 8 * count])
+    pos += 8 * count
+    points = array("d")
+    points.frombytes(data[pos : pos + 16 * count])
+    pos += 16 * count
+    olds = array("d")
+    olds.frombytes(data[pos : pos + 16 * n_old])
+    ops: List[tuple] = []
+    old_i = 0
+    for i in range(count):
+        point = (points[2 * i], points[2 * i + 1])
+        tag = tags[i]
+        if tag == _TAG_INSERT:
+            ops.append(("insert", oids[i], point, ts[i]))
+        elif tag == _TAG_UPDATE:
+            old = (olds[2 * old_i], olds[2 * old_i + 1])
+            old_i += 1
+            ops.append(("update", oids[i], old, point, ts[i]))
+        else:
+            ops.append(("update", oids[i], None, point, ts[i]))
+    return ops

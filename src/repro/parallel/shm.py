@@ -58,6 +58,8 @@ import pickle
 import struct
 from typing import Callable, Optional
 
+from repro.parallel.pack import is_packed, unpack_ops
+
 try:
     from multiprocessing import shared_memory as _shared_memory
 except Exception:  # pragma: no cover - stdlib module; absent only on exotic builds
@@ -86,22 +88,28 @@ _CHILD_POLL_S = 0.25
 
 
 def decode_frames(data: bytes):
-    """Decode one message from one *or two* concatenated pickle streams.
+    """Decode one message from a header pickle plus an optional body frame.
 
     The dispatch hot path hoists the constant ``("apply", category)``
-    command header out of the per-sub-batch pickle (see
+    command header out of the per-sub-batch payload (see
     :func:`repro.parallel.workers.encode_cmd`): the wire bytes are then
-    the cached header pickle followed by the ops pickle.  Pickle streams
-    are self-terminating, so two sequential ``pickle.load`` calls split
-    them exactly; a plain single-pickle message (responses, control
-    commands) decodes unchanged.  Note ``pickle.loads`` alone would
-    *silently drop* the second stream -- hence this explicit decoder on
-    every receive path that can see encoded commands.
+    the cached header pickle followed by the ops payload -- either the
+    magic-prefixed columnar frame of :mod:`repro.parallel.pack` (bulk
+    coordinates as raw ``array`` columns, never pickled) or a second
+    pickle stream.  Pickle streams are self-terminating, so one
+    ``pickle.load`` leaves the cursor exactly at the body; the frame
+    magic (never a valid pickle prefix) tells the two body forms apart.
+    A plain single-pickle message (responses, control commands) decodes
+    unchanged.  Note ``pickle.loads`` alone would *silently drop* the
+    body -- hence this explicit decoder on every receive path that can
+    see encoded commands.
     """
     stream = io.BytesIO(data)
     first = pickle.load(stream)
     if stream.tell() >= len(data):
         return first
+    if is_packed(data, stream.tell()):
+        return (*first, unpack_ops(data, stream.tell()))
     body = pickle.load(stream)
     return (*first, body)
 

@@ -53,6 +53,7 @@ from repro.core.geometry import Rect
 from repro.engine.registry import IndexOptions, get_spec
 from repro.engine.sharded import Shard, build_shard
 from repro.obs.treestats import tree_stats
+from repro.parallel.pack import pack_ops
 from repro.parallel.shm import ShmChannel, decode_frames, shm_available
 from repro.storage.iostats import IOCategory, IOCounter, IOStats
 
@@ -74,9 +75,12 @@ def encode_cmd(cmd: tuple) -> bytes:
     shard and the 2-tuple header is byte-identical across all of them (and
     across every round of the run); re-pickling it per sub-batch was pure
     waste.  The header is pickled once per ``(tag, category)`` pair and the
-    cached bytes are concatenated with the ops pickle -- two sequential
-    self-terminating pickle streams that :func:`~repro.parallel.shm.decode_frames`
-    reassembles into the original 3-tuple.  Every other command shape is a
+    cached bytes are concatenated with the ops payload -- which is either
+    the columnar frame of :func:`~repro.parallel.pack.pack_ops` (bulk
+    coordinates cross the transport as raw ``array`` columns, never
+    pickled) or, for op shapes the frame does not model, the historical
+    ops pickle.  :func:`~repro.parallel.shm.decode_frames` reassembles
+    either form into the original 3-tuple.  Every other command shape is a
     single plain pickle, which the same decoder passes through unchanged.
     """
     if len(cmd) == 3 and cmd[0] == "apply":
@@ -85,6 +89,9 @@ def encode_cmd(cmd: tuple) -> bytes:
         if header is None:
             header = pickle.dumps(key, protocol=pickle.HIGHEST_PROTOCOL)
             _HEADER_PICKLES[key] = header
+        packed = pack_ops(cmd[2])
+        if packed is not None:
+            return header + packed
         return header + pickle.dumps(cmd[2], protocol=pickle.HIGHEST_PROTOCOL)
     return pickle.dumps(cmd, protocol=pickle.HIGHEST_PROTOCOL)
 

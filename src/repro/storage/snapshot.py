@@ -32,6 +32,8 @@ from repro.core.geometry import Rect
 from repro.core.overflow import DataPage, NodeBuffer, QSEntry
 from repro.core.params import CTParams
 from repro.hashindex.hashindex import BucketPage, HashIndex
+from repro.lsm.run import Run
+from repro.lsm.tree import LSMConfig, LSMRTree
 from repro.rtree.alpha import AlphaTree
 from repro.rtree.lazy import LazyRTree
 from repro.rtree.node import Entry, RTreeNode
@@ -399,6 +401,120 @@ def load_ctrtree(path: Union[str, Path]) -> CTRTree:
     return _load_ctrtree_document(_read_document(path, expected="ctrtree"))
 
 
+# -- public API: LSM-R-tree ----------------------------------------------------
+
+
+def _lsm_document(index: LSMRTree) -> Dict:
+    """One document for the whole LSM index: shared pager, per-run manifest.
+
+    Every run tree allocates from one pager, so the page table is encoded
+    once; each run contributes only its tree configuration plus its sorted
+    oid/tombstone side tables (blooms are rebuilt, never serialized).  The
+    memtable is serialized in canonical arrival (seq) order and tombstone
+    sets are sorted, so save -> load -> save is byte-stable.
+    """
+    config = index.config
+    return {
+        "version": FORMAT_VERSION,
+        "structure": "lsm",
+        "kind": "lsm",
+        "pager": _encode_pager(index.pager),
+        "index": {
+            "config": {
+                "max_entries": index.max_entries,
+                "split": index.split_policy,
+                "memtable_size": config.memtable_size,
+                "size_ratio": config.size_ratio,
+                "max_runs": config.max_runs,
+                "run_fill": config.run_fill,
+                "auto_compact": config.auto_compact,
+            },
+            "live": len(index),
+            "next_seq": index._next_seq,
+            "memtable": [
+                {
+                    "oid": pending.oid,
+                    "old": (
+                        None
+                        if pending.old_point is None
+                        else list(pending.old_point)
+                    ),
+                    "point": list(pending.point),
+                    "t": pending.t,
+                    "seq": pending.seq,
+                    "absorbed": pending.absorbed,
+                }
+                for pending in index.memtable.iter_pending()
+            ],
+            "mem_dead": sorted(index._mem_dead),
+            "runs": [
+                {
+                    "tree": _encode_rtree_config(run.tree),
+                    "oids": list(run.oids),
+                    "tombstones": list(run.tombstones),
+                    "seq": run.seq,
+                }
+                for run in index.runs
+            ],
+        },
+    }
+
+
+def _load_lsm_document(document: Dict) -> LSMRTree:
+    from repro.engine.buffer import PendingUpdate
+
+    meta = document["index"]
+    pager = _decode_pager(document["pager"])
+    cfg = meta["config"]
+    index = LSMRTree(
+        pager,
+        max_entries=cfg["max_entries"],
+        split=cfg["split"],
+        config=LSMConfig(
+            memtable_size=cfg["memtable_size"],
+            size_ratio=cfg["size_ratio"],
+            max_runs=cfg["max_runs"],
+            run_fill=cfg["run_fill"],
+            auto_compact=cfg["auto_compact"],
+        ),
+    )
+    for raw in meta["runs"]:
+        tree = _decode_rtree(raw["tree"], pager)
+        index._runs.append(
+            Run(tree, raw["oids"], raw["tombstones"], raw["seq"])
+        )
+    # Each _decode_rtree allocated (and freed) a bootstrap root, advancing
+    # the pid cursor; restore it so save -> load -> save is byte-identical.
+    pager._next_pid = document["pager"]["next_pid"]
+    max_seq = 0
+    for raw in meta["memtable"]:
+        pending = PendingUpdate(
+            oid=raw["oid"],
+            old_point=None if raw["old"] is None else tuple(raw["old"]),
+            point=tuple(raw["point"]),
+            t=raw["t"],
+            seq=raw["seq"],
+            absorbed=raw.get("absorbed", 0),
+        )
+        index.memtable._pending[pending.oid] = pending
+        max_seq = max(max_seq, pending.seq)
+    index.memtable._seq = max_seq
+    index._mem_dead = set(meta["mem_dead"])
+    index._live = meta["live"]
+    index._next_seq = meta["next_seq"]
+    pager.stats.reset()
+    return index
+
+
+def save_lsm(index: LSMRTree, path: Union[str, Path]) -> Path:
+    """Snapshot an LSM-R-tree: runs, side tables, memtable, tombstones."""
+    return _write_document(_lsm_document(index), path)
+
+
+def load_lsm(path: Union[str, Path]) -> LSMRTree:
+    return _load_lsm_document(_read_document(path, expected="lsm"))
+
+
 # -- public API: the sharded engine -------------------------------------------
 
 
@@ -558,6 +674,7 @@ _DOCUMENT_BUILDERS: Dict[str, Callable] = {
     "lazy": _lazy_document,
     "alpha": _lazy_document,
     "ct": _ctrtree_document,
+    "lsm": _lsm_document,
     "sharded": _sharded_document,
 }
 
@@ -566,6 +683,7 @@ _DOCUMENT_LOADERS: Dict[str, Callable] = {
     "lazy": _load_lazy_document,
     "alpha": _load_lazy_document,
     "ct": _load_ctrtree_document,
+    "lsm": _load_lsm_document,
     "sharded": _load_sharded_document,
 }
 
@@ -574,6 +692,7 @@ _STRUCTURE_TO_KIND = {
     "rtree": "rtree",
     "lazy_rtree": "lazy",
     "ctrtree": "ct",
+    "lsm": "lsm",
     "sharded": "sharded",
 }
 
@@ -581,6 +700,8 @@ _STRUCTURE_TO_KIND = {
 def index_kind_of(index) -> str:
     """The snapshot kind tag for a live index instance."""
     # Order matters: AlphaTree subclasses LazyRTree.
+    if isinstance(index, LSMRTree):
+        return "lsm"
     if isinstance(index, CTRTree):
         return "ct"
     if isinstance(index, AlphaTree):

@@ -1,0 +1,156 @@
+"""Property-based LSM-R-tree checks: random insert/update/delete
+interleavings with arbitrary flush/compaction points stay equal to a
+dict-of-latest-positions oracle, and verify_index stays clean throughout.
+
+The ops strategy inserts explicit **flush** and **compact** actions into
+the interleaving, so the oracle comparison exercises every component
+boundary: memtable-only, memtable + runs, mid-compaction run layouts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.geometry import Rect
+from repro.health import verify_index
+from repro.lsm import LSMConfig, LSMRTree
+from repro.storage.pager import Pager
+
+DOMAIN = Rect((0.0, 0.0), (100.0, 100.0))
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: (op, oid, x, y): 0 = upsert, 1 = delete, 2 = flush, 3 = compact_step.
+OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=15),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+CONFIGS = st.sampled_from(
+    [
+        # Tiny memtable: every few ops cross a flush boundary organically.
+        LSMConfig(memtable_size=4, size_ratio=2, max_runs=3),
+        # Flush only when the interleaving says so.
+        LSMConfig(memtable_size=64, size_ratio=2, max_runs=4, auto_compact=False),
+        LSMConfig(memtable_size=8, size_ratio=3, max_runs=5, auto_compact=False),
+    ]
+)
+
+
+def _drive(lsm, ops):
+    """Apply the interleaving; returns the latest-position oracle."""
+    oracle = {}
+    t = 0.0
+    for op, oid, x, y in ops:
+        t += 1.0
+        if op == 0:
+            old = oracle.get(oid)
+            if old is None:
+                lsm.insert(oid, (x, y), now=t)
+            else:
+                lsm.update(oid, old, (x, y), now=t)
+            oracle[oid] = (x, y)
+        elif op == 1:
+            assert lsm.delete(oid) == (oid in oracle)
+            oracle.pop(oid, None)
+        elif op == 2:
+            lsm.flush()
+        else:
+            lsm.compact_step()
+    return oracle
+
+
+class TestLSMProperties:
+    @SETTINGS
+    @given(ops=OPS, config=CONFIGS)
+    def test_range_matches_oracle_at_every_step(self, ops, config):
+        lsm = LSMRTree(Pager(), max_entries=4, config=config)
+        oracle = {}
+        t = 0.0
+        for op, oid, x, y in ops:
+            t += 1.0
+            if op == 0:
+                old = oracle.get(oid)
+                if old is None:
+                    lsm.insert(oid, (x, y), now=t)
+                else:
+                    lsm.update(oid, old, (x, y), now=t)
+                oracle[oid] = (x, y)
+            elif op == 1:
+                lsm.delete(oid)
+                oracle.pop(oid, None)
+            elif op == 2:
+                lsm.flush()
+            else:
+                lsm.compact_step()
+            assert dict(lsm.range_search(DOMAIN)) == oracle
+            assert len(lsm) == len(oracle)
+
+    @SETTINGS
+    @given(ops=OPS, config=CONFIGS)
+    def test_verify_clean_at_every_flush_and_compaction(self, ops, config):
+        lsm = LSMRTree(Pager(), max_entries=4, config=config)
+        oracle = {}
+        t = 0.0
+        for op, oid, x, y in ops:
+            t += 1.0
+            if op == 0:
+                old = oracle.get(oid)
+                if old is None:
+                    lsm.insert(oid, (x, y), now=t)
+                else:
+                    lsm.update(oid, old, (x, y), now=t)
+                oracle[oid] = (x, y)
+            elif op == 1:
+                lsm.delete(oid)
+                oracle.pop(oid, None)
+            else:
+                if op == 2:
+                    lsm.flush()
+                else:
+                    lsm.compact_step()
+                report = verify_index(lsm)
+                assert report.ok, [str(v) for v in report.violations]
+        report = verify_index(lsm)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.kind == "lsm"
+
+    @SETTINGS
+    @given(ops=OPS, config=CONFIGS)
+    def test_partial_rect_and_knn_match_oracle(self, ops, config):
+        lsm = LSMRTree(Pager(), max_entries=4, config=config)
+        oracle = _drive(lsm, ops)
+        probe = Rect((20.0, 20.0), (70.0, 70.0))
+        expected = {
+            oid: pt for oid, pt in oracle.items() if probe.contains_point(pt)
+        }
+        assert dict(lsm.range_search(probe)) == expected
+        if oracle:
+            target = (50.0, 50.0)
+            brute = sorted(
+                (math.dist(target, pt), oid, pt) for oid, pt in oracle.items()
+            )[:3]
+            assert lsm.nearest(target, 3) == brute
+
+    @SETTINGS
+    @given(ops=OPS, config=CONFIGS)
+    def test_final_drain_and_full_compaction_preserve_answers(self, ops, config):
+        lsm = LSMRTree(Pager(), max_entries=4, config=config)
+        oracle = _drive(lsm, ops)
+        lsm.flush(reason="final")
+        lsm.maybe_compact()
+        assert dict(lsm.range_search(DOMAIN)) == oracle
+        assert sorted(dict(lsm.iter_objects()).items()) == sorted(oracle.items())
+        assert verify_index(lsm).ok

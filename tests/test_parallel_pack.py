@@ -1,0 +1,132 @@
+"""Columnar apply-batch framing (repro.parallel.pack): parity tests.
+
+The bulk coordinate columns of ``("apply", category, ops)`` sub-batches
+travel as one flat binary frame instead of a pickle; these tests pin that
+the frame round-trips to the exact tuple list, that unsupported shapes
+fall back to pickle, and that a real worker -- over shared memory when the
+host supports it and over the forced pipe either way -- applies packed
+batches with results identical to the historical framing.
+"""
+
+import multiprocessing as mp
+import pickle
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.engine.registry import IndexKind, IndexOptions
+from repro.parallel.pack import MAGIC, is_packed, pack_ops, unpack_ops
+from repro.parallel.shm import decode_frames, shm_available
+from repro.parallel.workers import ProcessWorker, encode_cmd
+
+DOMAIN = Rect((0.0, 0.0), (100.0, 100.0))
+
+OPS = [
+    ("insert", 7, (1.0, 2.0), 0.5),
+    ("update", 7, (1.0, 2.0), (3.0, 4.0), 1.0),
+    ("update", 9, None, (5.0, 6.0), 1.5),
+    ("insert", 2**40, (99.5, 0.25), 2.0),
+]
+
+
+class TestFrame:
+    def test_round_trip_exact(self):
+        frame = pack_ops(OPS)
+        assert frame is not None
+        assert is_packed(frame)
+        assert unpack_ops(frame) == OPS
+
+    def test_round_trip_matches_pickle_semantics(self):
+        frame = pack_ops(OPS)
+        assert unpack_ops(frame) == pickle.loads(pickle.dumps(OPS))
+
+    @pytest.mark.parametrize(
+        "ops",
+        [
+            [],  # nothing to pack
+            [("delete", 1, (0.0, 0.0), 0.5)],  # deletes are not modelled
+            [("insert", 1, (0.0, 0.0, 0.0), 0.5)],  # 3-D
+            [("insert", 1, (0, 0.0), 0.5)],  # int coordinate
+            [("insert", 1.5, (0.0, 0.0), 0.5)],  # non-int oid
+            [("insert", 1, (0.0, 0.0), 1)],  # int timestamp
+            [("update", 1, (0.0, 0.0, 0.0), (1.0, 1.0), 0.5)],  # 3-D old
+            [("ping",)],
+        ],
+    )
+    def test_unsupported_shapes_fall_back(self, ops):
+        assert pack_ops(ops) is None
+
+    def test_mixed_batch_with_one_bad_op_falls_back(self):
+        assert pack_ops(OPS + [("delete", 1, (0.0, 0.0), 9.0)]) is None
+
+    def test_magic_is_not_a_pickle_prefix(self):
+        assert not MAGIC.startswith(b"\x80")
+
+
+class TestEncodeDecode:
+    def test_encode_cmd_emits_frame_for_hot_shapes(self):
+        data = encode_cmd(("apply", "update", OPS))
+        assert MAGIC in data
+        assert decode_frames(data) == ("apply", "update", OPS)
+
+    def test_encode_cmd_pickles_unsupported_batches(self):
+        ops = [("delete", 3, (1.0, 1.0), 0.5)]
+        data = encode_cmd(("apply", "update", ops))
+        assert MAGIC not in data
+        assert decode_frames(data) == ("apply", "update", ops)
+
+    def test_frame_and_pickle_paths_decode_identically(self):
+        packed = decode_frames(encode_cmd(("apply", "update", OPS)))
+        header = pickle.dumps(("apply", "update"), protocol=pickle.HIGHEST_PROTOCOL)
+        pickled = decode_frames(
+            header + pickle.dumps(OPS, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert packed == pickled
+
+
+def _exercise_worker(transport: str) -> None:
+    worker = ProcessWorker(
+        IndexKind.LAZY,
+        0,
+        DOMAIN,
+        IndexOptions(max_entries=5),
+        transport=transport,
+    )
+    try:
+        assert worker.result().get("ready")
+        worker.submit(
+            (
+                "apply",
+                "update",
+                [
+                    ("insert", 1, (10.0, 10.0), 0.0),
+                    ("insert", 2, (20.0, 20.0), 0.5),
+                    ("update", 1, (10.0, 10.0), (30.0, 30.0), 1.0),
+                ],
+            )
+        )
+        resp = worker.result()
+        assert resp["ok"] and resp["applied"] == 3
+        # A delete falls back to the pickle body on the same connection.
+        worker.submit(("apply", "update", [("delete", 2, (20.0, 20.0), 2.0)]))
+        resp = worker.result()
+        assert resp["ok"] and resp["removed"]
+        worker.submit(("query", "query", (0.0, 0.0), (100.0, 100.0)))
+        resp = worker.result()
+        assert sorted(oid for oid, _ in resp["matches"]) == [1]
+    finally:
+        worker.close()
+
+
+def test_pipe_worker_applies_packed_batches():
+    _exercise_worker("pipe")
+
+
+@pytest.mark.skipif(
+    not shm_available(mp.get_context("fork"))
+    if "fork" in mp.get_all_start_methods()
+    else True,
+    reason="shared-memory transport unavailable",
+)
+def test_shm_worker_applies_packed_batches():
+    _exercise_worker("shm")
